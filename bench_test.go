@@ -1,0 +1,273 @@
+package ftqc
+
+// One benchmark per reproduced table/figure/equation of Preskill's
+// "Fault-Tolerant Quantum Computation" (see EXPERIMENTS.md for the
+// paper-vs-measured record). Each benchmark runs a representative slice
+// of its experiment per iteration; cmd/ftqc runs the full-resolution
+// versions.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"ftqc/internal/anyon"
+	"ftqc/internal/code"
+	"ftqc/internal/concat"
+	"ftqc/internal/frame"
+	"ftqc/internal/ft"
+	"ftqc/internal/noise"
+	"ftqc/internal/pauli"
+	"ftqc/internal/resource"
+	"ftqc/internal/statevec"
+	"ftqc/internal/threshold"
+	"ftqc/internal/toric"
+)
+
+// BenchmarkE01MemoryFidelity — Eq. (14): encoded memory failure O(ε²).
+func BenchmarkE01MemoryFidelity(b *testing.B) {
+	cfg := ft.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		ft.MemoryExperiment(ft.MethodSteane, noise.StorageOnly(1e-3), noise.Uniform(1e-3), cfg, 3, 200, uint64(i))
+	}
+}
+
+// BenchmarkE02DoubleErrors — Eqs. (12)-(13): double errors become logical
+// operators under decoding.
+func BenchmarkE02DoubleErrors(b *testing.B) {
+	c := code.Steane()
+	dec := code.NewDecoder(c.Code, 1)
+	for i := 0; i < b.N; i++ {
+		for a := 0; a < 7; a++ {
+			for bb := a + 1; bb < 7; bb++ {
+				err := pauli.NewIdentity(7)
+				err.SetAt(a, pauli.X)
+				err.SetAt(bb, pauli.X)
+				dec.DecodeError(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE03BadGoodAncilla — Figs. 2/6: naive vs fault-tolerant
+// recovery failure.
+func BenchmarkE03BadGoodAncilla(b *testing.B) {
+	cfg := ft.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		ft.ECFailureRate(ft.MethodNaive, noise.Uniform(1e-3), cfg, 100, uint64(i))
+		ft.ECFailureRate(ft.MethodSteane, noise.Uniform(1e-3), cfg, 100, uint64(i)+1)
+	}
+}
+
+// BenchmarkE04ShorStateVerify — Fig. 8 cat-state verification.
+func BenchmarkE04ShorStateVerify(b *testing.B) {
+	cfg := ft.DefaultConfig()
+	rng := rand.New(rand.NewPCG(4, 4))
+	for i := 0; i < b.N; i++ {
+		s := frame.New(6, noise.Uniform(3e-3), rng)
+		ft.PrepVerifiedCat(s, []int{0, 1, 2, 3}, 4, cfg)
+	}
+}
+
+// BenchmarkE05SteaneStateVerify — §3.3 encoded-|0⟩ verification.
+func BenchmarkE05SteaneStateVerify(b *testing.B) {
+	cfg := ft.DefaultConfig()
+	rng := rand.New(rand.NewPCG(5, 5))
+	anc := []int{0, 1, 2, 3, 4, 5, 6}
+	chk := []int{7, 8, 9, 10, 11, 12, 13}
+	for i := 0; i < b.N; i++ {
+		s := frame.New(14, noise.Uniform(3e-3), rng)
+		ft.PrepVerifiedZero(s, anc, chk, cfg)
+	}
+}
+
+// BenchmarkE06SyndromeRepeat — §3.4 policy comparison.
+func BenchmarkE06SyndromeRepeat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []ft.SyndromePolicy{ft.PolicyOnce, ft.PolicyRepeatNontrivial} {
+			cfg := ft.DefaultConfig()
+			cfg.Policy = pol
+			ft.ECFailureRate(ft.MethodSteane, noise.Uniform(1e-3), cfg, 100, uint64(i))
+		}
+	}
+}
+
+// BenchmarkE07ExRec — Fig. 9 + §5: the extended-rectangle failure rate.
+func BenchmarkE07ExRec(b *testing.B) {
+	cfg := ft.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		ft.ExRecCNOT(ft.MethodSteane, noise.Uniform(5e-4), cfg, 200, uint64(i))
+	}
+}
+
+// BenchmarkE08Thresholds — Eqs. (34)-(35): pseudothreshold fits.
+func BenchmarkE08Thresholds(b *testing.B) {
+	cfg := ft.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		threshold.Run(ft.MethodSteane, noise.GateOnly, []float64{4e-4, 8e-4}, cfg, 400, uint64(i))
+	}
+}
+
+// BenchmarkE09ConcatFlow — Eq. (33): flow-equation level curves.
+func BenchmarkE09ConcatFlow(b *testing.B) {
+	f := concat.PaperFlow()
+	for i := 0; i < b.N; i++ {
+		for _, p0 := range []float64{1e-2, 1e-3, 1e-4} {
+			f.Levels(p0, 6)
+		}
+	}
+}
+
+// BenchmarkE10BlockScaling — Eq. (36)-(37): block size for T gates.
+func BenchmarkE10BlockScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, t := range []float64{1e6, 1e9, 1e12} {
+			concat.BlockSizeForComputation(1e-5, 1e-3, t)
+		}
+	}
+}
+
+// BenchmarkE11ShorFamily — Eqs. (30)-(32): non-concatenated optimization.
+func BenchmarkE11ShorFamily(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, eps := range []float64{1e-4, 1e-5, 1e-6} {
+			t := concat.OptimalT(4, eps)
+			concat.BlockErrorProbability(t, 4, eps)
+			concat.MinBlockError(4, eps)
+		}
+	}
+}
+
+// BenchmarkE12Resources — §6: machine sizing for factoring-432.
+func BenchmarkE12Resources(b *testing.B) {
+	w := resource.Factoring(432)
+	for i := 0; i < b.N; i++ {
+		resource.SizeConcatenated(w, 1e-6, concat.Flow{A: 1e4}, 3.0)
+		resource.SizeSteane55(w, 1e-5)
+	}
+}
+
+// BenchmarkE13Systematic — §6: coherent vs random-walk drift.
+func BenchmarkE13Systematic(b *testing.B) {
+	rng := rand.New(rand.NewPCG(13, 13))
+	for i := 0; i < b.N; i++ {
+		noise.CoherentDriftError(1e-3, 400)
+		noise.RandomWalkDriftError(1e-3, 400, 20, rng)
+	}
+}
+
+// BenchmarkE14Leakage — Fig. 15: leakage detection cycles.
+func BenchmarkE14Leakage(b *testing.B) {
+	cfg := ft.DefaultConfig()
+	p := noise.Uniform(1e-3)
+	p.Leak = 1e-3
+	for i := 0; i < b.N; i++ {
+		ft.LeakageExperiment(p, cfg, 2, 100, true, uint64(i))
+	}
+}
+
+// BenchmarkE15Transversal — Fig. 11: transversal gates on the tableau and
+// frame simulators.
+func BenchmarkE15Transversal(b *testing.B) {
+	rng := rand.New(rand.NewPCG(15, 15))
+	dataA := []int{0, 1, 2, 3, 4, 5, 6}
+	dataB := []int{7, 8, 9, 10, 11, 12, 13}
+	for i := 0; i < b.N; i++ {
+		s := frame.New(14, noise.Uniform(1e-3), rng)
+		ft.LogicalCNOT(s, dataA, dataB)
+		ft.LogicalH(s, dataA)
+		ft.LogicalS(s, dataB)
+		ft.IdealDecode(s, dataA)
+	}
+}
+
+// BenchmarkE16Toffoli — Figs. 12-13: Shor's measurement-based Toffoli.
+func BenchmarkE16Toffoli(b *testing.B) {
+	rng := rand.New(rand.NewPCG(16, 16))
+	for i := 0; i < b.N; i++ {
+		ft.ToffoliGadgetFidelity(rng, [3]float64{0.3, 1.1, 2.2})
+	}
+}
+
+// BenchmarkE17ToricMemory — §7.1: failure vs distance.
+func BenchmarkE17ToricMemory(b *testing.B) {
+	rng := rand.New(rand.NewPCG(17, 17))
+	for i := 0; i < b.N; i++ {
+		toric.MemoryExperiment(5, 0.03, toric.DecoderExact, 50, rng)
+	}
+}
+
+// BenchmarkE18Thermal — §7.1: e^{-Δ/T} suppression.
+func BenchmarkE18Thermal(b *testing.B) {
+	rng := rand.New(rand.NewPCG(18, 18))
+	for i := 0; i < b.N; i++ {
+		toric.ThermalMemory(5, 0.5, 3.0, toric.DecoderExact, 50, rng)
+	}
+}
+
+// BenchmarkE19Interferometer — Figs. 18/22: repeated measurement.
+func BenchmarkE19Interferometer(b *testing.B) {
+	rng := rand.New(rand.NewPCG(19, 19))
+	for i := 0; i < b.N; i++ {
+		anyon.InterferometerConfidence(0.2, 31)
+		for k := 0; k < 100; k++ {
+			anyon.NoisyFluxMeasurement(1, 0.2, 31, rng)
+		}
+	}
+}
+
+// BenchmarkE20AnyonLogic — §7.3-§7.4: pull-through NOT and Toffoli.
+func BenchmarkE20AnyonLogic(b *testing.B) {
+	enc := anyon.NewA5Encoding()
+	w, err := enc.FindToffoliWitness()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := anyon.NewRegister(enc.G, 3, enc.U0)
+		enc.NOT(r, 0)
+		enc.NOT(r, 1)
+		enc.Toffoli(r, w, 0, 1, 2)
+	}
+}
+
+// BenchmarkE21GenericStabilizerEC — §3.6/§4.2: generalized Shor-method
+// recovery on the [[5,1,3]] code (fault tolerance for ANY stabilizer
+// code).
+func BenchmarkE21GenericStabilizerEC(b *testing.B) {
+	cfg := ft.DefaultConfig()
+	g := ft.NewGenericEC(code.FiveQubit(), 1, cfg)
+	rng := rand.New(rand.NewPCG(21, 21))
+	data := []int{0, 1, 2, 3, 4}
+	cat := []int{5, 6, 7, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := frame.New(11, noise.Uniform(1e-3), rng)
+		g.Recover(s, data, cat, 10)
+	}
+}
+
+// BenchmarkTableauVsFrame compares the two simulator layers on the same
+// recovery workload (the frame simulator is what makes §5-scale Monte
+// Carlo feasible).
+func BenchmarkTableauVsFrame(b *testing.B) {
+	b.Run("frame", func(b *testing.B) {
+		rng := rand.New(rand.NewPCG(20, 20))
+		cfg := ft.DefaultConfig()
+		for i := 0; i < b.N; i++ {
+			s := frame.New(26, noise.Uniform(1e-3), rng)
+			ft.RunEC(s, ft.MethodSteane, cfg)
+		}
+	})
+	b.Run("statevec16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := statevec.NewZero(16)
+			for q := 0; q < 16; q++ {
+				s.H(q)
+			}
+			for q := 0; q < 15; q++ {
+				s.CNOT(q, q+1)
+			}
+		}
+	})
+}

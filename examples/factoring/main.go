@@ -1,0 +1,40 @@
+// Factoring: size the fault-tolerant machine of Preskill §6 that factors
+// a 130-digit (432-bit) number with Shor's algorithm.
+package main
+
+import (
+	"fmt"
+
+	"ftqc"
+)
+
+func main() {
+	fmt.Println("== machine sizing for factoring RSA-432 (Preskill §6) ==")
+	conc, block55, err := ftqc.FactoringMachines(432, 1e4)
+	if err != nil {
+		fmt.Println("concatenated machine:", err)
+	} else {
+		fmt.Println(conc)
+	}
+	fmt.Println(block55)
+	fmt.Println()
+	fmt.Println("paper's numbers: 2160 logical qubits, ~3e9 Toffolis;")
+	fmt.Println("  concatenated Steane: eps~1e-6, L=3, block 343, ~1e6 qubits;")
+	fmt.Println("  Steane block-55 (ref. 48): eps~1e-5, ~4e5 qubits.")
+
+	fmt.Println("\nconcatenation flow (Eq. 33 with the paper's A=21):")
+	f := ftqc.PaperFlow()
+	fmt.Printf("threshold 1/A = %.3e\n", f.Threshold())
+	p := 1e-2
+	for l := 0; l <= 4; l++ {
+		fmt.Printf("  level %d: block %4d qubits, p_L = %.3e\n", l, pow7(l), f.AtLevel(p, l))
+	}
+}
+
+func pow7(l int) int {
+	n := 1
+	for i := 0; i < l; i++ {
+		n *= 7
+	}
+	return n
+}

@@ -1,0 +1,33 @@
+// Memory: hold one logical qubit for many recovery rounds and compare
+// with an unprotected qubit — the fidelity story of Preskill Eq. (14),
+// using the public facade API.
+package main
+
+import (
+	"fmt"
+
+	"ftqc"
+)
+
+func main() {
+	cfg := ftqc.DefaultECConfig()
+	const rounds = 10
+	const samples = 20000
+	fmt.Printf("== logical memory: %d rounds of Steane recovery ==\n", rounds)
+	fmt.Printf("%-10s %-14s %-14s %-14s\n", "eps", "unencoded", "encoded", "encoded/ideal")
+	for _, eps := range []float64{3e-4, 1e-3, 3e-3} {
+		storage := ftqc.NoiseParams{Storage: eps}
+		noisy := ftqc.MemoryExperiment(ftqc.MethodSteane, storage, ftqc.UniformNoise(eps), cfg, rounds, samples, 1)
+		ideal := ftqc.MemoryExperiment(ftqc.MethodSteane, storage, ftqc.NoiseParams{}, cfg, rounds, samples, 2)
+		// Unencoded baseline: failure ≈ rounds·eps.
+		raw := 1.0
+		for i := 0; i < rounds; i++ {
+			raw *= 1 - eps
+		}
+		fmt.Printf("%-10.1e %-14.4e %-14.4e %-14.4e\n", eps, 1-raw, noisy.FailRate(), ideal.FailRate())
+	}
+	fmt.Println()
+	fmt.Println("unencoded decays linearly in ε; with flawless recovery the encoded")
+	fmt.Println("block fails at O(ε²) (Eq. 14); noisy recovery adds its own O(ε²)")
+	fmt.Println("contribution — coding pays once ε is below the pseudothreshold.")
+}

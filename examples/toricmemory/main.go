@@ -1,0 +1,38 @@
+// Toric memory: Kitaev's passive quantum memory (Preskill §7.1) — the
+// logical error rate falls exponentially with the code distance below
+// threshold, mirroring the e^{−mL} tunneling suppression.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"ftqc"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(7, 1))
+	fmt.Println("== toric-code passive memory (§7.1) ==")
+	const p = 0.04
+	const samples = 20000
+	fmt.Printf("flip probability p = %.2f per edge\n", p)
+	fmt.Printf("%-6s %-10s %-14s\n", "L", "qubits", "logical fail")
+	prev := 0.0
+	for _, l := range []int{3, 5, 7, 9} {
+		r := ftqc.ToricMemory(l, p, samples, rng)
+		lat := ftqc.NewToricLattice(l)
+		fmt.Printf("%-6d %-10d %-14.4e", l, lat.Qubits(), r.FailRate())
+		if prev > 0 && r.FailRate() > 0 {
+			fmt.Printf("   (×%.2f per +2 distance)", r.FailRate()/prev)
+		}
+		fmt.Println()
+		prev = r.FailRate()
+	}
+	fmt.Println("\ntunneling estimate e^{-mL} for comparison (m=1):")
+	for _, l := range []int{3, 5, 7, 9} {
+		fmt.Printf("  L=%d: %.2e\n", l, math.Exp(-float64(l)))
+	}
+	fmt.Println("\n'if the quasiparticles are kept far apart, the probability of an")
+	fmt.Println(" error afflicting the encoded information will be extremely low'")
+}

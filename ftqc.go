@@ -1,0 +1,148 @@
+// Package ftqc is a Go reproduction of John Preskill's "Fault-Tolerant
+// Quantum Computation" (quant-ph/9712048; "Fault-Tolerant Quantum
+// Computers"): stabilizer codes and a hand-rolled CHP tableau simulator,
+// the complete set of fault-tolerant recovery and logic gadgets for
+// Steane's 7-qubit code (Shor-method and Steane-method ancillas with
+// verification, syndrome repetition, transversal gates, the
+// measurement-based Toffoli), circuit-level threshold Monte Carlo with
+// concatenation flow equations and resource estimates, and the
+// topological layer (Kitaev's toric code and nonabelian A₅ fluxon
+// logic).
+//
+// The facade below re-exports the main entry points; the implementation
+// lives in the internal/ packages, one per subsystem (see DESIGN.md for
+// the full inventory and EXPERIMENTS.md for the paper-vs-measured
+// record).
+package ftqc
+
+import (
+	"math/rand/v2"
+
+	"ftqc/internal/anyon"
+	"ftqc/internal/code"
+	"ftqc/internal/concat"
+	"ftqc/internal/frame"
+	"ftqc/internal/ft"
+	"ftqc/internal/group"
+	"ftqc/internal/noise"
+	"ftqc/internal/resource"
+	"ftqc/internal/statevec"
+	"ftqc/internal/tableau"
+	"ftqc/internal/threshold"
+	"ftqc/internal/toric"
+)
+
+// Core stabilizer machinery.
+type (
+	// Tableau is the Aaronson–Gottesman stabilizer simulator.
+	Tableau = tableau.Tableau
+	// StateVector is the dense simulator for non-Clifford verification.
+	StateVector = statevec.State
+	// StabilizerCode is an [[n,k]] stabilizer code.
+	StabilizerCode = code.Code
+	// CSSCode is a CSS code with sector-wise decoding.
+	CSSCode = code.CSS
+	// NoiseParams is the §6 stochastic error model.
+	NoiseParams = noise.Params
+	// FrameSim is the Pauli-frame Monte Carlo simulator.
+	FrameSim = frame.Sim
+)
+
+// NewTableau returns the all-|0⟩ stabilizer state on n qubits.
+func NewTableau(n int, rng *rand.Rand) *Tableau { return tableau.New(n, rng) }
+
+// NewStateVector returns |0…0⟩ on n qubits (n ≤ ~20).
+func NewStateVector(n int) *StateVector { return statevec.NewZero(n) }
+
+// NewFrameSim returns a Pauli-frame simulator under the given noise.
+func NewFrameSim(n int, p NoiseParams, rng *rand.Rand) *FrameSim {
+	return frame.New(n, p, rng)
+}
+
+// Steane returns Steane's [[7,1,3]] code (Preskill §2, Eq. 18).
+func Steane() *CSSCode { return code.Steane() }
+
+// FiveQubit returns the [[5,1,3]] code (§4.2).
+func FiveQubit() *StabilizerCode { return code.FiveQubit() }
+
+// ShorFamily returns the [[(2t+1)², 1, 2t+1]] code family of §5.
+func ShorFamily(t int) *CSSCode { return code.ShorFamily(t) }
+
+// UniformNoise gives every fault location probability eps.
+func UniformNoise(eps float64) NoiseParams { return noise.Uniform(eps) }
+
+// Fault-tolerance gadgets and experiments (§2–§6).
+type (
+	// ECConfig selects the §3 verification and repetition policies.
+	ECConfig = ft.Config
+	// ECMethod picks Steane-method, Shor-method or naive recovery.
+	ECMethod = ft.ECMethod
+	// ThresholdEstimate is a fitted pseudothreshold analysis.
+	ThresholdEstimate = threshold.Estimate
+	// Flow is the concatenation flow equation of Eq. (33).
+	Flow = concat.Flow
+	// Machine is a §6 resource estimate.
+	Machine = resource.Machine
+)
+
+// Recovery methods.
+const (
+	MethodSteane = ft.MethodSteane
+	MethodShor   = ft.MethodShor
+	MethodNaive  = ft.MethodNaive
+)
+
+// DefaultECConfig returns the paper's default policies (§3.3–§3.4).
+func DefaultECConfig() ECConfig { return ft.DefaultConfig() }
+
+// MemoryExperiment measures the logical failure rate of an encoded qubit
+// held for the given number of recovery rounds (Eq. 14's scenario).
+func MemoryExperiment(method ECMethod, storage, gadget NoiseParams, cfg ECConfig, rounds, samples int, seed uint64) ft.MemoryResult {
+	return ft.MemoryExperiment(method, storage, gadget, cfg, rounds, samples, seed)
+}
+
+// EstimateThreshold sweeps the physical error rate, fits p = A·ε², and
+// returns the pseudothreshold 1/A (the Eqs. 34–35 analysis).
+func EstimateThreshold(method ECMethod, model threshold.Model, eps []float64, cfg ECConfig, samples int, seed uint64) ThresholdEstimate {
+	return threshold.Run(method, model, eps, cfg, samples, seed)
+}
+
+// PaperFlow returns the Eq. (33) flow with the counting coefficient A=21.
+func PaperFlow() Flow { return concat.PaperFlow() }
+
+// FactoringMachines reproduces the §6 resource table for factoring an
+// n-bit number: the concatenated-Steane machine at eps=1e-6 and the
+// block-55 alternative at 1e-5.
+func FactoringMachines(bits int, flowA float64) (concatenated Machine, block55 Machine, err error) {
+	w := resource.Factoring(bits)
+	concatenated, err = resource.SizeConcatenated(w, 1e-6, concat.Flow{A: flowA}, 3.0)
+	block55 = resource.SizeSteane55(w, 1e-5)
+	return concatenated, block55, err
+}
+
+// Topological layer (§7).
+type (
+	// ToricLattice is Kitaev's code on an L×L torus.
+	ToricLattice = toric.Lattice
+	// A5Encoding is the nonabelian fluxon encoding of §7.4.
+	A5Encoding = anyon.A5Encoding
+	// FluxRegister is a register of nonabelian flux pairs.
+	FluxRegister = anyon.Register
+	// PermGroup is a finite permutation group.
+	PermGroup = group.Group
+)
+
+// NewToricLattice returns an L×L toric code lattice.
+func NewToricLattice(l int) ToricLattice { return toric.NewLattice(l) }
+
+// ToricMemory runs the passive-memory Monte Carlo at flip probability p.
+func ToricMemory(l int, p float64, samples int, rng *rand.Rand) toric.MemoryResult {
+	return toric.MemoryExperiment(l, p, toric.DecoderExact, samples, rng)
+}
+
+// NewAnyonComputer returns the A₅ flux-pair encoding and a register of k
+// pairs initialized to logical 0.
+func NewAnyonComputer(k int) (A5Encoding, *FluxRegister) {
+	enc := anyon.NewA5Encoding()
+	return enc, anyon.NewRegister(enc.G, k, enc.U0)
+}

@@ -1,0 +1,94 @@
+package ftqc
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"ftqc/internal/noise"
+)
+
+func TestFacadeSteane(t *testing.T) {
+	c := Steane()
+	if c.N != 7 || c.K != 1 {
+		t.Fatalf("Steane: [[%d,%d]]", c.N, c.K)
+	}
+	if FiveQubit().N != 5 {
+		t.Fatal("FiveQubit wrong")
+	}
+	if ShorFamily(2).N != 25 {
+		t.Fatal("ShorFamily wrong")
+	}
+}
+
+func TestFacadeSimulators(t *testing.T) {
+	tb := NewTableau(3, rand.New(rand.NewPCG(1, 2)))
+	tb.H(0)
+	tb.CNOT(0, 1)
+	sv := NewStateVector(3)
+	sv.H(0)
+	sv.CNOT(0, 1)
+	if p := sv.Prob1(1); p < 0.49 || p > 0.51 {
+		t.Fatalf("facade statevec broken: %v", p)
+	}
+	fs := NewFrameSim(3, UniformNoise(0), nil)
+	fs.InjectX(0)
+	fs.CNOT(0, 1)
+	if !fs.XError(1) {
+		t.Fatal("facade frame sim broken")
+	}
+}
+
+func TestFacadeMemoryExperiment(t *testing.T) {
+	res := MemoryExperiment(MethodSteane, NoiseParams{Storage: 1e-3}, UniformNoise(1e-3),
+		DefaultECConfig(), 2, 2000, 3)
+	if res.Samples != 2000 {
+		t.Fatalf("samples %d", res.Samples)
+	}
+	if res.FailRate() > 0.1 {
+		t.Fatalf("implausible failure rate %v", res.FailRate())
+	}
+}
+
+func TestFacadeThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo")
+	}
+	est := EstimateThreshold(MethodSteane, noise.Uniform, []float64{1e-3}, DefaultECConfig(), 5000, 5)
+	if est.A <= 0 {
+		t.Fatalf("estimate %+v", est)
+	}
+}
+
+func TestFacadeFlowAndResources(t *testing.T) {
+	f := PaperFlow()
+	if f.Threshold() <= 0.04 || f.Threshold() >= 0.05 {
+		t.Fatalf("paper threshold %v", f.Threshold())
+	}
+	conc, block55, err := FactoringMachines(432, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.DataQubits <= 0 || block55.TotalQubits < 3e5 {
+		t.Fatal("machine sizing broken")
+	}
+}
+
+func TestFacadeToric(t *testing.T) {
+	lat := NewToricLattice(4)
+	if lat.Qubits() != 32 {
+		t.Fatal("lattice wrong")
+	}
+	r := ToricMemory(3, 0.02, 500, rand.New(rand.NewPCG(7, 8)))
+	if r.Samples != 500 {
+		t.Fatal("memory experiment wrong")
+	}
+}
+
+func TestFacadeAnyon(t *testing.T) {
+	enc, reg := NewAnyonComputer(2)
+	enc.NOT(reg, 0)
+	f := reg.MeasureFlux(0, rand.New(rand.NewPCG(9, 10)))
+	if b, err := enc.Bit(f); err != nil || b != 1 {
+		t.Fatalf("anyon NOT broken: %v %v", f, err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package bits provides dense GF(2) linear algebra: bit vectors and bit
+// matrices with row reduction, rank, kernel and linear solving. It is the
+// substrate for classical codes, stabilizer tableaus and decoders.
+package bits
+
+import (
+	"fmt"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vec is a fixed-length vector over GF(2). The zero value is an empty
+// vector; use NewVec to create one of a given length.
+type Vec struct {
+	n     int
+	words []uint64
+}
+
+// NewVec returns an all-zero vector of length n.
+func NewVec(n int) Vec {
+	if n < 0 {
+		panic("bits: negative vector length")
+	}
+	return Vec{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromBools builds a vector from a bool slice.
+func FromBools(b []bool) Vec {
+	v := NewVec(len(b))
+	for i, bit := range b {
+		if bit {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// FromString parses a vector from a string of '0' and '1' characters.
+func FromString(s string) (Vec, error) {
+	v := NewVec(len(s))
+	for i, c := range s {
+		switch c {
+		case '0':
+		case '1':
+			v.Set(i, true)
+		default:
+			return Vec{}, fmt.Errorf("bits: invalid character %q in %q", c, s)
+		}
+	}
+	return v, nil
+}
+
+// MustFromString is FromString that panics on malformed input. It is
+// intended for compile-time constant tables.
+func MustFromString(s string) Vec {
+	v, err := FromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Len returns the vector length in bits.
+func (v Vec) Len() int { return v.n }
+
+// Get returns bit i.
+func (v Vec) Get(i int) bool {
+	if i < 0 || i >= v.n {
+		panic("bits: index out of range")
+	}
+	return v.words[i/wordBits]>>(uint(i)%wordBits)&1 == 1
+}
+
+// Set sets bit i to b.
+func (v Vec) Set(i int, b bool) {
+	if i < 0 || i >= v.n {
+		panic("bits: index out of range")
+	}
+	mask := uint64(1) << (uint(i) % wordBits)
+	if b {
+		v.words[i/wordBits] |= mask
+	} else {
+		v.words[i/wordBits] &^= mask
+	}
+}
+
+// Flip toggles bit i.
+func (v Vec) Flip(i int) {
+	if i < 0 || i >= v.n {
+		panic("bits: index out of range")
+	}
+	v.words[i/wordBits] ^= uint64(1) << (uint(i) % wordBits)
+}
+
+// Clone returns an independent copy of v.
+func (v Vec) Clone() Vec {
+	w := NewVec(v.n)
+	copy(w.words, v.words)
+	return w
+}
+
+// Zero reports whether every bit is 0.
+func (v Vec) Zero() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and w have the same length and bits.
+func (v Vec) Equal(w Vec) bool {
+	if v.n != w.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != w.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Xor sets v ^= w in place. The lengths must match.
+func (v Vec) Xor(w Vec) {
+	if v.n != w.n {
+		panic("bits: length mismatch in Xor")
+	}
+	for i := range v.words {
+		v.words[i] ^= w.words[i]
+	}
+}
+
+// And sets v &= w in place. The lengths must match.
+func (v Vec) And(w Vec) {
+	if v.n != w.n {
+		panic("bits: length mismatch in And")
+	}
+	for i := range v.words {
+		v.words[i] &= w.words[i]
+	}
+}
+
+// Dot returns the GF(2) inner product of v and w.
+func (v Vec) Dot(w Vec) bool {
+	if v.n != w.n {
+		panic("bits: length mismatch in Dot")
+	}
+	var acc uint64
+	for i := range v.words {
+		acc ^= v.words[i] & w.words[i]
+	}
+	return popcount(acc)%2 == 1
+}
+
+// Weight returns the Hamming weight (number of 1 bits).
+func (v Vec) Weight() int {
+	w := 0
+	for _, word := range v.words {
+		w += popcount(word)
+	}
+	return w
+}
+
+// Support returns the indices of the 1 bits in increasing order.
+func (v Vec) Support() []int {
+	var s []int
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// String renders the vector as a string of '0' and '1'.
+func (v Vec) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Key returns a comparable key for use in maps. Two vectors of the same
+// length have equal keys iff they are equal.
+func (v Vec) Key() string {
+	b := make([]byte, 0, len(v.words)*8)
+	for _, w := range v.words {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(w>>uint(s)))
+		}
+	}
+	return string(b)
+}
+
+func popcount(x uint64) int {
+	// Hacker's Delight population count; stdlib math/bits is allowed but
+	// keeping this local avoids importing it under a clashing name.
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}

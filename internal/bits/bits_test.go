@@ -1,0 +1,201 @@
+package bits
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func randomVec(rng *rand.Rand, n int) Vec {
+	v := NewVec(n)
+	for i := 0; i < n; i++ {
+		if rng.IntN(2) == 1 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+func TestVecSetGetFlip(t *testing.T) {
+	v := NewVec(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("fresh vector has bit %d set", i)
+		}
+		v.Set(i, true)
+		if !v.Get(i) {
+			t.Fatalf("Set(%d) did not stick", i)
+		}
+		v.Flip(i)
+		if v.Get(i) {
+			t.Fatalf("Flip(%d) did not clear", i)
+		}
+	}
+}
+
+func TestVecString(t *testing.T) {
+	v := MustFromString("0110010")
+	if got := v.String(); got != "0110010" {
+		t.Fatalf("round trip: got %q", got)
+	}
+	if v.Weight() != 3 {
+		t.Fatalf("weight: got %d, want 3", v.Weight())
+	}
+	if got := v.Support(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 5 {
+		t.Fatalf("support: got %v", got)
+	}
+}
+
+func TestFromStringRejectsGarbage(t *testing.T) {
+	if _, err := FromString("01x"); err == nil {
+		t.Fatal("expected error for non-binary character")
+	}
+}
+
+func TestXorSelfInverse(t *testing.T) {
+	f := func(a, b []bool) bool {
+		if len(a) > len(b) {
+			a = a[:len(b)]
+		} else {
+			b = b[:len(a)]
+		}
+		va, vb := FromBools(a), FromBools(b)
+		w := va.Clone()
+		w.Xor(vb)
+		w.Xor(vb)
+		return w.Equal(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotBilinear(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(100)
+		a, b, c := randomVec(rng, n), randomVec(rng, n), randomVec(rng, n)
+		bc := b.Clone()
+		bc.Xor(c)
+		lhs := a.Dot(bc)
+		rhs := a.Dot(b) != a.Dot(c)
+		if lhs != rhs {
+			t.Fatalf("n=%d: dot not bilinear", n)
+		}
+	}
+}
+
+func TestWeightMatchesSupport(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 100; trial++ {
+		v := randomVec(rng, 1+rng.IntN(200))
+		if v.Weight() != len(v.Support()) {
+			t.Fatalf("weight %d != |support| %d", v.Weight(), len(v.Support()))
+		}
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	a := MustFromString("1010")
+	b := MustFromString("1011")
+	if a.Key() == b.Key() {
+		t.Fatal("distinct vectors share a key")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Fatal("clone has different key")
+	}
+}
+
+func TestRREFIdentity(t *testing.T) {
+	m := MatrixFromStrings("110", "011", "101")
+	pivots := m.RREF()
+	// 110+011+101 = 000, rank is 2.
+	if len(pivots) != 2 {
+		t.Fatalf("rank: got %d, want 2", len(pivots))
+	}
+}
+
+func TestHammingParityKernel(t *testing.T) {
+	// The [7,4] Hamming parity check; its kernel must have dimension 4 and
+	// every kernel vector must satisfy the check.
+	h := MatrixFromStrings(
+		"0001111",
+		"0110011",
+		"1010101",
+	)
+	ker := h.Kernel()
+	if ker.Rows() != 4 {
+		t.Fatalf("kernel dim: got %d, want 4", ker.Rows())
+	}
+	for i := 0; i < ker.Rows(); i++ {
+		if !h.MulVec(ker.Row(i)).Zero() {
+			t.Fatalf("kernel row %d not annihilated", i)
+		}
+	}
+	if ker.Rank() != 4 {
+		t.Fatalf("kernel rows dependent: rank %d", ker.Rank())
+	}
+}
+
+func TestSolveConsistent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 100; trial++ {
+		rows, cols := 1+rng.IntN(12), 1+rng.IntN(12)
+		m := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			m.SetRow(i, randomVec(rng, cols))
+		}
+		// Build b from a known solution so the system is consistent.
+		x0 := randomVec(rng, cols)
+		b := m.MulVec(x0)
+		x, ok := m.Solve(b)
+		if !ok {
+			t.Fatalf("consistent system reported unsolvable")
+		}
+		if !m.MulVec(x).Equal(b) {
+			t.Fatalf("solution does not satisfy system")
+		}
+	}
+}
+
+func TestSolveInconsistent(t *testing.T) {
+	m := MatrixFromStrings("10", "10")
+	b := MustFromString("10")
+	if _, ok := m.Solve(b); ok {
+		t.Fatal("inconsistent system reported solvable")
+	}
+}
+
+func TestRankNullity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 100; trial++ {
+		rows, cols := 1+rng.IntN(15), 1+rng.IntN(15)
+		m := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			m.SetRow(i, randomVec(rng, cols))
+		}
+		if m.Rank()+m.Kernel().Rows() != cols {
+			t.Fatalf("rank-nullity violated: rank=%d nullity=%d cols=%d",
+				m.Rank(), m.Kernel().Rows(), cols)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	m := MatrixFromStrings("101", "010")
+	tt := m.Transpose().Transpose()
+	for i := 0; i < m.Rows(); i++ {
+		if !m.Row(i).Equal(tt.Row(i)) {
+			t.Fatal("double transpose differs")
+		}
+	}
+}
+
+func TestStack(t *testing.T) {
+	a := MatrixFromStrings("10")
+	b := MatrixFromStrings("01", "11")
+	s := a.Stack(b)
+	if s.Rows() != 3 || s.String() != "10\n01\n11" {
+		t.Fatalf("stack wrong: %q", s.String())
+	}
+}

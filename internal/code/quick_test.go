@@ -1,0 +1,82 @@
+package code
+
+import (
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftqc/internal/pauli"
+)
+
+// Property tests (testing/quick) on the core code invariants.
+
+func TestQuickSyndromeDependsOnlyOnErrorCoset(t *testing.T) {
+	// error·stabilizer has the same syndrome as error.
+	c := Steane()
+	f := func(errBits uint16, genMask uint8) bool {
+		e := pauli.NewIdentity(7)
+		for i := 0; i < 7; i++ {
+			e.SetAt(i, pauli.Single(errBits>>(2*uint(i))&3))
+		}
+		s := e.Clone()
+		for i, g := range c.Generators {
+			if genMask>>uint(i)&1 == 1 {
+				s = s.Mul(g)
+			}
+		}
+		return c.Syndrome(e).Equal(c.Syndrome(s))
+	}
+	cfg := quickCfg(201)
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLogicalClassAdditive(t *testing.T) {
+	// The logical classification is a homomorphism: class(a·b) =
+	// class(a) XOR class(b).
+	c := Steane()
+	f := func(aBits, bBits uint16) bool {
+		a := pauli.NewIdentity(7)
+		b := pauli.NewIdentity(7)
+		for i := 0; i < 7; i++ {
+			a.SetAt(i, pauli.Single(aBits>>(2*uint(i))&3))
+			b.SetAt(i, pauli.Single(bBits>>(2*uint(i))&3))
+		}
+		ax, az := c.LogicalClass(a)
+		bx, bz := c.LogicalClass(b)
+		sx, sz := c.LogicalClass(a.Mul(b))
+		ax.Xor(bx)
+		az.Xor(bz)
+		return sx.Equal(ax) && sz.Equal(az)
+	}
+	cfg := quickCfg(201)
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecoderFixedPoint(t *testing.T) {
+	// Decoding the residual of a decode is a no-op: the residual has
+	// trivial syndrome, so the decoder must return the identity.
+	c := Steane()
+	dec := NewCSSDecoder(c)
+	f := func(errBits uint16) bool {
+		e := pauli.NewIdentity(7)
+		for i := 0; i < 7; i++ {
+			e.SetAt(i, pauli.Single(errBits>>(2*uint(i))&3))
+		}
+		res, _ := dec.DecodeError(e)
+		res2, _ := dec.DecodeError(res)
+		return res2.EqualUpToPhase(res)
+	}
+	cfg := quickCfg(201)
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickCfg builds a reproducible testing/quick configuration.
+func quickCfg(seed int64) *quick.Config {
+	return &quick.Config{MaxCount: 300, Rand: mrand.New(mrand.NewSource(seed))}
+}

@@ -1,0 +1,133 @@
+// Package concat implements the concatenated-coding analysis of Preskill
+// §5: the flow equation p_{L+1} = A·p_L² (Eq. 33) with its threshold 1/A,
+// the double-exponential error suppression ε(L) (Eq. 36), the block-size
+// scaling for a computation of T gates (Eq. 37), and the non-concatenated
+// block-error optimization for Shor's code family (Eqs. 30–32).
+package concat
+
+import (
+	"math"
+)
+
+// Flow is the level-to-level recursion of Eq. (33). The paper's
+// combinatorial estimate is A = C(7,2) = 21; the circuit-level Monte Carlo
+// calibrates A much more pessimistically.
+type Flow struct {
+	A float64 // coefficient of p_{L+1} = A p_L²
+}
+
+// PaperFlow returns the paper's counting estimate A = 21.
+func PaperFlow() Flow { return Flow{A: 21} }
+
+// Threshold is the fixed point p* = 1/A below which concatenation
+// converges.
+func (f Flow) Threshold() float64 { return 1 / f.A }
+
+// Next applies one level of the recursion.
+func (f Flow) Next(p float64) float64 { return f.A * p * p }
+
+// AtLevel returns p_L in closed form: p_L = (1/A)·(A·p₀)^(2^L), the
+// double-exponential suppression of Eq. (36).
+func (f Flow) AtLevel(p0 float64, level int) float64 {
+	x := f.A * p0
+	// (A p0)^(2^L) via repeated squaring to avoid overflow of 2^L.
+	for i := 0; i < level; i++ {
+		x *= x
+		if x == 0 || math.IsInf(x, 0) {
+			break
+		}
+	}
+	return x / f.A
+}
+
+// Levels iterates the recursion explicitly, returning p_0 … p_L.
+func (f Flow) Levels(p0 float64, maxLevel int) []float64 {
+	out := make([]float64, maxLevel+1)
+	out[0] = p0
+	for i := 1; i <= maxLevel; i++ {
+		out[i] = f.Next(out[i-1])
+	}
+	return out
+}
+
+// LevelsNeeded returns the smallest concatenation level at which the
+// logical error rate drops to target, or -1 if p0 is at/above threshold.
+func (f Flow) LevelsNeeded(p0, target float64) int {
+	if p0 >= f.Threshold() {
+		return -1
+	}
+	p := p0
+	for l := 0; l <= 64; l++ {
+		if p <= target {
+			return l
+		}
+		p = f.Next(p)
+	}
+	return -1
+}
+
+// BlockSize returns the physical block size 7^L of the concatenated
+// 7-qubit code.
+func BlockSize(level int) int {
+	n := 1
+	for i := 0; i < level; i++ {
+		n *= 7
+	}
+	return n
+}
+
+// BlockSizeForComputation evaluates Eq. (37): the block size needed to
+// complete T gates without error,
+//
+//	blocksize ~ [ log(ε₀·T) / log(ε₀/ε) ]^{log₂7}.
+func BlockSizeForComputation(eps, eps0 float64, gates float64) float64 {
+	if eps >= eps0 {
+		return math.Inf(1)
+	}
+	num := math.Log(eps0 * gates)
+	den := math.Log(eps0 / eps)
+	if num <= 0 {
+		return 1
+	}
+	return math.Pow(num/den, math.Log2(7))
+}
+
+// --- Eqs. (30)–(32): Shor's non-concatenated code family ---
+
+// BlockErrorProbability is Eq. (30): with syndrome-measurement complexity
+// growing as t^b, the probability that t+1 errors accumulate during
+// recovery behaves as (t^b·ε)^(t+1).
+func BlockErrorProbability(t int, b, eps float64) float64 {
+	return math.Pow(math.Pow(float64(t), b)*eps, float64(t)+1)
+}
+
+// OptimalT minimizes Eq. (30) over the number of correctable errors t; the
+// asymptotic optimum is t ~ e^{-1}·ε^{-1/b}.
+func OptimalT(b, eps float64) int {
+	asym := math.Exp(-1) * math.Pow(eps, -1/b)
+	best, bestP := 1, BlockErrorProbability(1, b, eps)
+	lo := int(asym/4) + 1
+	hi := int(asym*4) + 4
+	for t := lo; t <= hi; t++ {
+		if p := BlockErrorProbability(t, b, eps); p < bestP {
+			best, bestP = t, p
+		}
+	}
+	return best
+}
+
+// MinBlockError is Eq. (31): the minimum achievable block-error
+// probability exp(−e⁻¹·b·ε^(−1/b)).
+func MinBlockError(b, eps float64) float64 {
+	return math.Exp(-math.Exp(-1) * b * math.Pow(eps, -1/b))
+}
+
+// AccuracyForComputation inverts Eq. (32): the gate accuracy needed to
+// run T error-correction cycles without failure, ε ~ (log T)^(−b).
+func AccuracyForComputation(gates float64, b float64) float64 {
+	return math.Pow(math.Log(gates), -b)
+}
+
+// ShorFamilyBlockSize returns the block size of the family used in the
+// paper's §5 discussion, growing like t² (the [[(2t+1)²,1,2t+1]] codes).
+func ShorFamilyBlockSize(t int) int { return (2*t + 1) * (2*t + 1) }

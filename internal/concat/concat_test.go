@@ -1,0 +1,139 @@
+package concat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperThreshold(t *testing.T) {
+	// Eq. (33): with A = 21 the threshold is 1/21 ≈ 0.0476.
+	f := PaperFlow()
+	if got := f.Threshold(); math.Abs(got-1.0/21) > 1e-15 {
+		t.Fatalf("threshold %v", got)
+	}
+}
+
+func TestFlowConvergesBelowThreshold(t *testing.T) {
+	f := PaperFlow()
+	p := f.Threshold() * 0.9
+	for l := 0; l < 10; l++ {
+		next := f.Next(p)
+		if next >= p {
+			t.Fatalf("flow not contracting at level %d: %v -> %v", l, p, next)
+		}
+		p = next
+	}
+	if p > 1e-20 {
+		t.Fatalf("flow converged too slowly: %v", p)
+	}
+}
+
+func TestFlowDivergesAboveThreshold(t *testing.T) {
+	f := PaperFlow()
+	p := f.Threshold() * 1.1
+	for l := 0; l < 20; l++ {
+		p = f.Next(p)
+	}
+	if p < 1 {
+		t.Fatalf("flow should diverge above threshold, got %v", p)
+	}
+}
+
+func TestAtLevelMatchesIteration(t *testing.T) {
+	f := Flow{A: 50}
+	p0 := 0.001
+	iter := f.Levels(p0, 4)
+	for l := 0; l <= 4; l++ {
+		closed := f.AtLevel(p0, l)
+		if iter[l] == 0 {
+			continue
+		}
+		if rel := math.Abs(closed-iter[l]) / iter[l]; rel > 1e-9 {
+			t.Fatalf("level %d: closed form %v vs iteration %v", l, closed, iter[l])
+		}
+	}
+}
+
+func TestLevelsNeeded(t *testing.T) {
+	f := PaperFlow()
+	// The §6 design point: ε = 1e-6 must need ~3 levels for 1e-9... the
+	// flow is much stronger than that: level 1 gives 21e-12 < 1e-9.
+	if l := f.LevelsNeeded(1e-6, 1e-9); l != 1 {
+		t.Fatalf("LevelsNeeded(1e-6, 1e-9) = %d, want 1 under pure Eq. 33 flow", l)
+	}
+	if l := f.LevelsNeeded(0.1, 1e-9); l != -1 {
+		t.Fatal("above threshold must be impossible")
+	}
+	if l := f.LevelsNeeded(1e-12, 1e-9); l != 0 {
+		t.Fatalf("already-good rate needs 0 levels, got %d", l)
+	}
+}
+
+func TestBlockSize(t *testing.T) {
+	for l, want := range []int{1, 7, 49, 343} {
+		if got := BlockSize(l); got != want {
+			t.Fatalf("BlockSize(%d)=%d want %d", l, got, want)
+		}
+	}
+}
+
+func TestBlockSizeForComputationScaling(t *testing.T) {
+	// Eq. (37): block size grows polylogarithmically in T with exponent
+	// log₂7 ≈ 2.807.
+	eps, eps0 := 1e-5, 1e-3
+	// Choose lengths so that log(ε₀T) doubles: ε₀T = 1e6 → 1e12. Then the
+	// block size must grow by 2^{log₂7} = 7 exactly.
+	b1 := BlockSizeForComputation(eps, eps0, 1e9)
+	b2 := BlockSizeForComputation(eps, eps0, 1e15)
+	if b2 <= b1 {
+		t.Fatal("block size must grow with computation length")
+	}
+	ratio := b2 / b1
+	if ratio < 6.9 || ratio > 7.1 {
+		t.Fatalf("scaling ratio %v, want 7", ratio)
+	}
+	if math.IsInf(BlockSizeForComputation(1e-2, 1e-3, 1e9), 0) != true {
+		t.Fatal("above-threshold block size must be infinite")
+	}
+}
+
+func TestEq30Optimization(t *testing.T) {
+	// For smaller ε the optimal t grows like ε^{-1/b} and the achievable
+	// block error drops dramatically (Eq. 31).
+	b := 4.0
+	t1 := OptimalT(b, 1e-4)
+	t2 := OptimalT(b, 1e-6)
+	if t2 <= t1 {
+		t.Fatalf("optimal t should grow as ε falls: %d vs %d", t1, t2)
+	}
+	m1 := MinBlockError(b, 1e-4)
+	m2 := MinBlockError(b, 1e-6)
+	if m2 >= m1 {
+		t.Fatal("min block error should fall with ε")
+	}
+	// The numerically optimized probability should be within a couple of
+	// orders of magnitude of the asymptotic formula.
+	p := BlockErrorProbability(OptimalT(b, 1e-6), b, 1e-6)
+	if p <= 0 || math.Log10(p)-math.Log10(m2) > 6 {
+		t.Fatalf("numeric optimum %v too far from asymptotic %v", p, m2)
+	}
+}
+
+func TestEq32Accuracy(t *testing.T) {
+	// ε ~ (log T)^{-b}: longer computations need better gates, weakly.
+	b := 4.0
+	e1 := AccuracyForComputation(1e9, b)
+	e2 := AccuracyForComputation(1e12, b)
+	if e2 >= e1 {
+		t.Fatal("longer computation must demand higher accuracy")
+	}
+	if e1/e2 > 10 {
+		t.Fatal("dependence should be polylogarithmic (weak)")
+	}
+}
+
+func TestShorFamilyBlockSize(t *testing.T) {
+	if ShorFamilyBlockSize(1) != 9 || ShorFamilyBlockSize(2) != 25 || ShorFamilyBlockSize(5) != 121 {
+		t.Fatal("block sizes of the (2t+1)² family wrong")
+	}
+}

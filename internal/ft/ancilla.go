@@ -1,0 +1,139 @@
+package ft
+
+import (
+	"ftqc/internal/bits"
+	"ftqc/internal/frame"
+)
+
+// Config controls the fault-tolerance policies of the recovery gadgets.
+type Config struct {
+	// Policy selects how syndrome repetition is handled (§3.4).
+	Policy SyndromePolicy
+	// MaxPrepAttempts bounds cat-state verification retries (Fig. 8).
+	MaxPrepAttempts int
+	// DiscardSteaneAncilla, when true, rejects and rebuilds a Steane
+	// ancilla that verifies as |1̄⟩ instead of applying the paper's
+	// flip-to-fix repair (§3.3 ablation).
+	DiscardSteaneAncilla bool
+	// ChargeIdle, when true, applies one storage-noise step to the data
+	// block for every gadget phase during which it waits on ancilla work.
+	ChargeIdle bool
+}
+
+// SyndromePolicy is the §3.4 syndrome-verification rule.
+type SyndromePolicy int
+
+// Syndrome policies.
+const (
+	// PolicyOnce trusts a single syndrome measurement (not fault
+	// tolerant; kept for the E06 ablation).
+	PolicyOnce SyndromePolicy = iota
+	// PolicyRepeatNontrivial accepts a trivial syndrome immediately,
+	// remeasures a nontrivial one, corrects only when the two readings
+	// agree, and otherwise does nothing — the paper's default.
+	PolicyRepeatNontrivial
+	// PolicyUntilAgree keeps measuring until two consecutive syndromes
+	// agree (capped), the paper's alternative.
+	PolicyUntilAgree
+)
+
+// DefaultConfig returns the paper's default policies.
+func DefaultConfig() Config {
+	return Config{
+		Policy:          PolicyRepeatNontrivial,
+		MaxPrepAttempts: 10,
+		ChargeIdle:      true,
+	}
+}
+
+// prepZeroDirect drives the Fig. 3 encoder (|0⟩ input) directly on the
+// frame simulator.
+func prepZeroDirect(s *frame.Sim, block []int) {
+	mustBlock(block)
+	for _, q := range block {
+		s.PrepZ(q)
+	}
+	for j := 0; j < 3; j++ {
+		s.H(block[j])
+	}
+	for j := 0; j < 3; j++ {
+		row := bits.MustFromString(parityH15[j])
+		for k := 3; k < 7; k++ {
+			if row.Get(k) {
+				s.CNOT(block[j], block[k])
+			}
+		}
+	}
+}
+
+// verifyZeroRound performs one §3.3 verification round: a fresh unverified
+// |0̄⟩ is prepared on chk, the candidate block is XORed into it, and chk is
+// destructively measured; the return value is the logical readout
+// (true = |1̄⟩, i.e. the round votes "faulty").
+func verifyZeroRound(s *frame.Sim, anc, chk []int) bool {
+	prepZeroDirect(s, chk)
+	LogicalCNOT(s, anc, chk)
+	return MeasureLogicalZ(s, chk)
+}
+
+// PrepVerifiedZero prepares a verified |0̄⟩ on anc, using chk as scratch
+// for the verification blocks. It implements §3.3: two verification
+// rounds; double-|1̄⟩ applies the transversal flip repair (converting a
+// double bit-flip into a single equivalent flip); a split vote is ignored
+// (the checked block is faulty with probability O(ε²) only). It returns
+// the number of preparation attempts used.
+func PrepVerifiedZero(s *frame.Sim, anc, chk []int, cfg Config) int {
+	attempts := 0
+	for {
+		attempts++
+		prepZeroDirect(s, anc)
+		r1 := verifyZeroRound(s, anc, chk)
+		r2 := verifyZeroRound(s, anc, chk)
+		switch {
+		case r1 && r2:
+			if cfg.DiscardSteaneAncilla && attempts < cfg.MaxPrepAttempts {
+				continue // rebuild from scratch
+			}
+			// Flip-to-fix: transversal X with gate noise.
+			for _, q := range anc {
+				s.PauliGate(q)
+				s.FrameX(q)
+			}
+			return attempts
+		default:
+			// 00 → clean; 01/10 → measured block suspected, keep ours.
+			return attempts
+		}
+	}
+}
+
+// PrepVerifiedCat prepares the verified 4-qubit cat state of Fig. 8 on
+// cat (4 wires), using ver as the verification qubit. It retries on
+// verification failure, up to cfg.MaxPrepAttempts. The returned count is
+// the number of attempts (for acceptance-rate statistics).
+func PrepVerifiedCat(s *frame.Sim, cat []int, ver int, cfg Config) int {
+	if len(cat) != 4 {
+		panic("ft: cat state needs 4 wires")
+	}
+	attempts := 0
+	for {
+		attempts++
+		for _, q := range cat {
+			s.PrepZ(q)
+		}
+		s.H(cat[0])
+		s.CNOT(cat[0], cat[1])
+		s.CNOT(cat[1], cat[2])
+		s.CNOT(cat[2], cat[3])
+		// Verification: the first and fourth bit must agree (§3.3).
+		s.PrepZ(ver)
+		s.CNOT(cat[0], ver)
+		s.CNOT(cat[3], ver)
+		if !s.MeasZ(ver) {
+			return attempts
+		}
+		if attempts >= cfg.MaxPrepAttempts {
+			return attempts
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package ft
+
+import (
+	"ftqc/internal/bits"
+	"ftqc/internal/frame"
+)
+
+// chargeIdle applies one storage step to each data qubit, modelling the
+// time the data block waits while ancilla work happens (§6 storage errors
+// under the maximal-parallelism assumption).
+func chargeIdle(s *frame.Sim, data []int, cfg Config) {
+	if !cfg.ChargeIdle {
+		return
+	}
+	for _, q := range data {
+		s.Storage(q)
+	}
+}
+
+// --- Steane-method syndrome extraction (§3.2, Fig. 9, Fig. 10) ---
+
+// measureBitSyndromeSteane extracts the 3-bit bit-flip syndrome: a
+// verified |0̄⟩ ancilla is rotated to the Steane state H⊗7|0̄⟩ (the equal
+// superposition of all Hamming codewords, Eq. 17), the data is XORed into
+// it transversally, and the ancilla is measured; the Hamming parity check
+// of the outcome is the syndrome. Only the syndrome is extractable — the
+// measured string is otherwise a random codeword.
+func measureBitSyndromeSteane(s *frame.Sim, data, anc, chk []int, cfg Config) bits.Vec {
+	PrepVerifiedZero(s, anc, chk, cfg)
+	chargeIdle(s, data, cfg)
+	for _, q := range anc {
+		s.H(q)
+	}
+	for i := range data {
+		s.CNOT(data[i], anc[i])
+	}
+	flips := bits.NewVec(BlockSize)
+	for i, q := range anc {
+		if s.MeasZ(q) {
+			flips.Set(i, true)
+		}
+	}
+	return hamming().Syndrome(flips)
+}
+
+// measurePhaseSyndromeSteane extracts the phase-flip syndrome: a verified
+// |0̄⟩ ancilla is used as the *source* of the transversal XOR (the Fig. 5 /
+// Fig. 7(c) trick that avoids rotating the data), and is then measured in
+// the X basis. Phase errors on the data propagate onto the ancilla and
+// show up in the Hamming parity check of the X-basis outcome.
+func measurePhaseSyndromeSteane(s *frame.Sim, data, anc, chk []int, cfg Config) bits.Vec {
+	PrepVerifiedZero(s, anc, chk, cfg)
+	chargeIdle(s, data, cfg)
+	for i := range data {
+		s.CNOT(anc[i], data[i])
+	}
+	flips := bits.NewVec(BlockSize)
+	for i, q := range anc {
+		if s.MeasX(q) {
+			flips.Set(i, true)
+		}
+	}
+	return hamming().Syndrome(flips)
+}
+
+// resolveSyndrome applies the §3.4 verification policy, remeasuring via
+// the measure callback as needed, and returns the syndrome to act on
+// (possibly trivial, meaning "do nothing").
+func resolveSyndrome(measure func() bits.Vec, cfg Config) bits.Vec {
+	s1 := measure()
+	switch cfg.Policy {
+	case PolicyOnce:
+		return s1
+	case PolicyRepeatNontrivial:
+		if s1.Zero() {
+			return s1
+		}
+		s2 := measure()
+		if s2.Equal(s1) {
+			return s1
+		}
+		return bits.NewVec(s1.Len()) // disagree: do nothing this round
+	case PolicyUntilAgree:
+		prev := s1
+		for round := 0; round < 4; round++ {
+			if prev.Zero() {
+				return prev
+			}
+			next := measure()
+			if next.Equal(prev) {
+				return next
+			}
+			prev = next
+		}
+		return bits.NewVec(s1.Len())
+	}
+	panic("ft: unknown syndrome policy")
+}
+
+// applyBitCorrection converts a Hamming syndrome into an X recovery on
+// the named data qubit (recovery tracked in the Pauli frame).
+func applyBitCorrection(s *frame.Sim, data []int, syndrome bits.Vec) {
+	if syndrome.Zero() {
+		return
+	}
+	e, _ := hamming().DecodeError(syndrome)
+	for i := range data {
+		if e.Get(i) {
+			s.FrameX(data[i])
+		}
+	}
+}
+
+func applyPhaseCorrection(s *frame.Sim, data []int, syndrome bits.Vec) {
+	if syndrome.Zero() {
+		return
+	}
+	e, _ := hamming().DecodeError(syndrome)
+	for i := range data {
+		if e.Get(i) {
+			s.FrameZ(data[i])
+		}
+	}
+}
+
+// SteaneEC performs one complete fault-tolerant recovery of Fig. 9 on the
+// data block using Steane-method ancillas: bit-flip syndrome then
+// phase-flip syndrome, each governed by the repetition policy, followed by
+// frame-tracked recovery operations. anc and chk are 7-wire scratch
+// regions (reused across phases).
+func SteaneEC(s *frame.Sim, data, anc, chk []int, cfg Config) {
+	bitSyn := resolveSyndrome(func() bits.Vec {
+		return measureBitSyndromeSteane(s, data, anc, chk, cfg)
+	}, cfg)
+	applyBitCorrection(s, data, bitSyn)
+	phaseSyn := resolveSyndrome(func() bits.Vec {
+		return measurePhaseSyndromeSteane(s, data, anc, chk, cfg)
+	}, cfg)
+	applyPhaseCorrection(s, data, phaseSyn)
+}
+
+// --- Shor-method syndrome extraction (§3.2, Figs. 7–8) ---
+
+// measureZStabilizerShor measures one Z-type stabilizer generator (a bit
+// -flip syndrome bit) with a verified Shor-state ancilla: the cat state is
+// rotated to the Shor state, each supported data qubit is XORed into its
+// own ancilla bit, and the syndrome bit is the parity of the four
+// measurement outcomes (Fig. 7a).
+func measureZStabilizerShor(s *frame.Sim, data []int, support []int, cat []int, ver int, cfg Config) bool {
+	PrepVerifiedCat(s, cat, ver, cfg)
+	chargeIdle(s, data, cfg)
+	for _, q := range cat {
+		s.H(q) // cat → Shor state (Fig. 7a's Hadamard)
+	}
+	bit := false
+	for i, pos := range support {
+		s.CNOT(data[pos], cat[i])
+	}
+	for _, q := range cat {
+		if s.MeasZ(q) {
+			bit = !bit
+		}
+	}
+	return bit
+}
+
+// measureXStabilizerShor measures one X-type stabilizer generator (a
+// phase-flip syndrome bit): the verified cat state is used as the control
+// of XORs into the data and read out in the X basis (Fig. 7c).
+func measureXStabilizerShor(s *frame.Sim, data []int, support []int, cat []int, ver int, cfg Config) bool {
+	PrepVerifiedCat(s, cat, ver, cfg)
+	chargeIdle(s, data, cfg)
+	bit := false
+	for i, pos := range support {
+		s.CNOT(cat[i], data[pos])
+	}
+	for _, q := range cat {
+		if s.MeasX(q) {
+			bit = !bit
+		}
+	}
+	return bit
+}
+
+// stabilizerSupports returns the qubit positions of the weight-4
+// generators (rows of the Eq. 15 parity check).
+func stabilizerSupports() [3][]int {
+	var out [3][]int
+	for j := 0; j < 3; j++ {
+		out[j] = bits.MustFromString(parityH15[j]).Support()
+	}
+	return out
+}
+
+// measureBitSyndromeShor assembles the 3-bit bit-flip syndrome from three
+// Shor-state measurements.
+func measureBitSyndromeShor(s *frame.Sim, data, cat []int, ver int, cfg Config) bits.Vec {
+	syn := bits.NewVec(3)
+	for j, sup := range stabilizerSupports() {
+		if measureZStabilizerShor(s, data, sup, cat, ver, cfg) {
+			syn.Set(j, true)
+		}
+	}
+	return syn
+}
+
+func measurePhaseSyndromeShor(s *frame.Sim, data, cat []int, ver int, cfg Config) bits.Vec {
+	syn := bits.NewVec(3)
+	for j, sup := range stabilizerSupports() {
+		if measureXStabilizerShor(s, data, sup, cat, ver, cfg) {
+			syn.Set(j, true)
+		}
+	}
+	return syn
+}
+
+// ShorEC performs one complete recovery using Shor's method: 6 syndrome
+// bits, each from its own verified cat-state ancilla (24 ancilla qubits'
+// worth of work, reusing 5 wires), with the §3.4 repetition policy.
+func ShorEC(s *frame.Sim, data, cat []int, ver int, cfg Config) {
+	bitSyn := resolveSyndrome(func() bits.Vec {
+		return measureBitSyndromeShor(s, data, cat, ver, cfg)
+	}, cfg)
+	applyBitCorrection(s, data, bitSyn)
+	phaseSyn := resolveSyndrome(func() bits.Vec {
+		return measurePhaseSyndromeShor(s, data, cat, ver, cfg)
+	}, cfg)
+	applyPhaseCorrection(s, data, phaseSyn)
+}
+
+// --- non-fault-tolerant baselines (Figs. 2 and 6) ---
+
+// NaiveBitSyndrome computes the bit-flip syndrome with the bad circuit of
+// Fig. 2/Fig. 6(top): one bare ancilla qubit is the target of all four
+// XORs of each parity check, so a single ancilla phase error can feed
+// back into several data qubits.
+func NaiveBitSyndrome(s *frame.Sim, data []int, anc int, cfg Config) bits.Vec {
+	syn := bits.NewVec(3)
+	for j, sup := range stabilizerSupports() {
+		s.PrepZ(anc)
+		for _, pos := range sup {
+			s.CNOT(data[pos], anc)
+		}
+		if s.MeasZ(anc) {
+			syn.Set(j, true)
+		}
+	}
+	return syn
+}
+
+// NaivePhaseSyndrome is the rotated-basis version: a single ancilla in
+// |+⟩ acts as the control of all four XORs, so one ancilla bit-flip
+// error spreads to several data qubits.
+func NaivePhaseSyndrome(s *frame.Sim, data []int, anc int, cfg Config) bits.Vec {
+	syn := bits.NewVec(3)
+	for j, sup := range stabilizerSupports() {
+		s.PrepZ(anc)
+		s.H(anc)
+		for _, pos := range sup {
+			s.CNOT(anc, data[pos])
+		}
+		if s.MeasX(anc) {
+			syn.Set(j, true)
+		}
+	}
+	return syn
+}
+
+// NaiveEC is the non-fault-tolerant recovery built from the Fig. 2
+// circuits, used as the baseline in the E03 experiment.
+func NaiveEC(s *frame.Sim, data []int, anc int, cfg Config) {
+	applyBitCorrection(s, data, NaiveBitSyndrome(s, data, anc, cfg))
+	applyPhaseCorrection(s, data, NaivePhaseSyndrome(s, data, anc, cfg))
+}

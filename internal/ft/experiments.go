@@ -1,0 +1,215 @@
+package ft
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"ftqc/internal/frame"
+	"ftqc/internal/noise"
+)
+
+// ECMethod selects the recovery gadget under test.
+type ECMethod int
+
+// Recovery methods.
+const (
+	MethodSteane ECMethod = iota // Fig. 9, 14 ancilla qubits per recovery
+	MethodShor                   // Figs. 7–8, 24 ancilla qubits per recovery
+	MethodNaive                  // Fig. 2, not fault tolerant (baseline)
+)
+
+// String names the method.
+func (m ECMethod) String() string {
+	return [...]string{"steane", "shor", "naive"}[m]
+}
+
+// wire layout for one-block experiments:
+// data 0..6, steane ancilla 7..13, check 14..20, cat 21..24, ver 25.
+const (
+	oneBlockWires = 26
+)
+
+func oneBlockLayout() (data, anc, chk, cat []int, ver int) {
+	data = []int{0, 1, 2, 3, 4, 5, 6}
+	anc = []int{7, 8, 9, 10, 11, 12, 13}
+	chk = []int{14, 15, 16, 17, 18, 19, 20}
+	cat = []int{21, 22, 23, 24}
+	ver = 25
+	return
+}
+
+// RunEC performs one recovery with the chosen method on the given sim.
+func RunEC(s *frame.Sim, method ECMethod, cfg Config) {
+	data, anc, chk, cat, ver := oneBlockLayout()
+	switch method {
+	case MethodSteane:
+		SteaneEC(s, data, anc, chk, cfg)
+	case MethodShor:
+		ShorEC(s, data, cat, ver, cfg)
+	case MethodNaive:
+		NaiveEC(s, data, ver, cfg)
+	}
+}
+
+// MemoryResult aggregates a logical-memory Monte Carlo run.
+type MemoryResult struct {
+	Samples   int
+	XFailures int
+	ZFailures int
+	Failures  int // either
+}
+
+// FailRate returns the probability that the stored qubit was damaged.
+func (r MemoryResult) FailRate() float64 { return float64(r.Failures) / float64(r.Samples) }
+
+// XRate returns the logical bit-flip rate.
+func (r MemoryResult) XRate() float64 { return float64(r.XFailures) / float64(r.Samples) }
+
+// ZRate returns the logical phase-flip rate.
+func (r MemoryResult) ZRate() float64 { return float64(r.ZFailures) / float64(r.Samples) }
+
+// MemoryExperiment measures the fidelity of an encoded qubit held for
+// `rounds` cycles of [storage noise + recovery], the scenario behind
+// Preskill Eq. (14). storageP governs the idle noise on the data between
+// recoveries; gadgetP governs the noise inside the recovery circuitry
+// (set it to zero for the paper's "flawless recovery" idealization).
+func MemoryExperiment(method ECMethod, storageP, gadgetP noise.Params, cfg Config, rounds, samples int, seed uint64) MemoryResult {
+	return parallelMC(samples, seed, func(rng *rand.Rand) (bool, bool) {
+		s := frame.New(oneBlockWires, storageP, rng)
+		data, _, _, _, _ := oneBlockLayout()
+		for r := 0; r < rounds; r++ {
+			s.P = storageP
+			for _, q := range data {
+				s.Storage(q)
+			}
+			s.P = gadgetP
+			RunEC(s, method, cfg)
+		}
+		return IdealDecode(s, data)
+	})
+}
+
+// UnencodedMemory is the baseline: a bare qubit exposed to the same
+// storage noise with no recovery; any accumulated error is a failure
+// (fidelity 1−ε per step, Eq. 14's left-hand side).
+func UnencodedMemory(storageP noise.Params, rounds, samples int, seed uint64) MemoryResult {
+	return parallelMC(samples, seed, func(rng *rand.Rand) (bool, bool) {
+		s := frame.New(1, storageP, rng)
+		for r := 0; r < rounds; r++ {
+			s.Storage(0)
+		}
+		return s.XError(0), s.ZError(0)
+	})
+}
+
+// ExRecResult reports an extended-rectangle Monte Carlo.
+type ExRecResult struct {
+	Samples  int
+	Failures int
+}
+
+// FailRate is the logical failure probability of the rectangle.
+func (r ExRecResult) FailRate() float64 { return float64(r.Failures) / float64(r.Samples) }
+
+// ExRecCNOT measures the failure probability of the basic unit of
+// fault-tolerant computation from §5: a transversal XOR between two clean
+// encoded blocks followed by a full recovery of each block. The logical
+// error probability scales as A·ε² below threshold; the fitted A is the
+// coefficient of the concatenation flow equation (Eq. 33's circuit-level
+// analogue).
+func ExRecCNOT(method ECMethod, p noise.Params, cfg Config, samples int, seed uint64) ExRecResult {
+	// wires: block A 0..6, block B 7..13, shared ancilla workspace after.
+	const wires = 14 + 19
+	dataA := []int{0, 1, 2, 3, 4, 5, 6}
+	dataB := []int{7, 8, 9, 10, 11, 12, 13}
+	anc := []int{14, 15, 16, 17, 18, 19, 20}
+	chk := []int{21, 22, 23, 24, 25, 26, 27}
+	cat := []int{28, 29, 30, 31}
+	ver := 32
+	res := parallelMC(samples, seed, func(rng *rand.Rand) (bool, bool) {
+		s := frame.New(wires, p, rng)
+		LogicalCNOT(s, dataA, dataB)
+		ecOn := func(data []int) {
+			switch method {
+			case MethodSteane:
+				SteaneEC(s, data, anc, chk, cfg)
+			case MethodShor:
+				ShorEC(s, data, cat, ver, cfg)
+			case MethodNaive:
+				NaiveEC(s, data, ver, cfg)
+			}
+		}
+		ecOn(dataA)
+		ecOn(dataB)
+		xa, za := IdealDecode(s, dataA)
+		xb, zb := IdealDecode(s, dataB)
+		return xa || za, xb || zb
+	})
+	return ExRecResult{Samples: res.Samples, Failures: res.Failures}
+}
+
+// ECFailureRate measures the failure probability of a single recovery
+// applied to a clean block — the "1-Rec" used to calibrate the level-1
+// flow equation.
+func ECFailureRate(method ECMethod, p noise.Params, cfg Config, samples int, seed uint64) ExRecResult {
+	res := parallelMC(samples, seed, func(rng *rand.Rand) (bool, bool) {
+		s := frame.New(oneBlockWires, p, rng)
+		data, _, _, _, _ := oneBlockLayout()
+		RunEC(s, method, cfg)
+		x, z := IdealDecode(s, data)
+		return x, z
+	})
+	return ExRecResult{Samples: res.Samples, Failures: res.Failures}
+}
+
+// parallelMC fans samples out over the available CPUs, one PCG stream per
+// worker, and merges the failure counts (share memory by communicating:
+// each worker owns its counters and reports over a channel).
+func parallelMC(samples int, seed uint64, trial func(rng *rand.Rand) (xfail, zfail bool)) MemoryResult {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > samples {
+		workers = 1
+	}
+	type counts struct{ x, z, any, n int }
+	out := make(chan counts, workers)
+	var wg sync.WaitGroup
+	per := samples / workers
+	extra := samples % workers
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, uint64(w)^0x9e3779b97f4a7c15))
+			var c counts
+			c.n = n
+			for i := 0; i < n; i++ {
+				x, z := trial(rng)
+				if x {
+					c.x++
+				}
+				if z {
+					c.z++
+				}
+				if x || z {
+					c.any++
+				}
+			}
+			out <- c
+		}(w, n)
+	}
+	wg.Wait()
+	close(out)
+	var r MemoryResult
+	for c := range out {
+		r.Samples += c.n
+		r.XFailures += c.x
+		r.ZFailures += c.z
+		r.Failures += c.any
+	}
+	return r
+}

@@ -1,0 +1,79 @@
+package ft
+
+import (
+	"math/rand/v2"
+
+	"ftqc/internal/frame"
+	"ftqc/internal/noise"
+)
+
+// LeakDetect runs the Fig. 15 leakage-detection circuit on data qubit d
+// with ancilla anc: the ancilla ends in |1⟩ when the data qubit is still
+// in the computational space and in |0⟩ when it has leaked (the XOR acts
+// trivially on a leaked qubit). It returns whether leakage was detected;
+// noise in the circuit can misreport either way.
+func LeakDetect(s *frame.Sim, d, anc int) bool {
+	s.PrepZ(anc)
+	// Two XORs with a deliberate flip of the data in between: a healthy
+	// data qubit toggles the ancilla an odd number of times (d ⊕ (d⊕1) =
+	// 1), a leaked one never toggles it. The deliberate flips cancel on
+	// the data qubit; only their gate noise remains.
+	s.CNOT(d, anc)
+	s.PauliGate(d)
+	s.CNOT(d, anc)
+	s.PauliGate(d)
+	// Noiseless reading: 1 if healthy, 0 if leaked. MeasZ reports the
+	// flip relative to the healthy reference, so a leaked qubit (whose
+	// XORs acted trivially) reads as flipped.
+	flip := s.MeasZ(anc)
+	return s.Leaked(d) != flip
+}
+
+// LeakageCycleResult reports the E14 experiment.
+type LeakageCycleResult struct {
+	Samples      int
+	Failures     int
+	LeaksHandled int
+}
+
+// FailRate is the per-sample logical failure probability.
+func (r LeakageCycleResult) FailRate() float64 {
+	return float64(r.Failures) / float64(r.Samples)
+}
+
+// LeakageExperiment stores an encoded qubit for `rounds` cycles under a
+// noise model that includes leakage. When detect is true, every cycle
+// interrogates each data qubit with the Fig. 15 circuit and replaces
+// leaked qubits with fresh |0⟩s before recovery (§6: "we replace it with
+// a fresh qubit in a standard state"); when false, leaked qubits simply
+// stop participating, and errors accumulate.
+func LeakageExperiment(p noise.Params, cfg Config, rounds, samples int, detect bool, seed uint64) LeakageCycleResult {
+	var res LeakageCycleResult
+	mc := parallelMC(samples, seed, func(rng *rand.Rand) (bool, bool) {
+		s := frame.New(oneBlockWires, p, rng)
+		data, anc, chk, _, ver := oneBlockLayout()
+		handled := 0
+		for r := 0; r < rounds; r++ {
+			if detect {
+				for _, d := range data {
+					if LeakDetect(s, d, ver) {
+						s.ReplaceLeaked(d)
+						handled++
+					}
+				}
+			}
+			SteaneEC(s, data, anc, chk, cfg)
+		}
+		// A block still containing leaked qubits at readout has lost its
+		// information: count it as failed outright.
+		for _, d := range data {
+			if s.Leaked(d) {
+				return true, true
+			}
+		}
+		return IdealDecode(s, data)
+	})
+	res.Samples = mc.Samples
+	res.Failures = mc.Failures
+	return res
+}

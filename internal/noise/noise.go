@@ -1,0 +1,77 @@
+// Package noise defines the stochastic error models of Preskill §6:
+// uncorrelated depolarizing errors attached to gates, preparations,
+// measurements and idle ("storage") steps, with the pessimistic convention
+// that a faulty two-qubit gate damages both qubits. It also provides the
+// systematic (coherent) error model used to contrast random-walk error
+// accumulation with linear amplitude drift.
+package noise
+
+import "math/rand/v2"
+
+// Params holds per-location error probabilities. Each probability is the
+// chance that the location is faulty; a faulty location applies a
+// uniformly random nontrivial Pauli on its support (the "equally likely
+// bit flip / phase flip / both" model of §5).
+type Params struct {
+	Gate1   float64 // per one-qubit gate
+	Gate2   float64 // per two-qubit gate (damages both qubits)
+	Prep    float64 // |0⟩ preparation flips to |1⟩
+	Meas    float64 // classical readout flips
+	Storage float64 // per qubit per idle moment
+	Leak    float64 // per gate probability of leakage out of the qubit space
+}
+
+// Uniform gives every location (gates, prep, meas, storage) the same
+// error probability ε — the simplest version of the paper's model.
+func Uniform(eps float64) Params {
+	return Params{Gate1: eps, Gate2: eps, Prep: eps, Meas: eps, Storage: eps}
+}
+
+// GateOnly models negligible storage error (the assumption behind
+// Preskill's Eq. 34 estimate ε_gate,0 ~ 6·10⁻⁴).
+func GateOnly(eps float64) Params {
+	return Params{Gate1: eps, Gate2: eps, Prep: eps, Meas: eps}
+}
+
+// StorageOnly models negligible gate error (Eq. 35, ε_store,0 ~ 6·10⁻⁴).
+func StorageOnly(eps float64) Params {
+	return Params{Storage: eps}
+}
+
+// Scale returns a copy of p with every probability multiplied by f.
+func (p Params) Scale(f float64) Params {
+	return Params{
+		Gate1:   p.Gate1 * f,
+		Gate2:   p.Gate2 * f,
+		Prep:    p.Prep * f,
+		Meas:    p.Meas * f,
+		Storage: p.Storage * f,
+		Leak:    p.Leak * f,
+	}
+}
+
+// PauliError identifies which Pauli hit a qubit: bit 0 = X component,
+// bit 1 = Z component (so 1=X, 2=Z, 3=Y).
+type PauliError uint8
+
+// Error components.
+const (
+	ErrNone PauliError = 0
+	ErrX    PauliError = 1
+	ErrZ    PauliError = 2
+	ErrY    PauliError = 3
+)
+
+// Random1 draws a uniformly random nontrivial one-qubit Pauli (X, Y or Z
+// with probability 1/3 each), per the equal-likelihood assumption of §5.
+func Random1(rng *rand.Rand) PauliError {
+	return PauliError(1 + rng.IntN(3))
+}
+
+// Random2 draws a uniformly random nontrivial two-qubit Pauli: one of the
+// 15 non-identity elements of {I,X,Y,Z}⊗², implementing the pessimistic
+// convention that a faulty XOR can damage either or both qubits.
+func Random2(rng *rand.Rand) (a, b PauliError) {
+	k := 1 + rng.IntN(15)
+	return PauliError(k & 3), PauliError(k >> 2)
+}

@@ -1,0 +1,51 @@
+package noise
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"ftqc/internal/statevec"
+)
+
+// This file implements the random-vs-systematic error comparison of
+// Preskill §6: errors with systematic phases accumulate linearly in
+// *amplitude* (error probability ∝ N²θ²), while randomly-signed errors
+// random-walk (probability ∝ Nθ²). The quadratic penalty is why the
+// systematic-error threshold is of order ε₀² when the random threshold is
+// ε₀.
+
+// CoherentDriftError returns the error probability of a qubit held in |+⟩
+// after N identical small Z-rotations by angle θ: the amplitudes add
+// coherently, giving sin²(Nθ/2) ≈ (Nθ/2)².
+func CoherentDriftError(theta float64, steps int) float64 {
+	s := math.Sin(float64(steps) * theta / 2)
+	return s * s
+}
+
+// RandomWalkDriftError measures the same experiment with randomly-signed
+// rotations (±θ per step) on the dense simulator: the expected error
+// probability grows only linearly, ≈ N(θ/2)².
+func RandomWalkDriftError(theta float64, steps, samples int, rng *rand.Rand) float64 {
+	total := 0.0
+	for s := 0; s < samples; s++ {
+		st := statevec.NewZero(1)
+		st.H(0)
+		for i := 0; i < steps; i++ {
+			sign := 1.0
+			if rng.IntN(2) == 1 {
+				sign = -1
+			}
+			st.RotZ(0, sign*theta)
+		}
+		ref := statevec.NewZero(1)
+		ref.H(0)
+		total += 1 - statevec.Fidelity(st, ref)
+	}
+	return total / float64(samples)
+}
+
+// SystematicThresholdPenalty expresses the §6 estimate: if the accuracy
+// threshold is eps0 for random errors, maximally conspiratorial
+// systematic errors must meet roughly eps0² (amplitudes, not
+// probabilities, must be below threshold).
+func SystematicThresholdPenalty(eps0 float64) float64 { return eps0 * eps0 }

@@ -1,0 +1,43 @@
+package tableau
+
+import "ftqc/internal/circuit"
+
+// Apply executes a circuit on the tableau (noiselessly) and returns the
+// actual measurement outcomes indexed by result slot. It bridges the
+// circuit IR used by the fault-tolerance gadgets to the exact stabilizer
+// simulation used in tests and examples.
+func Apply(t *Tableau, c *circuit.Circuit) []bool {
+	if c.N != t.n {
+		panic("tableau: circuit size mismatch")
+	}
+	out := make([]bool, c.NumMeas)
+	for _, m := range c.Moments {
+		for _, op := range m.Ops {
+			switch op.Kind {
+			case circuit.KindH:
+				t.H(op.A)
+			case circuit.KindS:
+				t.S(op.A)
+			case circuit.KindSdg:
+				t.Sdg(op.A)
+			case circuit.KindX:
+				t.X(op.A)
+			case circuit.KindY:
+				t.Y(op.A)
+			case circuit.KindZ:
+				t.Z(op.A)
+			case circuit.KindCNOT:
+				t.CNOT(op.A, op.B)
+			case circuit.KindCZ:
+				t.CZ(op.A, op.B)
+			case circuit.KindPrepZ:
+				t.Reset(op.A)
+			case circuit.KindMeasZ:
+				out[op.M], _ = t.MeasureZ(op.A)
+			case circuit.KindMeasX:
+				out[op.M], _ = t.MeasureX(op.A)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package threshold
+
+import (
+	"math"
+	"testing"
+
+	"ftqc/internal/ft"
+	"ftqc/internal/noise"
+)
+
+func TestFitAExactQuadratic(t *testing.T) {
+	// Synthetic points lying exactly on p = 300 ε².
+	var pts []Point
+	for _, e := range []float64{1e-4, 2e-4, 4e-4, 1e-3} {
+		pts = append(pts, Point{Eps: e, Fail: 300 * e * e, StdErr: 1e-9, Samples: 1000000})
+	}
+	a := FitA(pts)
+	if math.Abs(a-300)/300 > 1e-6 {
+		t.Fatalf("fit A = %v, want 300", a)
+	}
+	if pt := Pseudothreshold(a); math.Abs(pt-1.0/300)/pt > 1e-6 {
+		t.Fatalf("pseudothreshold %v", pt)
+	}
+}
+
+func TestFitAIgnoresZeroDivision(t *testing.T) {
+	if FitA(nil) != 0 {
+		t.Fatal("empty fit should be 0")
+	}
+	if !math.IsInf(Pseudothreshold(0), 1) {
+		t.Fatal("zero A means no measurable threshold")
+	}
+}
+
+func TestCurveMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo")
+	}
+	cfg := ft.DefaultConfig()
+	pts := Curve(ft.MethodSteane, noise.Uniform, []float64{3e-4, 3e-3}, cfg, 30000, 17)
+	if len(pts) != 2 {
+		t.Fatal("want two points")
+	}
+	if pts[1].Fail <= pts[0].Fail {
+		t.Fatalf("failure must grow with ε: %v vs %v", pts[0].Fail, pts[1].Fail)
+	}
+}
+
+func TestRunProducesFiniteEstimate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo")
+	}
+	est := Run(ft.MethodSteane, noise.GateOnly, []float64{1e-3}, ft.DefaultConfig(), 20000, 23)
+	if est.A <= 0 || math.IsInf(est.Thresh, 0) {
+		t.Fatalf("estimate not usable: %+v", est)
+	}
+	// The gate-only pseudothreshold should land within an order of
+	// magnitude of the paper's 6e-4 (Eq. 34).
+	if est.Thresh < 2e-5 || est.Thresh > 2e-2 {
+		t.Fatalf("gate-only pseudothreshold %.2e implausibly far from 6e-4", est.Thresh)
+	}
+	if est.String() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestMemoryCurveRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo")
+	}
+	pts := MemoryCurve(ft.MethodSteane, noise.Uniform, []float64{1e-3}, ft.DefaultConfig(), 5000, 29)
+	if len(pts) != 1 || pts[0].Samples != 5000 {
+		t.Fatalf("bad points %+v", pts)
+	}
+}

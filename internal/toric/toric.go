@@ -1,0 +1,383 @@
+// Package toric implements Kitaev's toric code (Preskill §7.1–§7.2,
+// ref. 25): qubits on the edges of an L×L torus, commuting four-body
+// check operators on sites and plaquettes (Fig. 17), quasiparticle pairs
+// created by error chains, and a matching decoder. It provides the
+// passive-quantum-memory experiments: exponential suppression of the
+// logical error rate with the code distance L (the paper's e^{−mL}
+// tunneling estimate) and with the inverse temperature Δ/T (the thermal
+// anyon plasma).
+package toric
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"ftqc/internal/bits"
+)
+
+// Lattice is an L×L torus with one qubit per edge (2L² qubits).
+// Horizontal edge (x,y) has index y·L+x; vertical edge (x,y) has index
+// L²+y·L+x. Arithmetic is mod L in both directions.
+type Lattice struct {
+	L int
+	// homology membership tester: an XOR basis of the space of trivial
+	// cycles (plaquette boundaries), indexed by leading column.
+	hbasis []bits.Vec
+	hset   []bool
+}
+
+// NewLattice returns an L×L toric lattice (L ≥ 2).
+func NewLattice(l int) Lattice {
+	if l < 2 {
+		panic("toric: lattice size must be at least 2")
+	}
+	t := Lattice{L: l}
+	t.buildHomologyTester()
+	return t
+}
+
+// buildHomologyTester builds an XOR basis of the space of trivial X-error
+// chains. An X pattern acts trivially on the code space exactly when it is
+// a product of star (X-stabilizer) operators, so the basis rows are the
+// star edge-sets; syndrome-free chains outside this span are logical
+// operators (noncontractible dual cycles).
+func (t *Lattice) buildHomologyTester() {
+	t.hbasis = make([]bits.Vec, t.Qubits())
+	t.hset = make([]bool, t.Qubits())
+	for y := 0; y < t.L; y++ {
+		for x := 0; x < t.L; x++ {
+			row := bits.NewVec(t.Qubits())
+			for _, e := range t.StarEdges(x, y) {
+				row.Flip(e)
+			}
+			t.insertBasis(row)
+		}
+	}
+}
+
+// insertBasis adds a vector to the XOR basis (standard leading-column
+// reduction).
+func (t *Lattice) insertBasis(v bits.Vec) {
+	for c := 0; c < v.Len(); c++ {
+		if !v.Get(c) {
+			continue
+		}
+		if !t.hset[c] {
+			t.hbasis[c] = v
+			t.hset[c] = true
+			return
+		}
+		v.Xor(t.hbasis[c])
+	}
+}
+
+// inBoundarySpan reduces v against the basis and reports whether it
+// vanishes (is a sum of plaquette boundaries).
+func (t *Lattice) inBoundarySpan(v bits.Vec) bool {
+	w := v.Clone()
+	for c := 0; c < w.Len(); c++ {
+		if !w.Get(c) {
+			continue
+		}
+		if !t.hset[c] {
+			return false
+		}
+		w.Xor(t.hbasis[c])
+	}
+	return true
+}
+
+// Qubits returns the number of physical qubits, 2L².
+func (t Lattice) Qubits() int { return 2 * t.L * t.L }
+
+// HEdge returns the index of the horizontal edge at (x, y).
+func (t Lattice) HEdge(x, y int) int {
+	return mod(y, t.L)*t.L + mod(x, t.L)
+}
+
+// VEdge returns the index of the vertical edge at (x, y).
+func (t Lattice) VEdge(x, y int) int {
+	return t.L*t.L + mod(y, t.L)*t.L + mod(x, t.L)
+}
+
+func mod(a, l int) int { return ((a % l) + l) % l }
+
+// PlaquetteEdges returns the four edges of the plaquette at (x, y); the
+// plaquette (Z-check) detects bit-flip chains ending inside it.
+func (t Lattice) PlaquetteEdges(x, y int) [4]int {
+	return [4]int{
+		t.HEdge(x, y),
+		t.HEdge(x, y+1),
+		t.VEdge(x, y),
+		t.VEdge(x+1, y),
+	}
+}
+
+// StarEdges returns the four edges meeting at site (x, y); the star
+// (X-check) detects phase-flip chains on the dual lattice.
+func (t Lattice) StarEdges(x, y int) [4]int {
+	return [4]int{
+		t.HEdge(x, y),
+		t.HEdge(x-1, y),
+		t.VEdge(x, y),
+		t.VEdge(x, y-1),
+	}
+}
+
+// NumChecks returns the number of plaquettes (= sites) on the torus.
+func (t Lattice) NumChecks() int { return t.L * t.L }
+
+// Syndrome computes the plaquette syndrome of a bit-flip error pattern:
+// defect (anyon) positions are plaquettes with odd boundary parity.
+func (t Lattice) Syndrome(errs bits.Vec) []int {
+	var defects []int
+	for y := 0; y < t.L; y++ {
+		for x := 0; x < t.L; x++ {
+			parity := false
+			for _, e := range t.PlaquetteEdges(x, y) {
+				if errs.Get(e) {
+					parity = !parity
+				}
+			}
+			if parity {
+				defects = append(defects, y*t.L+x)
+			}
+		}
+	}
+	return defects
+}
+
+// LogicalError reports whether a syndrome-free error pattern is
+// homologically nontrivial: trivial residues are exactly the products of
+// star operators, so membership in that span is tested directly over
+// GF(2).
+func (t Lattice) LogicalError(errs bits.Vec) bool {
+	return !t.inBoundarySpan(errs)
+}
+
+// torusDist is the Manhattan distance between plaquettes on the torus.
+func (t Lattice) torusDist(a, b int) int {
+	ax, ay := a%t.L, a/t.L
+	bx, by := b%t.L, b/t.L
+	dx := abs(ax - bx)
+	if t.L-dx < dx {
+		dx = t.L - dx
+	}
+	dy := abs(ay - by)
+	if t.L-dy < dy {
+		dy = t.L - dy
+	}
+	return dx + dy
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// pathBetween flips a shortest error chain connecting plaquettes a and b
+// into out (move in x first, then y, wrapping the short way).
+func (t Lattice) pathBetween(a, b int, out bits.Vec) {
+	ax, ay := a%t.L, a/t.L
+	bx, by := b%t.L, b/t.L
+	// Walk in x: crossing from plaquette (x,y) to (x+1,y) flips the
+	// vertical edge v(x+1, y).
+	stepX := 1
+	dx := mod(bx-ax, t.L)
+	if dx > t.L-dx {
+		stepX = -1
+		dx = t.L - dx
+	}
+	x, y := ax, ay
+	for i := 0; i < dx; i++ {
+		if stepX == 1 {
+			out.Flip(t.VEdge(x+1, y))
+			x = mod(x+1, t.L)
+		} else {
+			out.Flip(t.VEdge(x, y))
+			x = mod(x-1, t.L)
+		}
+	}
+	// Walk in y: crossing from (x,y) to (x,y+1) flips h(x, y+1).
+	stepY := 1
+	dy := mod(by-ay, t.L)
+	if dy > t.L-dy {
+		stepY = -1
+		dy = t.L - dy
+	}
+	for i := 0; i < dy; i++ {
+		if stepY == 1 {
+			out.Flip(t.HEdge(x, y+1))
+			y = mod(y+1, t.L)
+		} else {
+			out.Flip(t.HEdge(x, y))
+			y = mod(y-1, t.L)
+		}
+	}
+}
+
+// DecoderKind selects the matching strategy.
+type DecoderKind int
+
+// Decoders.
+const (
+	// DecoderGreedy repeatedly pairs the two closest defects.
+	DecoderGreedy DecoderKind = iota
+	// DecoderExact finds a minimum-weight perfect matching by bitmask
+	// dynamic programming when the defect count is small (≤ 14), falling
+	// back to greedy otherwise.
+	DecoderExact
+)
+
+// Decode returns a correction for the given defect set.
+func (t Lattice) Decode(defects []int, kind DecoderKind) bits.Vec {
+	corr := bits.NewVec(t.Qubits())
+	if len(defects) == 0 {
+		return corr
+	}
+	var pairs [][2]int
+	if kind == DecoderExact && len(defects) <= 14 {
+		pairs = t.exactMatch(defects)
+	} else {
+		pairs = t.greedyMatch(defects)
+	}
+	for _, p := range pairs {
+		t.pathBetween(p[0], p[1], corr)
+	}
+	return corr
+}
+
+// greedyMatch pairs the globally closest defects first.
+func (t Lattice) greedyMatch(defects []int) [][2]int {
+	alive := append([]int(nil), defects...)
+	var pairs [][2]int
+	for len(alive) > 1 {
+		bi, bj, best := 0, 1, 1<<30
+		for i := 0; i < len(alive); i++ {
+			for j := i + 1; j < len(alive); j++ {
+				if d := t.torusDist(alive[i], alive[j]); d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		pairs = append(pairs, [2]int{alive[bi], alive[bj]})
+		// Remove bj first (larger index).
+		alive = append(alive[:bj], alive[bj+1:]...)
+		alive = append(alive[:bi], alive[bi+1:]...)
+	}
+	return pairs
+}
+
+// exactMatch is O(2^n · n²) minimum-weight perfect matching over the
+// defect set.
+func (t Lattice) exactMatch(defects []int) [][2]int {
+	n := len(defects)
+	if n%2 != 0 {
+		panic("toric: odd defect count on a torus")
+	}
+	full := 1<<uint(n) - 1
+	const inf = math.MaxInt32
+	dp := make([]int32, full+1)
+	choice := make([]int32, full+1)
+	for m := 1; m <= full; m++ {
+		dp[m] = inf
+	}
+	for m := 0; m <= full; m++ {
+		if dp[m] == inf || m == full {
+			continue
+		}
+		// First unmatched defect.
+		i := 0
+		for m>>uint(i)&1 == 1 {
+			i++
+		}
+		for j := i + 1; j < n; j++ {
+			if m>>uint(j)&1 == 1 {
+				continue
+			}
+			nm := m | 1<<uint(i) | 1<<uint(j)
+			cost := dp[m] + int32(t.torusDist(defects[i], defects[j]))
+			if cost < dp[nm] {
+				dp[nm] = cost
+				choice[nm] = int32(i<<8 | j)
+			}
+		}
+	}
+	var pairs [][2]int
+	m := full
+	for m != 0 {
+		c := choice[m]
+		i, j := int(c>>8), int(c&0xff)
+		pairs = append(pairs, [2]int{defects[i], defects[j]})
+		m &^= 1<<uint(i) | 1<<uint(j)
+	}
+	return pairs
+}
+
+// MemoryResult summarizes a toric-memory Monte Carlo run.
+type MemoryResult struct {
+	L        int
+	P        float64
+	Samples  int
+	Failures int
+}
+
+// FailRate returns the logical failure probability.
+func (r MemoryResult) FailRate() float64 { return float64(r.Failures) / float64(r.Samples) }
+
+// MemoryExperiment applies i.i.d. bit flips with probability p to every
+// edge, decodes, and counts homologically nontrivial residues — the
+// passive-memory benchmark whose failure rate falls like e^{−αL} below
+// threshold (§7.1's "if the quasiparticles are kept far apart, the
+// probability of an error will be extremely low").
+func MemoryExperiment(l int, p float64, kind DecoderKind, samples int, rng *rand.Rand) MemoryResult {
+	t := NewLattice(l)
+	res := MemoryResult{L: l, P: p, Samples: samples}
+	for s := 0; s < samples; s++ {
+		errs := bits.NewVec(t.Qubits())
+		for e := 0; e < t.Qubits(); e++ {
+			if rng.Float64() < p {
+				errs.Flip(e)
+			}
+		}
+		corr := t.Decode(t.Syndrome(errs), kind)
+		errs.Xor(corr)
+		if len(t.Syndrome(errs)) != 0 {
+			res.Failures++ // decoder failed to return to the code space
+			continue
+		}
+		if t.LogicalError(errs) {
+			res.Failures++
+		}
+	}
+	return res
+}
+
+// ThermalResult is one point of the E18 temperature sweep.
+type ThermalResult struct {
+	DeltaOverT float64
+	FlipProb   float64
+	MemoryResult
+}
+
+// ThermalMemory models the thermal anyon plasma of §7.1: defect pairs are
+// nucleated at a rate proportional to the Boltzmann factor e^{−Δ/T}, so
+// each edge flips with probability p = p0·e^{−Δ/T} per dwell time; the
+// logical failure rate inherits the exponential suppression in Δ/T.
+func ThermalMemory(l int, p0, deltaOverT float64, kind DecoderKind, samples int, rng *rand.Rand) ThermalResult {
+	p := p0 * math.Exp(-deltaOverT)
+	return ThermalResult{
+		DeltaOverT:   deltaOverT,
+		FlipProb:     p,
+		MemoryResult: MemoryExperiment(l, p, kind, samples, rng),
+	}
+}
+
+// TunnelingErrorProb is the §7.1 zero-temperature estimate: the amplitude
+// for a virtual charged pair to exchange quantum numbers between fluxons
+// held a distance L apart is of order e^{−mL}.
+func TunnelingErrorProb(m float64, l int) float64 {
+	return math.Exp(-m * float64(l))
+}

@@ -1,0 +1,231 @@
+package toric
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"ftqc/internal/bits"
+)
+
+func TestLatticeIndexing(t *testing.T) {
+	l := NewLattice(4)
+	if l.Qubits() != 32 {
+		t.Fatalf("qubits %d", l.Qubits())
+	}
+	// Wrapping.
+	if l.HEdge(4, 0) != l.HEdge(0, 0) || l.VEdge(-1, 2) != l.VEdge(3, 2) {
+		t.Fatal("torus wrapping broken")
+	}
+	// All edges distinct.
+	seen := map[int]bool{}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			for _, e := range []int{l.HEdge(x, y), l.VEdge(x, y)} {
+				if seen[e] {
+					t.Fatalf("duplicate edge index %d", e)
+				}
+				seen[e] = true
+			}
+		}
+	}
+}
+
+func TestStabilizersCommute(t *testing.T) {
+	// Every star shares an even number of edges with every plaquette —
+	// the commutation property behind Kitaev's mutually commuting
+	// Hamiltonian terms (§7.2).
+	l := NewLattice(5)
+	for sy := 0; sy < 5; sy++ {
+		for sx := 0; sx < 5; sx++ {
+			star := l.StarEdges(sx, sy)
+			for py := 0; py < 5; py++ {
+				for px := 0; px < 5; px++ {
+					plq := l.PlaquetteEdges(px, py)
+					shared := 0
+					for _, a := range star {
+						for _, b := range plq {
+							if a == b {
+								shared++
+							}
+						}
+					}
+					if shared%2 != 0 {
+						t.Fatalf("star(%d,%d) and plaquette(%d,%d) share %d edges",
+							sx, sy, px, py, shared)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSingleErrorMakesDefectPair(t *testing.T) {
+	l := NewLattice(4)
+	errs := bits.NewVec(l.Qubits())
+	errs.Flip(l.HEdge(1, 1))
+	defects := l.Syndrome(errs)
+	if len(defects) != 2 {
+		t.Fatalf("single flip should nucleate an anyon pair, got %d defects", len(defects))
+	}
+}
+
+func TestDefectCountAlwaysEven(t *testing.T) {
+	l := NewLattice(5)
+	rng := rand.New(rand.NewPCG(131, 132))
+	for trial := 0; trial < 100; trial++ {
+		errs := bits.NewVec(l.Qubits())
+		for e := 0; e < l.Qubits(); e++ {
+			if rng.Float64() < 0.2 {
+				errs.Flip(e)
+			}
+		}
+		if len(l.Syndrome(errs))%2 != 0 {
+			t.Fatal("odd defect count on a torus")
+		}
+	}
+}
+
+func TestDecoderCorrectsSingleErrors(t *testing.T) {
+	l := NewLattice(5)
+	for e := 0; e < l.Qubits(); e++ {
+		errs := bits.NewVec(l.Qubits())
+		errs.Flip(e)
+		corr := l.Decode(l.Syndrome(errs), DecoderExact)
+		errs.Xor(corr)
+		if len(l.Syndrome(errs)) != 0 {
+			t.Fatalf("edge %d: correction left defects", e)
+		}
+		if l.LogicalError(errs) {
+			t.Fatalf("edge %d: correction introduced a logical error", e)
+		}
+	}
+}
+
+func TestDecoderCorrectsUpToHalfDistance(t *testing.T) {
+	// Any ⌊(L-1)/2⌋ random flips must be corrected by the exact matcher.
+	l := NewLattice(7)
+	rng := rand.New(rand.NewPCG(133, 134))
+	for trial := 0; trial < 300; trial++ {
+		errs := bits.NewVec(l.Qubits())
+		for k := 0; k < 3; k++ {
+			errs.Flip(rng.IntN(l.Qubits()))
+		}
+		work := errs.Clone()
+		corr := l.Decode(l.Syndrome(work), DecoderExact)
+		work.Xor(corr)
+		if len(l.Syndrome(work)) != 0 {
+			t.Fatal("residual defects after decoding weight-3 error")
+		}
+		if l.LogicalError(work) {
+			t.Fatalf("weight-3 error misdecoded to a logical on L=7 (trial %d)", trial)
+		}
+	}
+}
+
+func TestHomologyDetection(t *testing.T) {
+	// A full noncontractible dual loop is a logical error with empty
+	// syndrome: the vertical edges along one row form an x-winding cycle
+	// of the dual lattice.
+	l := NewLattice(4)
+	errs := bits.NewVec(l.Qubits())
+	for x := 0; x < 4; x++ {
+		errs.Flip(l.VEdge(x, 2))
+	}
+	if len(l.Syndrome(errs)) != 0 {
+		t.Fatal("winding loop should be syndrome-free")
+	}
+	if !l.LogicalError(errs) {
+		t.Fatal("winding loop must be a logical error")
+	}
+	// A contractible dual loop (one star operator) is trivial.
+	triv := bits.NewVec(l.Qubits())
+	for _, e := range l.StarEdges(1, 1) {
+		triv.Flip(e)
+	}
+	if len(l.Syndrome(triv)) != 0 || l.LogicalError(triv) {
+		t.Fatal("star operator must be trivial")
+	}
+}
+
+func TestPathBetweenConnectsDefects(t *testing.T) {
+	l := NewLattice(6)
+	rng := rand.New(rand.NewPCG(135, 136))
+	for trial := 0; trial < 100; trial++ {
+		a, b := rng.IntN(36), rng.IntN(36)
+		if a == b {
+			continue
+		}
+		chain := bits.NewVec(l.Qubits())
+		l.pathBetween(a, b, chain)
+		defects := l.Syndrome(chain)
+		if len(defects) != 2 {
+			t.Fatalf("path produced %d defects", len(defects))
+		}
+		ok := (defects[0] == a && defects[1] == b) || (defects[0] == b && defects[1] == a)
+		if !ok {
+			t.Fatalf("path endpoints %v, want {%d,%d}", defects, a, b)
+		}
+		if chain.Weight() != l.torusDist(a, b) {
+			t.Fatalf("path weight %d ≠ distance %d", chain.Weight(), l.torusDist(a, b))
+		}
+	}
+}
+
+func TestExactBeatsGreedyOrTies(t *testing.T) {
+	l := NewLattice(6)
+	rng := rand.New(rand.NewPCG(137, 138))
+	worseCount := 0
+	for trial := 0; trial < 200; trial++ {
+		errs := bits.NewVec(l.Qubits())
+		for k := 0; k < 5; k++ {
+			errs.Flip(rng.IntN(l.Qubits()))
+		}
+		defects := l.Syndrome(errs)
+		if len(defects) > 12 {
+			continue
+		}
+		ew := l.Decode(defects, DecoderExact).Weight()
+		gw := l.Decode(defects, DecoderGreedy).Weight()
+		if ew > gw {
+			worseCount++
+		}
+	}
+	if worseCount > 0 {
+		t.Fatalf("exact matching produced heavier corrections %d times", worseCount)
+	}
+}
+
+func TestMemorySuppressionWithDistance(t *testing.T) {
+	// Below threshold the failure rate must fall with L (e^{−αL} shape).
+	rng := rand.New(rand.NewPCG(139, 140))
+	p := 0.02
+	r3 := MemoryExperiment(3, p, DecoderExact, 4000, rng)
+	r7 := MemoryExperiment(7, p, DecoderExact, 4000, rng)
+	if r7.FailRate() >= r3.FailRate() && r3.Failures > 0 {
+		t.Fatalf("no suppression: L=3 %.4f vs L=7 %.4f", r3.FailRate(), r7.FailRate())
+	}
+}
+
+func TestMemoryFailsAboveThreshold(t *testing.T) {
+	// Far above threshold, bigger lattices are worse (or saturated ~50%).
+	rng := rand.New(rand.NewPCG(141, 142))
+	r := MemoryExperiment(7, 0.25, DecoderGreedy, 1500, rng)
+	if r.FailRate() < 0.2 {
+		t.Fatalf("p=0.25 should destroy the memory, failure %.3f", r.FailRate())
+	}
+}
+
+func TestThermalSuppression(t *testing.T) {
+	rng := rand.New(rand.NewPCG(143, 144))
+	cold := ThermalMemory(5, 0.5, 6.0, DecoderExact, 3000, rng) // Δ/T = 6
+	hot := ThermalMemory(5, 0.5, 1.0, DecoderExact, 3000, rng)  // Δ/T = 1
+	if cold.FailRate() >= hot.FailRate() && hot.Failures > 0 {
+		t.Fatalf("no thermal suppression: cold %.4f hot %.4f", cold.FailRate(), hot.FailRate())
+	}
+}
+
+func TestTunnelingEstimate(t *testing.T) {
+	if TunnelingErrorProb(1.0, 10) >= TunnelingErrorProb(1.0, 5) {
+		t.Fatal("tunneling amplitude must fall with separation")
+	}
+}

@@ -1,0 +1,3 @@
+module ftqc
+
+go 1.24

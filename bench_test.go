@@ -190,17 +190,15 @@ func BenchmarkE16Toffoli(b *testing.B) {
 
 // BenchmarkE17ToricMemory — §7.1: failure vs distance.
 func BenchmarkE17ToricMemory(b *testing.B) {
-	rng := rand.New(rand.NewPCG(17, 17))
 	for i := 0; i < b.N; i++ {
-		toric.MemoryExperiment(5, 0.03, toric.DecoderExact, 50, rng)
+		toric.MemoryExperiment(5, 0.03, toric.DecoderExact, 50, uint64(i))
 	}
 }
 
 // BenchmarkE18Thermal — §7.1: e^{-Δ/T} suppression.
 func BenchmarkE18Thermal(b *testing.B) {
-	rng := rand.New(rand.NewPCG(18, 18))
 	for i := 0; i < b.N; i++ {
-		toric.ThermalMemory(5, 0.5, 3.0, toric.DecoderExact, 50, rng)
+		toric.ThermalMemory(5, 0.5, 3.0, toric.DecoderExact, 50, uint64(i))
 	}
 }
 

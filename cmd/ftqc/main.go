@@ -314,11 +314,12 @@ func cmdToric(args []string) {
 		fmt.Printf(" %-12d", l)
 	}
 	fmt.Println()
-	rng := rand.New(rand.NewPCG(91, 92))
+	seed := uint64(91)
 	for _, p := range []float64{0.01, 0.03, 0.05, 0.08, 0.12} {
 		fmt.Printf("%-8.2f", p)
 		for _, l := range sizes {
-			r := toric.MemoryExperiment(l, p, toric.DecoderExact, *samples, rng)
+			seed++
+			r := toric.MemoryExperiment(l, p, toric.DecoderExact, *samples, seed)
 			fmt.Printf(" %-12.4e", r.FailRate())
 		}
 		fmt.Println()
@@ -333,9 +334,8 @@ func cmdThermal(args []string) {
 	fs.Parse(args)
 	fmt.Printf("E18: thermal anyon plasma on L=%d (§7.1): flips at p0·e^{-Δ/T}\n", *l)
 	fmt.Printf("%-8s %-14s %-14s\n", "Δ/T", "flip prob", "logical fail")
-	rng := rand.New(rand.NewPCG(93, 94))
-	for _, dt := range []float64{1, 2, 3, 4, 5, 6} {
-		r := toric.ThermalMemory(*l, 0.5, dt, toric.DecoderExact, *samples, rng)
+	for i, dt := range []float64{1, 2, 3, 4, 5, 6} {
+		r := toric.ThermalMemory(*l, 0.5, dt, toric.DecoderExact, *samples, uint64(93+i))
 		fmt.Printf("%-8.1f %-14.4e %-14.4e\n", dt, r.FlipProb, r.FailRate())
 	}
 }

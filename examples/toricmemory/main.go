@@ -6,13 +6,11 @@ package main
 import (
 	"fmt"
 	"math"
-	"math/rand/v2"
 
 	"ftqc"
 )
 
 func main() {
-	rng := rand.New(rand.NewPCG(7, 1))
 	fmt.Println("== toric-code passive memory (§7.1) ==")
 	const p = 0.04
 	const samples = 20000
@@ -20,7 +18,7 @@ func main() {
 	fmt.Printf("%-6s %-10s %-14s\n", "L", "qubits", "logical fail")
 	prev := 0.0
 	for _, l := range []int{3, 5, 7, 9} {
-		r := ftqc.ToricMemory(l, p, samples, rng)
+		r := ftqc.ToricMemory(l, p, samples, uint64(7+l))
 		lat := ftqc.NewToricLattice(l)
 		fmt.Printf("%-6d %-10d %-14.4e", l, lat.Qubits(), r.FailRate())
 		if prev > 0 && r.FailRate() > 0 {

@@ -9,6 +9,30 @@
 // topological layer (Kitaev's toric code and nonabelian A₅ fluxon
 // logic).
 //
+// # The batched Monte Carlo engine
+//
+// All of the package's Monte Carlo (memory experiments, EC failure
+// rates, exRec threshold sweeps, toric passive memory) runs on a batched
+// bit-parallel Pauli-frame engine (BatchFrameSim): W independent shots
+// advance together as bit-planes, one machine word per 64 shots, so
+// Clifford frame propagation is word-wide XOR/AND and fault injection is
+// the sampling of random lane masks (see internal/frame's package
+// documentation for the layout). The RNG-stream discipline is two-level:
+//
+//   - Production runs draw whole fault masks from one deterministic PCG
+//     stream per batch chunk, keyed by (seed, chunk index) — results
+//     depend only on the experiment's seed and sample count, never on
+//     GOMAXPROCS or scheduling.
+//
+//   - Verification runs pair every batch lane i with the dedicated
+//     stream rand.New(rand.NewPCG(seed, i)) consumed draw-for-draw like
+//     the scalar simulator, making batch and scalar runs bit-identical
+//     shot for shot; the equivalence test suites hold the two engines to
+//     exactly that standard.
+//
+// Experiment entry points therefore take a seed uint64 rather than a
+// *rand.Rand: batched workers derive their independent streams from it.
+//
 // The facade below re-exports the main entry points; the implementation
 // lives in the internal/ packages, one per subsystem (see DESIGN.md for
 // the full inventory and EXPERIMENTS.md for the paper-vs-measured
@@ -44,8 +68,13 @@ type (
 	CSSCode = code.CSS
 	// NoiseParams is the §6 stochastic error model.
 	NoiseParams = noise.Params
-	// FrameSim is the Pauli-frame Monte Carlo simulator.
+	// FrameSim is the scalar Pauli-frame Monte Carlo simulator.
 	FrameSim = frame.Sim
+	// BatchFrameSim is the bit-parallel Pauli-frame simulator: W shots
+	// advance together as bit-planes, one word per 64 shots.
+	BatchFrameSim = frame.BatchSim
+	// FrameSampler supplies a batch simulator's randomness as lane masks.
+	FrameSampler = frame.Sampler
 )
 
 // NewTableau returns the all-|0⟩ stabilizer state on n qubits.
@@ -57,6 +86,20 @@ func NewStateVector(n int) *StateVector { return statevec.NewZero(n) }
 // NewFrameSim returns a Pauli-frame simulator under the given noise.
 func NewFrameSim(n int, p NoiseParams, rng *rand.Rand) *FrameSim {
 	return frame.New(n, p, rng)
+}
+
+// NewBatchFrameSim returns a batched Pauli-frame simulator of n qubits by
+// w lanes drawing aggregate fault masks from the (seed, stream) PCG.
+func NewBatchFrameSim(n, w int, p NoiseParams, seed, stream uint64) *BatchFrameSim {
+	return frame.NewBatch(n, w, p, frame.NewAggregateSampler(seed, stream))
+}
+
+// NewLockstepBatchFrameSim returns a batched simulator whose lane i is
+// bit-identical to a scalar FrameSim driven by
+// rand.New(rand.NewPCG(seed, uint64(i))) — the verification
+// configuration of the batch engine.
+func NewLockstepBatchFrameSim(n, w int, p NoiseParams, seed uint64) *BatchFrameSim {
+	return frame.NewBatch(n, w, p, frame.NewLockstepSampler(seed, w))
 }
 
 // Steane returns Steane's [[7,1,3]] code (Preskill §2, Eq. 18).
@@ -136,8 +179,10 @@ type (
 func NewToricLattice(l int) ToricLattice { return toric.NewLattice(l) }
 
 // ToricMemory runs the passive-memory Monte Carlo at flip probability p.
-func ToricMemory(l int, p float64, samples int, rng *rand.Rand) toric.MemoryResult {
-	return toric.MemoryExperiment(l, p, toric.DecoderExact, samples, rng)
+// The seed fully determines the result: batched workers derive their
+// independent PCG streams from it.
+func ToricMemory(l int, p float64, samples int, seed uint64) toric.MemoryResult {
+	return toric.MemoryExperiment(l, p, toric.DecoderExact, samples, seed)
 }
 
 // NewAnyonComputer returns the A₅ flux-pair encoding and a register of k

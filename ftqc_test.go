@@ -38,6 +38,25 @@ func TestFacadeSimulators(t *testing.T) {
 	}
 }
 
+func TestFacadeBatchFrameSim(t *testing.T) {
+	b := NewBatchFrameSim(2, 128, UniformNoise(0), 1, 2)
+	b.InjectX(0, 5)
+	b.CNOT(0, 1)
+	if !b.XError(1, 5) || b.XError(1, 6) {
+		t.Fatal("facade batch sim broken")
+	}
+	lb := NewLockstepBatchFrameSim(3, 64, UniformNoise(0.2), 3)
+	lb.H(0)
+	lb.CNOT(0, 1)
+	mz := lb.MeasZ(1)
+	s := NewFrameSim(3, UniformNoise(0.2), rand.New(rand.NewPCG(3, 9)))
+	s.H(0)
+	s.CNOT(0, 1)
+	if got := s.MeasZ(1); got != mz.Get(9) {
+		t.Fatalf("lockstep facade: lane 9 %v scalar %v", mz.Get(9), got)
+	}
+}
+
 func TestFacadeMemoryExperiment(t *testing.T) {
 	res := MemoryExperiment(MethodSteane, NoiseParams{Storage: 1e-3}, UniformNoise(1e-3),
 		DefaultECConfig(), 2, 2000, 3)
@@ -78,7 +97,7 @@ func TestFacadeToric(t *testing.T) {
 	if lat.Qubits() != 32 {
 		t.Fatal("lattice wrong")
 	}
-	r := ToricMemory(3, 0.02, 500, rand.New(rand.NewPCG(7, 8)))
+	r := ToricMemory(3, 0.02, 500, 7)
 	if r.Samples != 500 {
 		t.Fatal("memory experiment wrong")
 	}

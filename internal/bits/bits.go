@@ -25,6 +25,21 @@ func NewVec(n int) Vec {
 	return Vec{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
 }
 
+// NewVecs returns count all-zero vectors of length n backed by a single
+// contiguous allocation (bit-plane arrays for the batch simulators).
+func NewVecs(count, n int) []Vec {
+	if n < 0 || count < 0 {
+		panic("bits: negative vector shape")
+	}
+	words := (n + wordBits - 1) / wordBits
+	backing := make([]uint64, count*words)
+	out := make([]Vec, count)
+	for i := range out {
+		out[i] = Vec{n: n, words: backing[i*words : (i+1)*words : (i+1)*words]}
+	}
+	return out
+}
+
 // FromBools builds a vector from a bool slice.
 func FromBools(b []bool) Vec {
 	v := NewVec(len(b))
@@ -99,6 +114,79 @@ func (v Vec) Clone() Vec {
 	copy(w.words, v.words)
 	return w
 }
+
+// --- word-level access (the substrate of the bit-plane batch simulator) ---
+
+// Words returns the number of 64-bit words backing the vector.
+func (v Vec) Words() int { return len(v.words) }
+
+// Word returns the i-th backing word (bit j of the word is vector bit
+// 64·i+j).
+func (v Vec) Word(i int) uint64 { return v.words[i] }
+
+// SetWord overwrites the i-th backing word. Bits beyond Len are masked
+// off so that Weight, Zero and Equal stay consistent.
+func (v Vec) SetWord(i int, w uint64) {
+	v.words[i] = w & v.tailMask(i)
+}
+
+// XorWord xors w into the i-th backing word, masking bits beyond Len.
+func (v Vec) XorWord(i int, w uint64) {
+	v.words[i] ^= w & v.tailMask(i)
+}
+
+// tailMask returns the valid-bit mask for word i.
+func (v Vec) tailMask(i int) uint64 {
+	if r := v.n - i*wordBits; r < wordBits {
+		return ^uint64(0) >> uint(wordBits-r)
+	}
+	return ^uint64(0)
+}
+
+// Or sets v |= w in place. The lengths must match.
+func (v Vec) Or(w Vec) {
+	if v.n != w.n {
+		panic("bits: length mismatch in Or")
+	}
+	for i := range v.words {
+		v.words[i] |= w.words[i]
+	}
+}
+
+// AndNot sets v &^= w in place. The lengths must match.
+func (v Vec) AndNot(w Vec) {
+	if v.n != w.n {
+		panic("bits: length mismatch in AndNot")
+	}
+	for i := range v.words {
+		v.words[i] &^= w.words[i]
+	}
+}
+
+// CopyFrom overwrites v with the bits of w. The lengths must match.
+func (v Vec) CopyFrom(w Vec) {
+	if v.n != w.n {
+		panic("bits: length mismatch in CopyFrom")
+	}
+	copy(v.words, w.words)
+}
+
+// Clear zeroes every bit in place.
+func (v Vec) Clear() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// SetAll sets every bit in place (tail bits beyond Len stay 0).
+func (v Vec) SetAll() {
+	for i := range v.words {
+		v.SetWord(i, ^uint64(0))
+	}
+}
+
+// Any reports whether any bit is 1.
+func (v Vec) Any() bool { return !v.Zero() }
 
 // Zero reports whether every bit is 0.
 func (v Vec) Zero() bool {

@@ -199,3 +199,45 @@ func TestStack(t *testing.T) {
 		t.Fatalf("stack wrong: %q", s.String())
 	}
 }
+
+func TestWordLevelOps(t *testing.T) {
+	v := NewVec(70) // deliberately not a multiple of 64: exercises tail masking
+	if v.Words() != 2 {
+		t.Fatalf("words %d", v.Words())
+	}
+	v.SetWord(0, ^uint64(0))
+	v.SetWord(1, ^uint64(0))
+	if v.Weight() != 70 {
+		t.Fatalf("tail masking broken: weight %d", v.Weight())
+	}
+	if v.Word(1) != (1<<6)-1 {
+		t.Fatalf("tail word %x", v.Word(1))
+	}
+	w := NewVec(70)
+	w.Set(3, true)
+	w.Set(69, true)
+	v.AndNot(w)
+	if v.Get(3) || v.Get(69) || v.Weight() != 68 {
+		t.Fatal("AndNot broken")
+	}
+	v.Or(w)
+	if !v.Get(3) || !v.Get(69) || v.Weight() != 70 {
+		t.Fatal("Or broken")
+	}
+	v.XorWord(1, ^uint64(0))
+	if v.Word(1) != 0 {
+		t.Fatalf("XorWord broken: %x", v.Word(1))
+	}
+	u := NewVec(70)
+	u.CopyFrom(v)
+	if !u.Equal(v) {
+		t.Fatal("CopyFrom broken")
+	}
+	if !u.Any() {
+		t.Fatal("Any broken")
+	}
+	u.Clear()
+	if u.Any() {
+		t.Fatal("Clear broken")
+	}
+}

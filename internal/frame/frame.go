@@ -1,14 +1,6 @@
-// Package frame is a Pauli-frame Monte Carlo simulator: it propagates a
-// Pauli error frame (which X/Z errors currently afflict each qubit)
-// through Clifford circuits with stochastic noise injected at every fault
-// location. For stabilizer circuits with Pauli noise this reproduces the
-// statistics of a full density-matrix simulation at a tiny fraction of the
-// cost, which is what makes the threshold Monte Carlo of Preskill §5
-// tractable at sample sizes of 10⁵–10⁶.
-//
-// Measurement results are reported as flips relative to the noiseless
-// reference run. All of the paper's verification and syndrome bits have
-// reference value 0, so flip bits can be used directly as classical data.
+// The scalar Pauli-frame simulator: one shot at a time. See doc.go for
+// the package overview and batch.go for the bit-parallel engine.
+
 package frame
 
 import (

@@ -1,0 +1,268 @@
+package frame
+
+import (
+	"math"
+	mbits "math/bits"
+	"math/rand/v2"
+
+	"ftqc/internal/bits"
+	"ftqc/internal/noise"
+)
+
+// Sampler supplies the randomness of a batch simulator as lane masks.
+// Every method is restricted to the lanes of `active` (or `faults`): bits
+// outside the mask are always written as 0.
+//
+// Two implementations exist with different contracts:
+//
+//   - LockstepSampler owns one PCG stream per lane and consumes it
+//     draw-for-draw exactly like the scalar Sim consumes its stream, so a
+//     BatchSim over a lockstep sampler is bit-identical, shot for shot, to
+//     W scalar simulations run from the paired streams. It exists to prove
+//     the batch engine correct.
+//
+//   - AggregateSampler owns a single stream and samples whole 64-lane
+//     fault masks at once via geometric skipping (one draw typically
+//     covers a full word of lanes). It is the production sampler: the same
+//     distributions, a different (but deterministic) stream discipline.
+type Sampler interface {
+	// Bernoulli fills out with an independent P(bit=1)=p draw for every
+	// lane in active and zeroes the rest.
+	Bernoulli(p float64, active, out bits.Vec)
+	// Coin fills out with a fair coin for every lane in active and zeroes
+	// the rest.
+	Coin(active, out bits.Vec)
+	// Pauli1 draws a uniformly random nontrivial one-qubit Pauli for every
+	// lane in faults, writing the X component into outX and the Z
+	// component into outZ (Y sets both).
+	Pauli1(faults, outX, outZ bits.Vec)
+	// Pauli2 draws a uniformly random nontrivial two-qubit Pauli for every
+	// lane in faults, writing the components for the first qubit into
+	// outXa/outZa and for the second into outXb/outZb.
+	Pauli2(faults, outXa, outZa, outXb, outZb bits.Vec)
+}
+
+// --- lockstep: per-lane streams, bit-exact against the scalar Sim ---
+
+// LockstepSampler drives one rand stream per lane in the scalar Sim's
+// draw order. Lane i of NewLockstepSampler(seed, w) consumes exactly the
+// stream rand.New(rand.NewPCG(seed, uint64(i))) — pair a scalar run with
+// that stream and the batch lane reproduces it bit for bit.
+type LockstepSampler struct {
+	rngs []*rand.Rand
+}
+
+// NewLockstepSampler returns a lockstep sampler for w lanes; lane i draws
+// from rand.New(rand.NewPCG(seed, uint64(i))).
+func NewLockstepSampler(seed uint64, w int) *LockstepSampler {
+	s := &LockstepSampler{rngs: make([]*rand.Rand, w)}
+	for i := range s.rngs {
+		s.rngs[i] = rand.New(rand.NewPCG(seed, uint64(i)))
+	}
+	return s
+}
+
+// NewLockstepSamplerFrom builds a lockstep sampler over caller-provided
+// per-lane streams (for pairing against scalar runs with custom seeding).
+func NewLockstepSamplerFrom(rngs []*rand.Rand) *LockstepSampler {
+	return &LockstepSampler{rngs: rngs}
+}
+
+// Bernoulli draws one Float64 per active lane — also when p is 0 or 1,
+// because the scalar Sim tests `rng.Float64() < p` unconditionally and the
+// streams must stay aligned.
+func (s *LockstepSampler) Bernoulli(p float64, active, out bits.Vec) {
+	for i := 0; i < out.Words(); i++ {
+		a := active.Word(i)
+		var m uint64
+		for b := a; b != 0; b &= b - 1 {
+			lane := i*64 + trailingZeros(b)
+			if s.rngs[lane].Float64() < p {
+				m |= b & -b
+			}
+		}
+		out.SetWord(i, m)
+	}
+}
+
+// Coin mirrors the scalar `rng.IntN(2) == 1` coin flip.
+func (s *LockstepSampler) Coin(active, out bits.Vec) {
+	for i := 0; i < out.Words(); i++ {
+		a := active.Word(i)
+		var m uint64
+		for b := a; b != 0; b &= b - 1 {
+			lane := i*64 + trailingZeros(b)
+			if s.rngs[lane].IntN(2) == 1 {
+				m |= b & -b
+			}
+		}
+		out.SetWord(i, m)
+	}
+}
+
+// Pauli1 mirrors noise.Random1 per faulted lane.
+func (s *LockstepSampler) Pauli1(faults, outX, outZ bits.Vec) {
+	scatterPauli1(faults, outX, outZ, s.laneRand)
+}
+
+// Pauli2 mirrors noise.Random2 per faulted lane.
+func (s *LockstepSampler) Pauli2(faults, outXa, outZa, outXb, outZb bits.Vec) {
+	scatterPauli2(faults, outXa, outZa, outXb, outZb, s.laneRand)
+}
+
+func (s *LockstepSampler) laneRand(lane int) *rand.Rand { return s.rngs[lane] }
+
+// --- aggregate: one stream, word-at-a-time masks ---
+
+// AggregateSampler samples whole fault masks from a single PCG stream.
+// Bernoulli masks use geometric skipping over the active lanes of each
+// word: with per-location fault probabilities of 10⁻²–10⁻⁴ a single
+// Float64 draw usually certifies "no fault in these 64 shots", which is
+// where the batch engine's throughput comes from.
+type AggregateSampler struct {
+	rng *rand.Rand
+	// memoized 1/log1p(-p) for the handful of distinct probabilities a
+	// noise.Params supplies.
+	memoP   [8]float64
+	memoInv [8]float64
+	memoN   int
+}
+
+// NewAggregateSampler returns an aggregate sampler over the PCG stream
+// (seed, stream).
+func NewAggregateSampler(seed, stream uint64) *AggregateSampler {
+	return &AggregateSampler{rng: rand.New(rand.NewPCG(seed, stream))}
+}
+
+// invLog1p returns 1/log(1-p), memoized.
+func (s *AggregateSampler) invLog1p(p float64) float64 {
+	for i := 0; i < s.memoN; i++ {
+		if s.memoP[i] == p {
+			return s.memoInv[i]
+		}
+	}
+	v := 1 / math.Log1p(-p)
+	if s.memoN < len(s.memoP) {
+		s.memoP[s.memoN] = p
+		s.memoInv[s.memoN] = v
+		s.memoN++
+	}
+	return v
+}
+
+// Bernoulli samples each word's fault mask by geometric skipping: the gap
+// between consecutive faulted lanes is Geometric(p), so the expected
+// number of draws per word is 1 + 64p instead of 64.
+func (s *AggregateSampler) Bernoulli(p float64, active, out bits.Vec) {
+	if p <= 0 {
+		out.Clear()
+		return
+	}
+	if p >= 1 {
+		out.CopyFrom(active)
+		return
+	}
+	inv := s.invLog1p(p)
+	for i := 0; i < out.Words(); i++ {
+		a := active.Word(i)
+		if a == 0 {
+			out.SetWord(i, 0)
+			continue
+		}
+		var m uint64
+		for {
+			// Geometric gap: P(skip = k) = (1-p)^k · p.
+			f := math.Log(s.rng.Float64()) * inv
+			if f >= 64 { // can't reach any remaining lane (also catches +Inf)
+				break
+			}
+			skip := int(f)
+			for ; skip > 0 && a != 0; skip-- {
+				a &= a - 1
+			}
+			if a == 0 {
+				break
+			}
+			m |= a & -a
+			a &= a - 1
+		}
+		out.SetWord(i, m)
+	}
+}
+
+// Coin draws one full-entropy word per word of lanes that need it.
+func (s *AggregateSampler) Coin(active, out bits.Vec) {
+	for i := 0; i < out.Words(); i++ {
+		a := active.Word(i)
+		if a == 0 {
+			out.SetWord(i, 0)
+			continue
+		}
+		out.SetWord(i, s.rng.Uint64()&a)
+	}
+}
+
+// Pauli1 draws per faulted lane; faults are rare, so this is off the hot
+// path.
+func (s *AggregateSampler) Pauli1(faults, outX, outZ bits.Vec) {
+	scatterPauli1(faults, outX, outZ, s.anyRand)
+}
+
+// Pauli2 draws per faulted lane.
+func (s *AggregateSampler) Pauli2(faults, outXa, outZa, outXb, outZb bits.Vec) {
+	scatterPauli2(faults, outXa, outZa, outXb, outZb, s.anyRand)
+}
+
+func (s *AggregateSampler) anyRand(int) *rand.Rand { return s.rng }
+
+// scatterPauli1 draws a uniform nontrivial one-qubit Pauli for every lane
+// in faults from the stream src selects for that lane, scattering the X/Z
+// components into the output planes. Shared by both samplers so the Pauli
+// encoding lives in one place.
+func scatterPauli1(faults, outX, outZ bits.Vec, src func(lane int) *rand.Rand) {
+	outX.Clear()
+	outZ.Clear()
+	for i := 0; i < faults.Words(); i++ {
+		for b := faults.Word(i); b != 0; b &= b - 1 {
+			lane := i*64 + trailingZeros(b)
+			e := noise.Random1(src(lane))
+			low := b & -b
+			if e&noise.ErrX != 0 {
+				outX.XorWord(i, low)
+			}
+			if e&noise.ErrZ != 0 {
+				outZ.XorWord(i, low)
+			}
+		}
+	}
+}
+
+// scatterPauli2 is scatterPauli1 for two-qubit Paulis.
+func scatterPauli2(faults, outXa, outZa, outXb, outZb bits.Vec, src func(lane int) *rand.Rand) {
+	outXa.Clear()
+	outZa.Clear()
+	outXb.Clear()
+	outZb.Clear()
+	for i := 0; i < faults.Words(); i++ {
+		for b := faults.Word(i); b != 0; b &= b - 1 {
+			lane := i*64 + trailingZeros(b)
+			ea, eb := noise.Random2(src(lane))
+			low := b & -b
+			if ea&noise.ErrX != 0 {
+				outXa.XorWord(i, low)
+			}
+			if ea&noise.ErrZ != 0 {
+				outZa.XorWord(i, low)
+			}
+			if eb&noise.ErrX != 0 {
+				outXb.XorWord(i, low)
+			}
+			if eb&noise.ErrZ != 0 {
+				outZb.XorWord(i, low)
+			}
+		}
+	}
+}
+
+// trailingZeros names math/bits.TrailingZeros64 under the import alias.
+func trailingZeros(x uint64) int { return mbits.TrailingZeros64(x) }

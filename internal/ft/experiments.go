@@ -4,7 +4,9 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"ftqc/internal/bits"
 	"ftqc/internal/frame"
 	"ftqc/internal/noise"
 )
@@ -74,19 +76,19 @@ func (r MemoryResult) ZRate() float64 { return float64(r.ZFailures) / float64(r.
 // Preskill Eq. (14). storageP governs the idle noise on the data between
 // recoveries; gadgetP governs the noise inside the recovery circuitry
 // (set it to zero for the paper's "flawless recovery" idealization).
+// Samples run on the batched frame engine, 64+ shots per machine word.
 func MemoryExperiment(method ECMethod, storageP, gadgetP noise.Params, cfg Config, rounds, samples int, seed uint64) MemoryResult {
-	return parallelMC(samples, seed, func(rng *rand.Rand) (bool, bool) {
-		s := frame.New(oneBlockWires, storageP, rng)
+	return parallelBatchMC(oneBlockWires, storageP, samples, seed, func(b *frame.BatchSim) (bits.Vec, bits.Vec) {
 		data, _, _, _, _ := oneBlockLayout()
 		for r := 0; r < rounds; r++ {
-			s.P = storageP
+			b.P = storageP
 			for _, q := range data {
-				s.Storage(q)
+				b.Storage(q)
 			}
-			s.P = gadgetP
-			RunEC(s, method, cfg)
+			b.P = gadgetP
+			RunECBatch(b, method, cfg)
 		}
-		return IdealDecode(s, data)
+		return IdealDecodeBatch(b, data)
 	})
 }
 
@@ -94,12 +96,11 @@ func MemoryExperiment(method ECMethod, storageP, gadgetP noise.Params, cfg Confi
 // storage noise with no recovery; any accumulated error is a failure
 // (fidelity 1−ε per step, Eq. 14's left-hand side).
 func UnencodedMemory(storageP noise.Params, rounds, samples int, seed uint64) MemoryResult {
-	return parallelMC(samples, seed, func(rng *rand.Rand) (bool, bool) {
-		s := frame.New(1, storageP, rng)
+	return parallelBatchMC(1, storageP, samples, seed, func(b *frame.BatchSim) (bits.Vec, bits.Vec) {
 		for r := 0; r < rounds; r++ {
-			s.Storage(0)
+			b.Storage(0)
 		}
-		return s.XError(0), s.ZError(0)
+		return b.PlaneX(0), b.PlaneZ(0)
 	})
 }
 
@@ -127,24 +128,25 @@ func ExRecCNOT(method ECMethod, p noise.Params, cfg Config, samples int, seed ui
 	chk := []int{21, 22, 23, 24, 25, 26, 27}
 	cat := []int{28, 29, 30, 31}
 	ver := 32
-	res := parallelMC(samples, seed, func(rng *rand.Rand) (bool, bool) {
-		s := frame.New(wires, p, rng)
-		LogicalCNOT(s, dataA, dataB)
+	res := parallelBatchMC(wires, p, samples, seed, func(b *frame.BatchSim) (bits.Vec, bits.Vec) {
+		LogicalCNOTBatch(b, dataA, dataB)
 		ecOn := func(data []int) {
 			switch method {
 			case MethodSteane:
-				SteaneEC(s, data, anc, chk, cfg)
+				SteaneECBatch(b, data, anc, chk, cfg)
 			case MethodShor:
-				ShorEC(s, data, cat, ver, cfg)
+				ShorECBatch(b, data, cat, ver, cfg)
 			case MethodNaive:
-				NaiveEC(s, data, ver, cfg)
+				NaiveECBatch(b, data, ver, cfg)
 			}
 		}
 		ecOn(dataA)
 		ecOn(dataB)
-		xa, za := IdealDecode(s, dataA)
-		xb, zb := IdealDecode(s, dataB)
-		return xa || za, xb || zb
+		xa, za := IdealDecodeBatch(b, dataA)
+		xb, zb := IdealDecodeBatch(b, dataB)
+		xa.Or(za) // per-lane: block A damaged
+		xb.Or(zb) // per-lane: block B damaged
+		return xa, xb
 	})
 	return ExRecResult{Samples: res.Samples, Failures: res.Failures}
 }
@@ -153,14 +155,35 @@ func ExRecCNOT(method ECMethod, p noise.Params, cfg Config, samples int, seed ui
 // applied to a clean block — the "1-Rec" used to calibrate the level-1
 // flow equation.
 func ECFailureRate(method ECMethod, p noise.Params, cfg Config, samples int, seed uint64) ExRecResult {
-	res := parallelMC(samples, seed, func(rng *rand.Rand) (bool, bool) {
-		s := frame.New(oneBlockWires, p, rng)
+	res := parallelBatchMC(oneBlockWires, p, samples, seed, func(b *frame.BatchSim) (bits.Vec, bits.Vec) {
 		data, _, _, _, _ := oneBlockLayout()
-		RunEC(s, method, cfg)
-		x, z := IdealDecode(s, data)
-		return x, z
+		RunECBatch(b, method, cfg)
+		return IdealDecodeBatch(b, data)
 	})
 	return ExRecResult{Samples: res.Samples, Failures: res.Failures}
+}
+
+// parallelBatchMC fans samples out as fixed-width lane batches over the
+// available CPUs via frame.ForEachChunk (deterministic stream per chunk:
+// results depend only on samples and seed). trial runs one batch and
+// returns the per-lane X/Z failure planes.
+func parallelBatchMC(wires int, p noise.Params, samples int, seed uint64,
+	trial func(b *frame.BatchSim) (xfail, zfail bits.Vec)) MemoryResult {
+	var xs, zs, anys atomic.Int64
+	frame.ForEachChunk(samples, seed, func(lanes int, smp frame.Sampler) {
+		b := frame.NewBatch(wires, lanes, p, smp)
+		x, z := trial(b)
+		xs.Add(int64(x.Weight()))
+		zs.Add(int64(z.Weight()))
+		x.Or(z)
+		anys.Add(int64(x.Weight()))
+	})
+	return MemoryResult{
+		Samples:   samples,
+		XFailures: int(xs.Load()),
+		ZFailures: int(zs.Load()),
+		Failures:  int(anys.Load()),
+	}
 }
 
 // parallelMC fans samples out over the available CPUs, one PCG stream per

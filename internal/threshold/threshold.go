@@ -8,6 +8,7 @@ package threshold
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"ftqc/internal/ft"
 	"ftqc/internal/noise"
@@ -27,36 +28,47 @@ type Point struct {
 type Model func(eps float64) noise.Params
 
 // Curve measures the exRec failure probability across the given error
-// rates.
+// rates. Points run concurrently (each ε already batches its samples
+// 64-per-word internally); per-point seeds keep the result independent of
+// scheduling.
 func Curve(method ft.ECMethod, model Model, epsList []float64, cfg ft.Config, samples int, seed uint64) []Point {
-	pts := make([]Point, 0, len(epsList))
-	for i, eps := range epsList {
+	return sweep(epsList, func(i int, eps float64) Point {
 		r := ft.ExRecCNOT(method, model(eps), cfg, samples, seed+uint64(i)*1000)
-		p := r.FailRate()
-		pts = append(pts, Point{
-			Eps:     eps,
-			Fail:    p,
-			StdErr:  math.Sqrt(p * (1 - p) / float64(r.Samples)),
-			Samples: r.Samples,
-		})
-	}
-	return pts
+		return pointOf(eps, r.FailRate(), r.Samples)
+	})
 }
 
 // MemoryCurve measures the single-block recovery failure probability (the
 // 1-Rec calibration of the flow equation).
 func MemoryCurve(method ft.ECMethod, model Model, epsList []float64, cfg ft.Config, samples int, seed uint64) []Point {
-	pts := make([]Point, 0, len(epsList))
-	for i, eps := range epsList {
+	return sweep(epsList, func(i int, eps float64) Point {
 		r := ft.ECFailureRate(method, model(eps), cfg, samples, seed+uint64(i)*1000)
-		p := r.FailRate()
-		pts = append(pts, Point{
-			Eps:     eps,
-			Fail:    p,
-			StdErr:  math.Sqrt(p * (1 - p) / float64(r.Samples)),
-			Samples: r.Samples,
-		})
+		return pointOf(eps, r.FailRate(), r.Samples)
+	})
+}
+
+func pointOf(eps, p float64, samples int) Point {
+	return Point{
+		Eps:     eps,
+		Fail:    p,
+		StdErr:  math.Sqrt(p * (1 - p) / float64(samples)),
+		Samples: samples,
 	}
+}
+
+// sweep runs one measurement per ε concurrently and collects the points
+// in input order.
+func sweep(epsList []float64, measure func(i int, eps float64) Point) []Point {
+	pts := make([]Point, len(epsList))
+	var wg sync.WaitGroup
+	for i, eps := range epsList {
+		wg.Add(1)
+		go func(i int, eps float64) {
+			defer wg.Done()
+			pts[i] = measure(i, eps)
+		}(i, eps)
+	}
+	wg.Wait()
 	return pts
 }
 

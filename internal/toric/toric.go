@@ -10,9 +10,12 @@ package toric
 
 import (
 	"math"
-	"math/rand/v2"
+	mbits "math/bits"
+	"sync"
+	"sync/atomic"
 
 	"ftqc/internal/bits"
+	"ftqc/internal/frame"
 )
 
 // Lattice is an L×L torus with one qubit per edge (2L² qubits).
@@ -24,6 +27,13 @@ type Lattice struct {
 	// cycles (plaquette boundaries), indexed by leading column.
 	hbasis []bits.Vec
 	hset   []bool
+	// Winding detectors: two fixed edge sets orthogonal to every star
+	// operator whose GF(2) inner products with a syndrome-free chain read
+	// off its homology class directly (O(L) instead of a basis
+	// reduction). det1 is the column of vertical edges at x=0 (odd
+	// intersection ⇔ the chain winds horizontally on the dual lattice);
+	// det2 is the row of horizontal edges at y=0.
+	det1, det2 bits.Vec
 }
 
 // NewLattice returns an L×L toric lattice (L ≥ 2).
@@ -33,7 +43,22 @@ func NewLattice(l int) Lattice {
 	}
 	t := Lattice{L: l}
 	t.buildHomologyTester()
+	t.det1 = bits.NewVec(t.Qubits())
+	t.det2 = bits.NewVec(t.Qubits())
+	for i := 0; i < l; i++ {
+		t.det1.Flip(t.VEdge(0, i))
+		t.det2.Flip(t.HEdge(i, 0))
+	}
 	return t
+}
+
+// WindingParity returns the two homology-class bits of a syndrome-free
+// chain: whether it crosses the x=0 vertical-edge column an odd number of
+// times and the y=0 horizontal-edge row an odd number of times. For
+// cycles (zero syndrome) the pair is (0,0) exactly when the chain is a
+// product of star operators; either bit set means a logical error.
+func (t Lattice) WindingParity(errs bits.Vec) (bool, bool) {
+	return errs.Dot(t.det1), errs.Dot(t.det2)
 }
 
 // buildHomologyTester builds an XOR basis of the space of trivial X-error
@@ -156,7 +181,7 @@ func (t Lattice) LogicalError(errs bits.Vec) bool {
 }
 
 // torusDist is the Manhattan distance between plaquettes on the torus.
-func (t Lattice) torusDist(a, b int) int {
+func (t *Lattice) torusDist(a, b int) int {
 	ax, ay := a%t.L, a/t.L
 	bx, by := b%t.L, b/t.L
 	dx := abs(ax - bx)
@@ -179,7 +204,7 @@ func abs(a int) int {
 
 // pathBetween flips a shortest error chain connecting plaquettes a and b
 // into out (move in x first, then y, wrapping the short way).
-func (t Lattice) pathBetween(a, b int, out bits.Vec) {
+func (t *Lattice) pathBetween(a, b int, out bits.Vec) {
 	ax, ay := a%t.L, a/t.L
 	bx, by := b%t.L, b/t.L
 	// Walk in x: crossing from plaquette (x,y) to (x+1,y) flips the
@@ -234,25 +259,50 @@ const (
 // Decode returns a correction for the given defect set.
 func (t Lattice) Decode(defects []int, kind DecoderKind) bits.Vec {
 	corr := bits.NewVec(t.Qubits())
-	if len(defects) == 0 {
-		return corr
-	}
-	var pairs [][2]int
-	if kind == DecoderExact && len(defects) <= 14 {
-		pairs = t.exactMatch(defects)
-	} else {
-		pairs = t.greedyMatch(defects)
-	}
-	for _, p := range pairs {
+	for _, p := range t.matchDefects(defects, kind, nil) {
 		t.pathBetween(p[0], p[1], corr)
 	}
 	return corr
 }
 
+// matchScratch holds reusable buffers for the matcher so a batch of
+// decodes allocates once instead of per lane. The returned pair slices
+// alias scr.pairs and are valid until the next call with the same scr.
+type matchScratch struct {
+	dp, choice []int32
+	pairs      [][2]int
+}
+
+func (s *matchScratch) take(n int) [][2]int {
+	if s == nil {
+		return make([][2]int, 0, n)
+	}
+	if cap(s.pairs) < n {
+		s.pairs = make([][2]int, 0, n)
+	}
+	s.pairs = s.pairs[:0]
+	return s.pairs
+}
+
+// matchDefects pairs up the defect set with the chosen strategy. scr may
+// be nil (one-off decodes) or carried across calls to reuse buffers.
+func (t *Lattice) matchDefects(defects []int, kind DecoderKind, scr *matchScratch) [][2]int {
+	switch {
+	case len(defects) == 0:
+		return nil
+	case len(defects) == 2:
+		// One pair: both strategies agree, no search needed.
+		return append(scr.take(1), [2]int{defects[0], defects[1]})
+	case kind == DecoderExact && len(defects) <= 14:
+		return t.exactMatch(defects, scr)
+	}
+	return t.greedyMatch(defects, scr)
+}
+
 // greedyMatch pairs the globally closest defects first.
-func (t Lattice) greedyMatch(defects []int) [][2]int {
+func (t *Lattice) greedyMatch(defects []int, scr *matchScratch) [][2]int {
 	alive := append([]int(nil), defects...)
-	var pairs [][2]int
+	pairs := scr.take(len(defects) / 2)
 	for len(alive) > 1 {
 		bi, bj, best := 0, 1, 1<<30
 		for i := 0; i < len(alive); i++ {
@@ -271,16 +321,57 @@ func (t Lattice) greedyMatch(defects []int) [][2]int {
 }
 
 // exactMatch is O(2^n · n²) minimum-weight perfect matching over the
-// defect set.
-func (t Lattice) exactMatch(defects []int) [][2]int {
+// defect set. Pairwise distances are tabulated up front so the subset DP
+// inner loop is a table lookup.
+func (t *Lattice) exactMatch(defects []int, scr *matchScratch) [][2]int {
 	n := len(defects)
 	if n%2 != 0 {
 		panic("toric: odd defect count on a torus")
 	}
+	var distBuf [14 * 14]int32
+	dist := distBuf[:n*n]
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := int32(t.torusDist(defects[i], defects[j]))
+			dist[i*n+j] = d
+			dist[j*n+i] = d
+		}
+	}
+	if n == 4 {
+		// Three pairings: pick the lightest directly. The tie-break is
+		// deterministic and shared by the scalar and batch decode paths,
+		// which is all equivalence needs.
+		best, bi := dist[0*4+1]+dist[2*4+3], 1
+		if c := dist[0*4+2] + dist[1*4+3]; c < best {
+			best, bi = c, 2
+		}
+		if c := dist[0*4+3] + dist[1*4+2]; c < best {
+			bi = 3
+		}
+		pairs := scr.take(2)
+		switch bi {
+		case 1:
+			return append(pairs, [2]int{defects[0], defects[1]}, [2]int{defects[2], defects[3]})
+		case 2:
+			return append(pairs, [2]int{defects[0], defects[2]}, [2]int{defects[1], defects[3]})
+		}
+		return append(pairs, [2]int{defects[0], defects[3]}, [2]int{defects[1], defects[2]})
+	}
 	full := 1<<uint(n) - 1
 	const inf = math.MaxInt32
-	dp := make([]int32, full+1)
-	choice := make([]int32, full+1)
+	var dp, choice []int32
+	if scr != nil {
+		if cap(scr.dp) < full+1 {
+			scr.dp = make([]int32, full+1)
+			scr.choice = make([]int32, full+1)
+		}
+		dp = scr.dp[:full+1]
+		choice = scr.choice[:full+1]
+	} else {
+		dp = make([]int32, full+1)
+		choice = make([]int32, full+1)
+	}
+	dp[0] = 0
 	for m := 1; m <= full; m++ {
 		dp[m] = inf
 	}
@@ -298,14 +389,14 @@ func (t Lattice) exactMatch(defects []int) [][2]int {
 				continue
 			}
 			nm := m | 1<<uint(i) | 1<<uint(j)
-			cost := dp[m] + int32(t.torusDist(defects[i], defects[j]))
+			cost := dp[m] + dist[i*n+j]
 			if cost < dp[nm] {
 				dp[nm] = cost
 				choice[nm] = int32(i<<8 | j)
 			}
 		}
 	}
-	var pairs [][2]int
+	pairs := scr.take(n / 2)
 	m := full
 	for m != 0 {
 		c := choice[m]
@@ -331,28 +422,108 @@ func (r MemoryResult) FailRate() float64 { return float64(r.Failures) / float64(
 // edge, decodes, and counts homologically nontrivial residues — the
 // passive-memory benchmark whose failure rate falls like e^{−αL} below
 // threshold (§7.1's "if the quasiparticles are kept far apart, the
-// probability of an error will be extremely low").
-func MemoryExperiment(l int, p float64, kind DecoderKind, samples int, rng *rand.Rand) MemoryResult {
+// probability of an error will be extremely low"). Shots run on the
+// bit-plane batch path, fanned out over the CPUs in deterministic
+// seed-per-chunk batches.
+func MemoryExperiment(l int, p float64, kind DecoderKind, samples int, seed uint64) MemoryResult {
+	t := cachedLattice(l)
+	var fails atomic.Int64
+	frame.ForEachChunk(samples, seed, func(lanes int, smp frame.Sampler) {
+		fails.Add(int64(t.BatchMemory(p, kind, lanes, smp).Weight()))
+	})
+	return MemoryResult{L: l, P: p, Samples: samples, Failures: int(fails.Load())}
+}
+
+// latticeCache memoizes constructed lattices: experiments sweep (L, p)
+// grids and the homology tester is immutable after construction, so the
+// same lattice is safely shared across calls and workers.
+var latticeCache sync.Map // int → *Lattice
+
+func cachedLattice(l int) *Lattice {
+	if v, ok := latticeCache.Load(l); ok {
+		return v.(*Lattice)
+	}
 	t := NewLattice(l)
-	res := MemoryResult{L: l, P: p, Samples: samples}
-	for s := 0; s < samples; s++ {
-		errs := bits.NewVec(t.Qubits())
-		for e := 0; e < t.Qubits(); e++ {
-			if rng.Float64() < p {
-				errs.Flip(e)
+	v, _ := latticeCache.LoadOrStore(l, &t)
+	return v.(*Lattice)
+}
+
+// BatchMemory runs `lanes` independent shots of the passive-memory
+// experiment as bit-planes over the given sampler and returns the
+// per-lane failure mask. Edge sampling and syndrome extraction are
+// word-parallel across lanes; only the matching decoder runs per lane.
+// Under a lockstep sampler lane i reproduces a scalar shot drawn from the
+// paired stream edge by edge.
+func (t *Lattice) BatchMemory(p float64, kind DecoderKind, lanes int, smp frame.Sampler) bits.Vec {
+	nq := t.Qubits()
+	active := bits.NewVec(lanes)
+	active.SetAll()
+	// Sample one error plane per edge, in edge order (the scalar draw
+	// order within each lane).
+	planes := bits.NewVecs(nq, lanes)
+	for e := 0; e < nq; e++ {
+		smp.Bernoulli(p, active, planes[e])
+	}
+	// Plaquette syndromes: one XOR chain of four edge planes per check,
+	// then per-lane defect lists in ascending plaquette order (the order
+	// Syndrome produces). Lists start in a shared backing sized for the
+	// typical defect count; a busy lane grows its own on overflow.
+	const defectCap = 8
+	backing := make([]int, lanes*defectCap)
+	defects := make([][]int, lanes)
+	for lane := range defects {
+		defects[lane] = backing[lane*defectCap : lane*defectCap : (lane+1)*defectCap]
+	}
+	plaq := bits.NewVec(lanes)
+	for y := 0; y < t.L; y++ {
+		for x := 0; x < t.L; x++ {
+			idx := y*t.L + x
+			edges := t.PlaquetteEdges(x, y)
+			plaq.CopyFrom(planes[edges[0]])
+			plaq.Xor(planes[edges[1]])
+			plaq.Xor(planes[edges[2]])
+			plaq.Xor(planes[edges[3]])
+			for wi := 0; wi < plaq.Words(); wi++ {
+				for w := plaq.Word(wi); w != 0; w &= w - 1 {
+					lane := wi*64 + mbits.TrailingZeros64(w)
+					defects[lane] = append(defects[lane], idx)
+				}
 			}
 		}
-		corr := t.Decode(t.Syndrome(errs), kind)
-		errs.Xor(corr)
-		if len(t.Syndrome(errs)) != 0 {
-			res.Failures++ // decoder failed to return to the code space
-			continue
+	}
+	// Winding parities of the raw error planes, batched.
+	p1 := bits.NewVec(lanes)
+	p2 := bits.NewVec(lanes)
+	for _, e := range t.det1.Support() {
+		p1.Xor(planes[e])
+	}
+	for _, e := range t.det2.Support() {
+		p2.Xor(planes[e])
+	}
+	// Per-lane: match defects, accumulate the correction chain, and test
+	// the residual's homology class. The correction's syndrome equals the
+	// defect set by construction (each path ends exactly on its pair), so
+	// the residual is always a cycle and the winding parities decide.
+	fails := bits.NewVec(lanes)
+	corr := bits.NewVec(nq)
+	var scr matchScratch
+	for lane := 0; lane < lanes; lane++ {
+		d := defects[lane]
+		l1 := p1.Get(lane)
+		l2 := p2.Get(lane)
+		if len(d) > 0 {
+			corr.Clear()
+			for _, pr := range t.matchDefects(d, kind, &scr) {
+				t.pathBetween(pr[0], pr[1], corr)
+			}
+			l1 = l1 != corr.Dot(t.det1)
+			l2 = l2 != corr.Dot(t.det2)
 		}
-		if t.LogicalError(errs) {
-			res.Failures++
+		if l1 || l2 {
+			fails.Set(lane, true)
 		}
 	}
-	return res
+	return fails
 }
 
 // ThermalResult is one point of the E18 temperature sweep.
@@ -366,12 +537,12 @@ type ThermalResult struct {
 // nucleated at a rate proportional to the Boltzmann factor e^{−Δ/T}, so
 // each edge flips with probability p = p0·e^{−Δ/T} per dwell time; the
 // logical failure rate inherits the exponential suppression in Δ/T.
-func ThermalMemory(l int, p0, deltaOverT float64, kind DecoderKind, samples int, rng *rand.Rand) ThermalResult {
+func ThermalMemory(l int, p0, deltaOverT float64, kind DecoderKind, samples int, seed uint64) ThermalResult {
 	p := p0 * math.Exp(-deltaOverT)
 	return ThermalResult{
 		DeltaOverT:   deltaOverT,
 		FlipProb:     p,
-		MemoryResult: MemoryExperiment(l, p, kind, samples, rng),
+		MemoryResult: MemoryExperiment(l, p, kind, samples, seed),
 	}
 }
 

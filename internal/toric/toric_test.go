@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ftqc/internal/bits"
+	"ftqc/internal/frame"
 )
 
 func TestLatticeIndexing(t *testing.T) {
@@ -197,10 +198,9 @@ func TestExactBeatsGreedyOrTies(t *testing.T) {
 
 func TestMemorySuppressionWithDistance(t *testing.T) {
 	// Below threshold the failure rate must fall with L (e^{−αL} shape).
-	rng := rand.New(rand.NewPCG(139, 140))
 	p := 0.02
-	r3 := MemoryExperiment(3, p, DecoderExact, 4000, rng)
-	r7 := MemoryExperiment(7, p, DecoderExact, 4000, rng)
+	r3 := MemoryExperiment(3, p, DecoderExact, 4000, 139)
+	r7 := MemoryExperiment(7, p, DecoderExact, 4000, 140)
 	if r7.FailRate() >= r3.FailRate() && r3.Failures > 0 {
 		t.Fatalf("no suppression: L=3 %.4f vs L=7 %.4f", r3.FailRate(), r7.FailRate())
 	}
@@ -208,19 +208,107 @@ func TestMemorySuppressionWithDistance(t *testing.T) {
 
 func TestMemoryFailsAboveThreshold(t *testing.T) {
 	// Far above threshold, bigger lattices are worse (or saturated ~50%).
-	rng := rand.New(rand.NewPCG(141, 142))
-	r := MemoryExperiment(7, 0.25, DecoderGreedy, 1500, rng)
+	r := MemoryExperiment(7, 0.25, DecoderGreedy, 1500, 141)
 	if r.FailRate() < 0.2 {
 		t.Fatalf("p=0.25 should destroy the memory, failure %.3f", r.FailRate())
 	}
 }
 
+func TestMemoryExperimentDeterministic(t *testing.T) {
+	a := MemoryExperiment(5, 0.05, DecoderExact, 700, 17)
+	b := MemoryExperiment(5, 0.05, DecoderExact, 700, 17)
+	if a.Failures != b.Failures || a.Samples != b.Samples {
+		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
 func TestThermalSuppression(t *testing.T) {
-	rng := rand.New(rand.NewPCG(143, 144))
-	cold := ThermalMemory(5, 0.5, 6.0, DecoderExact, 3000, rng) // Δ/T = 6
-	hot := ThermalMemory(5, 0.5, 1.0, DecoderExact, 3000, rng)  // Δ/T = 1
+	cold := ThermalMemory(5, 0.5, 6.0, DecoderExact, 3000, 143) // Δ/T = 6
+	hot := ThermalMemory(5, 0.5, 1.0, DecoderExact, 3000, 144)  // Δ/T = 1
 	if cold.FailRate() >= hot.FailRate() && hot.Failures > 0 {
 		t.Fatalf("no thermal suppression: cold %.4f hot %.4f", cold.FailRate(), hot.FailRate())
+	}
+}
+
+// TestWindingParityMatchesHomologyTester cross-checks the O(L) winding
+// detectors against the basis-reduction homology test on random cycles
+// (random star products, optionally with winding loops mixed in).
+func TestWindingParityMatchesHomologyTester(t *testing.T) {
+	l := NewLattice(5)
+	rng := rand.New(rand.NewPCG(145, 146))
+	for trial := 0; trial < 300; trial++ {
+		cyc := bits.NewVec(l.Qubits())
+		for y := 0; y < l.L; y++ {
+			for x := 0; x < l.L; x++ {
+				if rng.IntN(2) == 1 {
+					for _, e := range l.StarEdges(x, y) {
+						cyc.Flip(e)
+					}
+				}
+			}
+		}
+		wantA, wantB := false, false
+		if rng.IntN(2) == 1 { // horizontal dual winding loop
+			for x := 0; x < l.L; x++ {
+				cyc.Flip(l.VEdge(x, 1))
+			}
+			wantA = true
+		}
+		if rng.IntN(2) == 1 { // vertical dual winding loop
+			for y := 0; y < l.L; y++ {
+				cyc.Flip(l.HEdge(2, y))
+			}
+			wantB = true
+		}
+		if len(l.Syndrome(cyc)) != 0 {
+			t.Fatal("constructed chain is not a cycle")
+		}
+		a, b := l.WindingParity(cyc)
+		if a != wantA || b != wantB {
+			t.Fatalf("trial %d: winding (%v,%v) want (%v,%v)", trial, a, b, wantA, wantB)
+		}
+		if l.LogicalError(cyc) != (a || b) {
+			t.Fatalf("trial %d: detectors disagree with homology tester", trial)
+		}
+	}
+}
+
+// TestBatchMemoryMatchesScalar is the toric leg of the scalar-vs-batch
+// equivalence suite: BatchMemory over a lockstep sampler must reproduce,
+// shot for shot, the serial per-shot procedure (sample edges in order,
+// decode, homology-test the residual) run from the paired PCG streams.
+func TestBatchMemoryMatchesScalar(t *testing.T) {
+	const lanes = 70 // exercises the tail word
+	for _, tc := range []struct {
+		l    int
+		p    float64
+		kind DecoderKind
+	}{
+		{3, 0.05, DecoderExact},
+		{5, 0.03, DecoderExact},
+		{5, 0.12, DecoderGreedy},
+		{4, 0.25, DecoderGreedy},
+		{5, 0.25, DecoderExact}, // >14 defects: exercises the greedy fallback
+	} {
+		lat := NewLattice(tc.l)
+		seed := uint64(1000*tc.l) + uint64(tc.p*1e4)
+		fails := lat.BatchMemory(tc.p, tc.kind, lanes, frame.NewLockstepSampler(seed, lanes))
+		for lane := 0; lane < lanes; lane++ {
+			rng := rand.New(rand.NewPCG(seed, uint64(lane)))
+			errs := bits.NewVec(lat.Qubits())
+			for e := 0; e < lat.Qubits(); e++ {
+				if rng.Float64() < tc.p {
+					errs.Flip(e)
+				}
+			}
+			corr := lat.Decode(lat.Syndrome(errs), tc.kind)
+			errs.Xor(corr)
+			fail := len(lat.Syndrome(errs)) != 0 || lat.LogicalError(errs)
+			if fails.Get(lane) != fail {
+				t.Fatalf("L=%d p=%v %v lane %d: batch %v scalar %v",
+					tc.l, tc.p, tc.kind, lane, fails.Get(lane), fail)
+			}
+		}
 	}
 }
 

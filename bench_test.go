@@ -7,8 +7,13 @@ package ftqc
 // versions.
 
 import (
+	"encoding/json"
+	"fmt"
 	"math/rand/v2"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"ftqc/internal/anyon"
 	"ftqc/internal/code"
@@ -193,6 +198,99 @@ func BenchmarkE17ToricMemory(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		toric.MemoryExperiment(5, 0.03, toric.DecoderExact, 50, uint64(i))
 	}
+}
+
+// BenchmarkToricDecode — the scalable decoder subsystem (union-find,
+// polynomial MWPM, worker-pool lanes) at the near-threshold operating
+// point p = 0.08, across code distances. Each iteration runs one
+// 256-shot batch of the passive-memory experiment end to end: sampling,
+// bit-plane syndrome extraction, transpose, per-lane decode, homology
+// test. The matching baselines run at the small sizes; L = 32 is
+// union-find territory (greedy needs ~10 ms per shot there).
+func BenchmarkToricDecode(b *testing.B) {
+	for _, cfg := range toricDecodeConfigs() {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				toric.MemoryExperiment(cfg.l, 0.08, cfg.kind, 256, 7)
+			}
+		})
+	}
+}
+
+type toricDecodeConfig struct {
+	name string
+	l    int
+	kind toric.DecoderKind
+}
+
+func toricDecodeConfigs() []toricDecodeConfig {
+	var out []toricDecodeConfig
+	for _, l := range []int{4, 8, 16, 32} {
+		out = append(out, toricDecodeConfig{fmt.Sprintf("L=%d", l), l, toric.DecoderUnionFind})
+		if l <= 16 {
+			out = append(out,
+				toricDecodeConfig{fmt.Sprintf("L=%d/exact", l), l, toric.DecoderExact},
+				toricDecodeConfig{fmt.Sprintf("L=%d/greedy", l), l, toric.DecoderGreedy})
+		}
+	}
+	return out
+}
+
+// TestEmitToricBenchJSON records the decode benchmark grid to
+// BENCH_toric.json (or the path in FTQC_BENCH_JSON) so the perf
+// trajectory is tracked across PRs. Skipped unless FTQC_BENCH_JSON is
+// set: it is a measurement tool, not a correctness test.
+func TestEmitToricBenchJSON(t *testing.T) {
+	path := os.Getenv("FTQC_BENCH_JSON")
+	if path == "" {
+		t.Skip("set FTQC_BENCH_JSON=1 (or a path) to record decode benchmarks")
+	}
+	if path == "1" {
+		path = "BENCH_toric.json"
+	}
+	type entry struct {
+		Name       string  `json:"name"`
+		L          int     `json:"L"`
+		P          float64 `json:"p"`
+		Decoder    string  `json:"decoder"`
+		ShotsPerOp int     `json:"shots_per_op"`
+		NsPerOp    float64 `json:"ns_per_op"`
+		NsPerShot  float64 `json:"ns_per_shot"`
+	}
+	decoderName := map[toric.DecoderKind]string{
+		toric.DecoderGreedy:    "greedy",
+		toric.DecoderExact:     "exact",
+		toric.DecoderUnionFind: "union-find",
+	}
+	const shots = 256
+	report := struct {
+		GoMaxProcs int     `json:"gomaxprocs"`
+		UnixTime   int64   `json:"unix_time"`
+		Entries    []entry `json:"entries"`
+	}{GoMaxProcs: runtime.GOMAXPROCS(0), UnixTime: time.Now().Unix()}
+	for _, cfg := range toricDecodeConfigs() {
+		run := func() { toric.MemoryExperiment(cfg.l, 0.08, cfg.kind, shots, 7) }
+		run() // warm lattice caches and scratch pools
+		const iters = 5
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			run()
+		}
+		ns := float64(time.Since(t0).Nanoseconds()) / iters
+		report.Entries = append(report.Entries, entry{
+			Name: "BenchmarkToricDecode/" + cfg.name, L: cfg.l, P: 0.08,
+			Decoder: decoderName[cfg.kind], ShotsPerOp: shots,
+			NsPerOp: ns, NsPerShot: ns / shots,
+		})
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d benchmark entries to %s", len(report.Entries), path)
 }
 
 // BenchmarkE18Thermal — §7.1: e^{-Δ/T} suppression.

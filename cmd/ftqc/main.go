@@ -306,10 +306,20 @@ func cmdLeakage(args []string) {
 func cmdToric(args []string) {
 	fs := flag.NewFlagSet("toric", flag.ExitOnError)
 	samples := fs.Int("samples", 20000, "samples per point")
+	decoder := fs.String("decoder", "uf", "decoder: greedy, exact (polynomial MWPM) or uf (union-find)")
+	big := fs.Bool("big", false, "extend the distance sweep to L=16 and L=32 (union-find territory)")
 	fs.Parse(args)
-	fmt.Println("E17: toric-code passive memory (§7.1): logical failure vs distance L")
+	kind, ok := toricDecoder(*decoder)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "toric: unknown decoder %q (want greedy, exact or uf)\n", *decoder)
+		os.Exit(2)
+	}
+	fmt.Printf("E17: toric-code passive memory (§7.1): logical failure vs distance L (%s decoder)\n", *decoder)
 	fmt.Printf("%-8s", "p\\L")
 	sizes := []int{3, 5, 7, 9}
+	if *big {
+		sizes = append(sizes, 16, 32)
+	}
 	for _, l := range sizes {
 		fmt.Printf(" %-12d", l)
 	}
@@ -319,7 +329,7 @@ func cmdToric(args []string) {
 		fmt.Printf("%-8.2f", p)
 		for _, l := range sizes {
 			seed++
-			r := toric.MemoryExperiment(l, p, toric.DecoderExact, *samples, seed)
+			r := toric.MemoryExperiment(l, p, kind, *samples, seed)
 			fmt.Printf(" %-12.4e", r.FailRate())
 		}
 		fmt.Println()
@@ -327,15 +337,34 @@ func cmdToric(args []string) {
 	fmt.Println("below threshold the failure falls like e^{-αL} (the paper's e^{-mL} tunneling scaling)")
 }
 
+// toricDecoder maps a CLI name to a decoder kind.
+func toricDecoder(name string) (toric.DecoderKind, bool) {
+	switch name {
+	case "greedy":
+		return toric.DecoderGreedy, true
+	case "exact":
+		return toric.DecoderExact, true
+	case "uf", "unionfind":
+		return toric.DecoderUnionFind, true
+	}
+	return 0, false
+}
+
 func cmdThermal(args []string) {
 	fs := flag.NewFlagSet("thermal", flag.ExitOnError)
 	samples := fs.Int("samples", 20000, "samples per point")
 	l := fs.Int("L", 7, "lattice size")
+	decoder := fs.String("decoder", "exact", "decoder: greedy, exact or uf")
 	fs.Parse(args)
+	kind, ok := toricDecoder(*decoder)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "thermal: unknown decoder %q (want greedy, exact or uf)\n", *decoder)
+		os.Exit(2)
+	}
 	fmt.Printf("E18: thermal anyon plasma on L=%d (§7.1): flips at p0·e^{-Δ/T}\n", *l)
 	fmt.Printf("%-8s %-14s %-14s\n", "Δ/T", "flip prob", "logical fail")
 	for i, dt := range []float64{1, 2, 3, 4, 5, 6} {
-		r := toric.ThermalMemory(*l, 0.5, dt, toric.DecoderExact, *samples, uint64(93+i))
+		r := toric.ThermalMemory(*l, 0.5, dt, kind, *samples, uint64(93+i))
 		fmt.Printf("%-8.1f %-14.4e %-14.4e\n", dt, r.FlipProb, r.FailRate())
 	}
 }

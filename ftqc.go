@@ -33,6 +33,13 @@
 // Experiment entry points therefore take a seed uint64 rather than a
 // *rand.Rand: batched workers derive their independent streams from it.
 //
+// The toric experiments decode through internal/decoder's scalable
+// subsystem: a near-linear union-find decoder (the production choice,
+// tractable out to L = 32 and beyond) and a polynomial blossom
+// minimum-weight perfect matcher as the accuracy baseline, run as a
+// worker-pool stage over word-aligned lane spans with results identical
+// for any GOMAXPROCS.
+//
 // The facade below re-exports the main entry points; the implementation
 // lives in the internal/ packages, one per subsystem (see DESIGN.md for
 // the full inventory and EXPERIMENTS.md for the paper-vs-measured
@@ -167,6 +174,8 @@ func FactoringMachines(bits int, flowA float64) (concatenated Machine, block55 M
 type (
 	// ToricLattice is Kitaev's code on an L×L torus.
 	ToricLattice = toric.Lattice
+	// ToricDecoder selects the toric decoding strategy.
+	ToricDecoder = toric.DecoderKind
 	// A5Encoding is the nonabelian fluxon encoding of §7.4.
 	A5Encoding = anyon.A5Encoding
 	// FluxRegister is a register of nonabelian flux pairs.
@@ -175,14 +184,31 @@ type (
 	PermGroup = group.Group
 )
 
+// Toric decoders (see internal/decoder for the algorithms).
+const (
+	// ToricDecoderGreedy repeatedly pairs the two closest defects.
+	ToricDecoderGreedy = toric.DecoderGreedy
+	// ToricDecoderExact is the polynomial (blossom) exact minimum-weight
+	// matcher — the accuracy baseline, with no defect-count cap.
+	ToricDecoderExact = toric.DecoderExact
+	// ToricDecoderUnionFind is the near-linear union-find decoder — the
+	// production decoder that makes L = 16–32 experiments tractable.
+	ToricDecoderUnionFind = toric.DecoderUnionFind
+)
+
 // NewToricLattice returns an L×L toric code lattice.
 func NewToricLattice(l int) ToricLattice { return toric.NewLattice(l) }
 
-// ToricMemory runs the passive-memory Monte Carlo at flip probability p.
-// The seed fully determines the result: batched workers derive their
-// independent PCG streams from it.
+// ToricMemory runs the passive-memory Monte Carlo at flip probability p
+// with the union-find production decoder. The seed fully determines the
+// result: batched workers derive their independent PCG streams from it.
 func ToricMemory(l int, p float64, samples int, seed uint64) toric.MemoryResult {
-	return toric.MemoryExperiment(l, p, toric.DecoderExact, samples, seed)
+	return toric.MemoryExperiment(l, p, toric.DecoderUnionFind, samples, seed)
+}
+
+// ToricMemoryWith is ToricMemory under an explicit decoder choice.
+func ToricMemoryWith(l int, p float64, dec ToricDecoder, samples int, seed uint64) toric.MemoryResult {
+	return toric.MemoryExperiment(l, p, dec, samples, seed)
 }
 
 // NewAnyonComputer returns the A₅ flux-pair encoding and a register of k

@@ -5,6 +5,7 @@ package bits
 
 import (
 	"fmt"
+	mbits "math/bits"
 	"strings"
 )
 
@@ -254,13 +255,21 @@ func (v Vec) Weight() int {
 
 // Support returns the indices of the 1 bits in increasing order.
 func (v Vec) Support() []int {
-	var s []int
-	for i := 0; i < v.n; i++ {
-		if v.Get(i) {
-			s = append(s, i)
+	return v.AppendSupport(nil)
+}
+
+// AppendSupport appends the indices of the 1 bits in increasing order to
+// dst and returns the extended slice. It walks whole words and extracts
+// set bits with trailing-zero counts, so sparse vectors cost O(words +
+// ones) rather than O(bits) — the hot path of batch defect extraction.
+func (v Vec) AppendSupport(dst []int) []int {
+	for i, w := range v.words {
+		base := i * wordBits
+		for ; w != 0; w &= w - 1 {
+			dst = append(dst, base+trailingZeros64(w))
 		}
 	}
-	return s
+	return dst
 }
 
 // String renders the vector as a string of '0' and '1'.
@@ -289,11 +298,65 @@ func (v Vec) Key() string {
 	return string(b)
 }
 
-func popcount(x uint64) int {
-	// Hacker's Delight population count; stdlib math/bits is allowed but
-	// keeping this local avoids importing it under a clashing name.
-	x -= (x >> 1) & 0x5555555555555555
-	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
-	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
-	return int((x * 0x0101010101010101) >> 56)
+// trailingZeros64 names math/bits.TrailingZeros64 under the import alias.
+func trailingZeros64(x uint64) int { return mbits.TrailingZeros64(x) }
+
+// TransposePlanes writes the bit-matrix transpose of src into dst:
+// dst[j].Get(i) == src[i].Get(j). src holds n vectors of m bits and dst
+// must hold m vectors of n bits. The work runs block-wise: each 64×64 bit
+// tile is gathered into registers, transposed by the classic
+// swap-by-halves network, and scattered — O(n·m/64) word operations
+// instead of O(n·m) bit probes. It is the pivot between check-major
+// syndrome planes (one vector per check, one bit per shot) and lane-major
+// syndromes (one vector per shot) that per-lane decoders consume.
+func TransposePlanes(dst, src []Vec) {
+	if len(src) == 0 {
+		for _, d := range dst {
+			d.Clear()
+		}
+		return
+	}
+	n, m := len(src), src[0].Len()
+	if len(dst) != m || (m > 0 && dst[0].Len() != n) {
+		panic("bits: shape mismatch in TransposePlanes")
+	}
+	var tile [64]uint64
+	for bi := 0; bi < (n+63)/64; bi++ { // block row: src vectors 64·bi …
+		for bj := 0; bj < (m+63)/64; bj++ { // block col: src bits 64·bj …
+			rows := n - bi*64
+			if rows > 64 {
+				rows = 64
+			}
+			for r := 0; r < rows; r++ {
+				tile[r] = src[bi*64+r].Word(bj)
+			}
+			for r := rows; r < 64; r++ {
+				tile[r] = 0
+			}
+			transpose64(&tile)
+			cols := m - bj*64
+			if cols > 64 {
+				cols = 64
+			}
+			for c := 0; c < cols; c++ {
+				dst[bj*64+c].SetWord(bi, tile[c])
+			}
+		}
+	}
 }
+
+// transpose64 transposes a 64×64 bit tile in place (bit j of word i moves
+// to bit i of word j) by recursive halves — the Hacker's Delight network:
+// swap the off-diagonal 32×32 quadrants, then 16×16, … down to 1×1.
+func transpose64(t *[64]uint64) {
+	m := uint64(0x00000000ffffffff)
+	for j := 32; j != 0; j, m = j>>1, m^(m<<uint(j>>1)) {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			x := (t[k]>>uint(j) ^ t[k+j]) & m
+			t[k] ^= x << uint(j)
+			t[k+j] ^= x
+		}
+	}
+}
+
+func popcount(x uint64) int { return mbits.OnesCount64(x) }

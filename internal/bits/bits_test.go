@@ -241,3 +241,56 @@ func TestWordLevelOps(t *testing.T) {
 		t.Fatal("Clear broken")
 	}
 }
+
+func TestAppendSupport(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(300)
+		v := NewVec(n)
+		var want []int
+		for i := 0; i < n; i++ {
+			if rng.IntN(4) == 0 {
+				v.Set(i, true)
+				want = append(want, i)
+			}
+		}
+		got := v.AppendSupport(nil)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: support size %d want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: support[%d]=%d want %d", n, i, got[i], want[i])
+			}
+		}
+		// Appending after a prefix must preserve it.
+		pre := v.AppendSupport([]int{-1})
+		if pre[0] != -1 || len(pre) != len(want)+1 {
+			t.Fatal("AppendSupport clobbered the destination prefix")
+		}
+	}
+}
+
+func TestTransposePlanes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(73, 74))
+	for _, shape := range [][2]int{{1, 1}, {3, 70}, {64, 64}, {65, 127}, {130, 40}, {257, 129}} {
+		n, m := shape[0], shape[1]
+		src := NewVecs(n, m)
+		for i := range src {
+			for j := 0; j < m; j++ {
+				if rng.IntN(2) == 1 {
+					src[i].Set(j, true)
+				}
+			}
+		}
+		dst := NewVecs(m, n)
+		TransposePlanes(dst, src)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				if dst[j].Get(i) != src[i].Get(j) {
+					t.Fatalf("shape %dx%d: dst[%d][%d] != src[%d][%d]", n, m, j, i, i, j)
+				}
+			}
+		}
+	}
+}

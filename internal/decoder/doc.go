@@ -1,0 +1,60 @@
+// Package decoder provides the scalable classical decoders for the toric
+// code (and any other graph-like code): a near-linear union-find decoder
+// for the hot Monte Carlo path and a polynomial exact minimum-weight
+// perfect matching kept as the accuracy baseline. Gottesman
+// (arXiv:2210.15844) singles out fast classical decoding as the gating
+// classical cost of scaling fault-tolerant quantum computers; this
+// package is that subsystem.
+//
+// # The union-find growth/merge algorithm
+//
+// UnionFind implements the Delfosse–Nickerson decoder on a fixed decoding
+// Graph (detectors = nodes, qubits = edges). Decoding runs in three
+// phases:
+//
+//  1. Seeding. Every defect (lit detector) becomes a singleton cluster
+//     with odd parity whose boundary is its incident edge list.
+//
+//  2. Growth and merge. While any cluster has odd parity, every odd
+//     cluster grows each boundary edge by a half-step (edge support
+//     0→1→2). An edge reaching full support (2) leaves the boundary and
+//     triggers a merge: its endpoint clusters are united (union by size,
+//     ties to the smaller root id; parities add, boundary lists
+//     concatenate), and a node reached for the first time is absorbed as
+//     a parity-0 member bringing its own incident edges. Because the
+//     total defect parity on a closed graph is even, growth terminates
+//     with every cluster even.
+//
+//  3. Peeling. The fully-grown (support-2) edges form an "erasure" that
+//     connects each cluster. A depth-first spanning forest of that
+//     erasure is peeled leaf-first: a leaf holding a defect emits its
+//     tree edge into the correction and hands the defect to its parent.
+//     Within each even cluster the defects cancel pairwise, so the
+//     emitted chain's syndrome is exactly the defect set.
+//
+// Cost is near-linear (inverse-Ackermann union-find) in the size of the
+// grown region, not in the lattice, which is what makes L = 16–32 memory
+// experiments tractable where matching decoders pay at least
+// O(defects²).
+//
+// # Exact matching baseline
+//
+// Matcher.MinWeightPairs is a polynomial (O(n³)-style) primal-dual
+// blossom algorithm for minimum-weight perfect matching on the complete
+// defect graph — the replacement for the old O(2ⁿ·n²) bitmask dynamic
+// program, with no cap on the defect count. It is the accuracy baseline
+// the union-find decoder is measured against.
+//
+// # Determinism contract
+//
+// Both decoders are pure functions of their inputs: adjacency lists are
+// laid out in ascending (node, edge) order at Graph construction, growth
+// sweeps visit clusters in first-touch order, merges happen in grow
+// order, peeling follows DFS order, and the matcher breaks ties by its
+// fixed edge enumeration. No map iteration, clock, or scheduling enters
+// any decision, so a decode's output depends only on (graph, defect
+// list) — the property the batch experiments rely on to stay
+// reproducible for any GOMAXPROCS. Decoder instances carry scratch state
+// and must not be shared between goroutines; the Graph is immutable and
+// shared freely.
+package decoder

@@ -1,0 +1,59 @@
+package decoder
+
+// Graph is a decoding graph in compressed adjacency form: detectors
+// (checks) are nodes, physical qubits are edges between the two checks
+// they can flip. It is immutable after construction and safely shared by
+// any number of concurrent decoder instances.
+type Graph struct {
+	nodes int
+	endU  []int32 // edge e runs endU[e] — endV[e]
+	endV  []int32
+	off   []int32 // CSR offsets into adjEdge/adjNode, len nodes+1
+	adjE  []int32 // incident edge ids, grouped by node
+	adjN  []int32 // the far endpoint of the matching adjE entry
+}
+
+// NewGraph builds the graph from the edge-endpoint table: edge e connects
+// ends[e][0] and ends[e][1]. Adjacency lists are laid out in ascending
+// (node, edge) order, which fixes the traversal order every decoder pass
+// uses — the root of the package's determinism contract.
+func NewGraph(nodes int, ends [][2]int32) *Graph {
+	g := &Graph{
+		nodes: nodes,
+		endU:  make([]int32, len(ends)),
+		endV:  make([]int32, len(ends)),
+		off:   make([]int32, nodes+1),
+	}
+	for e, uv := range ends {
+		if uv[0] < 0 || uv[1] < 0 || int(uv[0]) >= nodes || int(uv[1]) >= nodes || uv[0] == uv[1] {
+			panic("decoder: bad edge endpoints")
+		}
+		g.endU[e], g.endV[e] = uv[0], uv[1]
+		g.off[uv[0]+1]++
+		g.off[uv[1]+1]++
+	}
+	for v := 0; v < nodes; v++ {
+		g.off[v+1] += g.off[v]
+	}
+	g.adjE = make([]int32, 2*len(ends))
+	g.adjN = make([]int32, 2*len(ends))
+	cursor := make([]int32, nodes)
+	copy(cursor, g.off[:nodes])
+	for e := range ends {
+		u, v := g.endU[e], g.endV[e]
+		g.adjE[cursor[u]], g.adjN[cursor[u]] = int32(e), v
+		cursor[u]++
+		g.adjE[cursor[v]], g.adjN[cursor[v]] = int32(e), u
+		cursor[v]++
+	}
+	return g
+}
+
+// Nodes returns the detector count.
+func (g *Graph) Nodes() int { return g.nodes }
+
+// Edges returns the qubit-edge count.
+func (g *Graph) Edges() int { return len(g.endU) }
+
+// Ends returns the two endpoints of edge e.
+func (g *Graph) Ends(e int) (int, int) { return int(g.endU[e]), int(g.endV[e]) }

@@ -1,0 +1,179 @@
+package decoder
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// dpMinWeight is the O(2ⁿ·n²) bitmask reference the blossom matcher is
+// verified against (the algorithm the matcher replaced in production).
+func dpMinWeight(n int, weight func(i, j int) int64) int64 {
+	full := 1<<uint(n) - 1
+	const inf = int64(1) << 62
+	dp := make([]int64, full+1)
+	for m := 1; m <= full; m++ {
+		dp[m] = inf
+	}
+	for m := 0; m < full; m++ {
+		if dp[m] == inf {
+			continue
+		}
+		i := 0
+		for m>>uint(i)&1 == 1 {
+			i++
+		}
+		for j := i + 1; j < n; j++ {
+			if m>>uint(j)&1 == 1 {
+				continue
+			}
+			nm := m | 1<<uint(i) | 1<<uint(j)
+			if c := dp[m] + weight(i, j); c < dp[nm] {
+				dp[nm] = c
+			}
+		}
+	}
+	return dp[full]
+}
+
+func pairsWeight(pairs [][2]int32, weight func(i, j int) int64) int64 {
+	var total int64
+	for _, p := range pairs {
+		total += weight(int(p[0]), int(p[1]))
+	}
+	return total
+}
+
+func checkPerfect(t *testing.T, n int, pairs [][2]int32) {
+	t.Helper()
+	if len(pairs) != n/2 {
+		t.Fatalf("n=%d: got %d pairs", n, len(pairs))
+	}
+	seen := make([]bool, n)
+	for _, p := range pairs {
+		if p[0] >= p[1] {
+			t.Fatalf("unordered pair %v", p)
+		}
+		for _, v := range p {
+			if v < 0 || int(v) >= n || seen[v] {
+				t.Fatalf("vertex %d repeated or out of range in %v", v, pairs)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// TestMatcherAgreesWithDP verifies the blossom matching is exactly
+// minimal by brute force on thousands of random complete graphs — the
+// adversarial check that the O(n³) implementation earns the name "exact".
+func TestMatcherAgreesWithDP(t *testing.T) {
+	rng := rand.New(rand.NewPCG(201, 202))
+	var m Matcher
+	for trial := 0; trial < 3000; trial++ {
+		n := 2 * (1 + rng.IntN(7)) // 2..14
+		maxw := int64(1 + rng.IntN(30))
+		w := make([]int64, n*n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := rng.Int64N(maxw)
+				w[i*n+j] = d
+				w[j*n+i] = d
+			}
+		}
+		weight := func(i, j int) int64 { return w[i*n+j] }
+		pairs := m.MinWeightPairs(n, weight)
+		checkPerfect(t, n, pairs)
+		got := pairsWeight(pairs, weight)
+		want := dpMinWeight(n, weight)
+		if got != want {
+			t.Fatalf("trial %d n=%d: matcher weight %d, optimal %d", trial, n, got, want)
+		}
+	}
+}
+
+// TestMatcherLargeInstances exercises sizes far beyond the old 2ⁿ cap:
+// the matching must stay perfect and no heavier than a greedy pairing.
+func TestMatcherLargeInstances(t *testing.T) {
+	rng := rand.New(rand.NewPCG(203, 204))
+	var m Matcher
+	for _, n := range []int{20, 40, 60} {
+		w := make([]int64, n*n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := rng.Int64N(100)
+				w[i*n+j] = d
+				w[j*n+i] = d
+			}
+		}
+		weight := func(i, j int) int64 { return w[i*n+j] }
+		pairs := m.MinWeightPairs(n, weight)
+		checkPerfect(t, n, pairs)
+		// Greedy closest-pair-first baseline.
+		alive := make([]int, n)
+		for i := range alive {
+			alive[i] = i
+		}
+		var greedy int64
+		for len(alive) > 1 {
+			bi, bj := 0, 1
+			best := weight(alive[0], alive[1])
+			for i := 0; i < len(alive); i++ {
+				for j := i + 1; j < len(alive); j++ {
+					if d := weight(alive[i], alive[j]); d < best {
+						bi, bj, best = i, j, d
+					}
+				}
+			}
+			greedy += best
+			alive = append(alive[:bj], alive[bj+1:]...)
+			alive = append(alive[:bi], alive[bi+1:]...)
+		}
+		if got := pairsWeight(pairs, weight); got > greedy {
+			t.Fatalf("n=%d: matcher weight %d heavier than greedy %d", n, got, greedy)
+		}
+	}
+}
+
+// TestMatcherDeterministic: same weight table, same pairing, every time.
+func TestMatcherDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(205, 206))
+	n := 16
+	w := make([]int64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := rng.Int64N(7) // many ties
+			w[i*n+j] = d
+			w[j*n+i] = d
+		}
+	}
+	weight := func(i, j int) int64 { return w[i*n+j] }
+	var m1, m2 Matcher
+	a := append([][2]int32(nil), m1.MinWeightPairs(n, weight)...)
+	for trial := 0; trial < 10; trial++ {
+		b := m2.MinWeightPairs(n, weight)
+		if len(a) != len(b) {
+			t.Fatal("pair count changed between runs")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("run %d: pairing differs at %d: %v vs %v", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestMatcherEdgeCases(t *testing.T) {
+	var m Matcher
+	if got := m.MinWeightPairs(0, nil); len(got) != 0 {
+		t.Fatal("n=0 should give no pairs")
+	}
+	got := m.MinWeightPairs(2, func(i, j int) int64 { return 5 })
+	if len(got) != 1 || got[0] != [2]int32{0, 1} {
+		t.Fatalf("n=2: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd n must panic")
+		}
+	}()
+	m.MinWeightPairs(3, func(i, j int) int64 { return 1 })
+}

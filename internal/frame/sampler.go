@@ -126,6 +126,16 @@ type AggregateSampler struct {
 	memoP   [8]float64
 	memoInv [8]float64
 	memoN   int
+	// Geometric-skip carry: the number of active lanes still to skip
+	// before the next fault, valid across words AND across consecutive
+	// Bernoulli calls with the same p (the gap distribution is
+	// memoryless). carryP records the probability the carry belongs to;
+	// a different p resets it. This drops the draw count from one per
+	// word to one per fault — the hot-loop win for plane-at-a-time
+	// sampling (toric batches call Bernoulli thousands of times per
+	// chunk with a fixed p).
+	carry  float64
+	carryP float64
 }
 
 // NewAggregateSampler returns an aggregate sampler over the PCG stream
@@ -150,9 +160,12 @@ func (s *AggregateSampler) invLog1p(p float64) float64 {
 	return v
 }
 
-// Bernoulli samples each word's fault mask by geometric skipping: the gap
-// between consecutive faulted lanes is Geometric(p), so the expected
-// number of draws per word is 1 + 64p instead of 64.
+// Bernoulli samples fault masks by geometric skipping: the gap between
+// consecutive faulted lanes is Geometric(p), so the draw count is one per
+// fault, not one per lane. The residual gap carries across words and
+// across consecutive same-p calls (geometric gaps are memoryless), so a
+// plane-at-a-time caller pays ~p·lanes draws per plane instead of at
+// least one draw per word.
 func (s *AggregateSampler) Bernoulli(p float64, active, out bits.Vec) {
 	if p <= 0 {
 		out.Clear()
@@ -163,30 +176,46 @@ func (s *AggregateSampler) Bernoulli(p float64, active, out bits.Vec) {
 		return
 	}
 	inv := s.invLog1p(p)
+	if s.carryP != p {
+		// Fresh gap for a new probability: P(skip = k) = (1-p)^k · p.
+		s.carry = math.Floor(math.Log(s.rng.Float64()) * inv)
+		s.carryP = p
+	}
+	skip := s.carry
 	for i := 0; i < out.Words(); i++ {
 		a := active.Word(i)
 		if a == 0 {
 			out.SetWord(i, 0)
 			continue
 		}
+		if n := float64(popcount64(a)); skip >= n {
+			skip -= n
+			out.SetWord(i, 0)
+			continue
+		}
 		var m uint64
 		for {
-			// Geometric gap: P(skip = k) = (1-p)^k · p.
-			f := math.Log(s.rng.Float64()) * inv
-			if f >= 64 { // can't reach any remaining lane (also catches +Inf)
-				break
-			}
-			skip := int(f)
-			for ; skip > 0 && a != 0; skip-- {
+			// skip < active lanes remaining in a, so the landing lane is
+			// in this word (and the int conversion cannot overflow).
+			for k := int(skip); k > 0; k-- {
 				a &= a - 1
-			}
-			if a == 0 {
-				break
 			}
 			m |= a & -a
 			a &= a - 1
+			skip = math.Floor(math.Log(s.rng.Float64()) * inv)
+			if rem := float64(popcount64(a)); skip >= rem {
+				skip -= rem
+				break
+			}
 		}
 		out.SetWord(i, m)
+	}
+	s.carry = skip
+	if math.IsInf(skip, 1) {
+		// rng.Float64() returned exactly 0 (probability 2⁻⁵³): the
+		// inverse-CDF gap is unbounded. Poison the carry so the next call
+		// redraws instead of suppressing faults forever.
+		s.carryP = -1
 	}
 }
 
@@ -266,3 +295,6 @@ func scatterPauli2(faults, outXa, outZa, outXb, outZb bits.Vec, src func(lane in
 
 // trailingZeros names math/bits.TrailingZeros64 under the import alias.
 func trailingZeros(x uint64) int { return mbits.TrailingZeros64(x) }
+
+// popcount64 names math/bits.OnesCount64 under the import alias.
+func popcount64(x uint64) int { return mbits.OnesCount64(x) }

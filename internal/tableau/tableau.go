@@ -22,7 +22,7 @@ type Tableau struct {
 	n   int
 	x   []bits.Vec // x[i] is the X-bit row i
 	z   []bits.Vec
-	r   []bool // sign bit: true means the row carries a -1
+	r   bits.Vec // sign bits, packed: bit i set means row i carries a -1
 	rng *rand.Rand
 }
 
@@ -37,7 +37,7 @@ func New(n int, rng *rand.Rand) *Tableau {
 		n:   n,
 		x:   make([]bits.Vec, 2*n+1),
 		z:   make([]bits.Vec, 2*n+1),
-		r:   make([]bool, 2*n+1),
+		r:   bits.NewVec(2*n + 1),
 		rng: rng,
 	}
 	for i := range t.x {
@@ -56,12 +56,11 @@ func (t *Tableau) N() int { return t.n }
 
 // Clone returns an independent copy sharing the same random source.
 func (t *Tableau) Clone() *Tableau {
-	c := &Tableau{n: t.n, x: make([]bits.Vec, len(t.x)), z: make([]bits.Vec, len(t.z)), r: make([]bool, len(t.r)), rng: t.rng}
+	c := &Tableau{n: t.n, x: make([]bits.Vec, len(t.x)), z: make([]bits.Vec, len(t.z)), r: t.r.Clone(), rng: t.rng}
 	for i := range t.x {
 		c.x[i] = t.x[i].Clone()
 		c.z[i] = t.z[i].Clone()
 	}
-	copy(c.r, t.r)
 	return c
 }
 
@@ -70,7 +69,7 @@ func (t *Tableau) H(a int) {
 	for i := 0; i < 2*t.n; i++ {
 		xa, za := t.x[i].Get(a), t.z[i].Get(a)
 		if xa && za {
-			t.r[i] = !t.r[i]
+			t.r.Flip(i)
 		}
 		t.x[i].Set(a, za)
 		t.z[i].Set(a, xa)
@@ -82,7 +81,7 @@ func (t *Tableau) S(a int) {
 	for i := 0; i < 2*t.n; i++ {
 		xa, za := t.x[i].Get(a), t.z[i].Get(a)
 		if xa && za {
-			t.r[i] = !t.r[i]
+			t.r.Flip(i)
 		}
 		t.z[i].Set(a, za != xa)
 	}
@@ -101,7 +100,7 @@ func (t *Tableau) CNOT(a, b int) {
 		xa, za := t.x[i].Get(a), t.z[i].Get(a)
 		xb, zb := t.x[i].Get(b), t.z[i].Get(b)
 		if xa && zb && (xb == za) {
-			t.r[i] = !t.r[i]
+			t.r.Flip(i)
 		}
 		t.x[i].Set(b, xb != xa)
 		t.z[i].Set(a, za != zb)
@@ -118,7 +117,7 @@ func (t *Tableau) SWAP(a, b int) { t.CNOT(a, b); t.CNOT(b, a); t.CNOT(a, b) }
 func (t *Tableau) X(a int) {
 	for i := 0; i < 2*t.n; i++ {
 		if t.z[i].Get(a) {
-			t.r[i] = !t.r[i]
+			t.r.Flip(i)
 		}
 	}
 }
@@ -127,7 +126,7 @@ func (t *Tableau) X(a int) {
 func (t *Tableau) Z(a int) {
 	for i := 0; i < 2*t.n; i++ {
 		if t.x[i].Get(a) {
-			t.r[i] = !t.r[i]
+			t.r.Flip(i)
 		}
 	}
 }
@@ -144,7 +143,7 @@ func (t *Tableau) ApplyPauli(p pauli.Pauli) {
 	for i := 0; i < 2*t.n; i++ {
 		// The row sign flips iff the row anticommutes with p.
 		if t.x[i].Dot(p.ZBits) != p.XBits.Dot(t.z[i]) {
-			t.r[i] = !t.r[i]
+			t.r.Flip(i)
 		}
 	}
 }
@@ -173,7 +172,7 @@ func b2i(b bool) int {
 
 // rowsum sets row h to row h · row i, maintaining the sign bit.
 func (t *Tableau) rowsum(h, i int) {
-	phase := 2*b2i(t.r[h]) + 2*b2i(t.r[i])
+	phase := 2*b2i(t.r.Get(h)) + 2*b2i(t.r.Get(i))
 	for j := 0; j < t.n; j++ {
 		phase += g(t.x[i].Get(j), t.z[i].Get(j), t.x[h].Get(j), t.z[h].Get(j))
 	}
@@ -181,7 +180,7 @@ func (t *Tableau) rowsum(h, i int) {
 	// Odd phases can only arise when h is a destabilizer row (whose sign
 	// is irrelevant to the algorithm); stabilizer rows always commute, so
 	// their sums stay real.
-	t.r[h] = phase == 2 || phase == 3
+	t.r.Set(h, phase == 2 || phase == 3)
 	t.x[h].Xor(t.x[i])
 	t.z[h].Xor(t.z[i])
 }
@@ -207,25 +206,25 @@ func (t *Tableau) MeasureZ(a int) (outcome, deterministic bool) {
 		// Destabilizer p-n becomes the old stabilizer row p.
 		t.x[p-n] = t.x[p].Clone()
 		t.z[p-n] = t.z[p].Clone()
-		t.r[p-n] = t.r[p]
+		t.r.Set(p-n, t.r.Get(p))
 		// New stabilizer: ±Z_a.
 		out := t.rng.IntN(2) == 1
 		t.x[p] = bits.NewVec(n)
 		t.z[p] = bits.NewVec(n)
 		t.z[p].Set(a, true)
-		t.r[p] = out
+		t.r.Set(p, out)
 		return out, false
 	}
 	// Deterministic outcome: accumulate the relevant stabilizers in scratch.
 	t.x[2*n] = bits.NewVec(n)
 	t.z[2*n] = bits.NewVec(n)
-	t.r[2*n] = false
+	t.r.Set(2*n, false)
 	for i := 0; i < n; i++ {
 		if t.x[i].Get(a) {
 			t.rowsum(2*n, i+n)
 		}
 	}
-	return t.r[2*n], true
+	return t.r.Get(2 * n), true
 }
 
 // MeasureX measures qubit a in the X basis.
@@ -273,11 +272,11 @@ func (t *Tableau) MeasurePauli(p pauli.Pauli) (outcome, deterministic bool) {
 	}
 	t.x[anti-t.n] = t.x[anti].Clone()
 	t.z[anti-t.n] = t.z[anti].Clone()
-	t.r[anti-t.n] = t.r[anti]
+	t.r.Set(anti-t.n, t.r.Get(anti))
 	out := t.rng.IntN(2) == 1
 	t.x[anti] = p.XBits.Clone()
 	t.z[anti] = p.ZBits.Clone()
-	t.r[anti] = out != hermitianSign(p)
+	t.r.Set(anti, out != hermitianSign(p))
 	return out, false
 }
 
@@ -301,7 +300,7 @@ func (t *Tableau) deterministicSign(p pauli.Pauli) bool {
 	n := t.n
 	t.x[2*n] = bits.NewVec(n)
 	t.z[2*n] = bits.NewVec(n)
-	t.r[2*n] = false
+	t.r.Set(2*n, false)
 	// p anticommutes with destabilizer i exactly when stabilizer i appears
 	// in its stabilizer decomposition.
 	for i := 0; i < n; i++ {
@@ -315,7 +314,7 @@ func (t *Tableau) deterministicSign(p pauli.Pauli) bool {
 	// The scratch row and p now share (x, z); both are Hermitian, so they
 	// differ at most by a real sign, and the outcome is -1 exactly when
 	// those signs disagree.
-	return t.r[2*n] != hermitianSign(p)
+	return t.r.Get(2*n) != hermitianSign(p)
 }
 
 // StabilizerRow returns stabilizer generator i (0 ≤ i < n) as a Pauli with
@@ -326,7 +325,7 @@ func (t *Tableau) StabilizerRow(i int) pauli.Pauli {
 	// i^phase·X^x·Z^z representation each Y contributes a factor of i.
 	y := row.XBits.Clone()
 	y.And(row.ZBits)
-	row.Phase = uint8((y.Weight() + 2*b2i(t.r[t.n+i])) % 4)
+	row.Phase = uint8((y.Weight() + 2*b2i(t.r.Get(t.n+i))) % 4)
 	return row
 }
 

@@ -6,15 +6,22 @@
 // logical error rate with the code distance L (the paper's e^{−mL}
 // tunneling estimate) and with the inverse temperature Δ/T (the thermal
 // anyon plasma).
+//
+// Decoding is delegated to internal/decoder: a near-linear union-find
+// decoder for the hot Monte Carlo path and a polynomial exact
+// minimum-weight matcher as the accuracy baseline. Batch decodes run as
+// a worker-pool stage over word-aligned lane spans, bit-identical for
+// any GOMAXPROCS.
 package toric
 
 import (
 	"math"
-	mbits "math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"ftqc/internal/bits"
+	"ftqc/internal/decoder"
 	"ftqc/internal/frame"
 )
 
@@ -34,6 +41,18 @@ type Lattice struct {
 	// intersection ⇔ the chain winds horizontally on the dual lattice);
 	// det2 is the row of horizontal edges at y=0.
 	det1, det2 bits.Vec
+	// Support lists of the detectors, precomputed for the batch path.
+	det1Sup, det2Sup []int
+	// wrapDist[d] = min(d, L−d): the one-axis torus metric, cached so a
+	// plaquette distance is two table lookups shared by every lane and
+	// worker.
+	wrapDist []int32
+	// graph is the decoding graph (plaquettes = nodes, qubits = edges),
+	// immutable and shared across all decoder instances.
+	graph *decoder.Graph
+	// scratch recycles per-worker decoder state (union-find arrays,
+	// matcher arrays, defect and correction buffers) across decodes.
+	scratch *sync.Pool
 }
 
 // NewLattice returns an L×L toric lattice (L ≥ 2).
@@ -49,6 +68,33 @@ func NewLattice(l int) Lattice {
 		t.det1.Flip(t.VEdge(0, i))
 		t.det2.Flip(t.HEdge(i, 0))
 	}
+	t.det1Sup = t.det1.Support()
+	t.det2Sup = t.det2.Support()
+	t.wrapDist = make([]int32, l)
+	for d := 0; d < l; d++ {
+		if l-d < d {
+			t.wrapDist[d] = int32(l - d)
+		} else {
+			t.wrapDist[d] = int32(d)
+		}
+	}
+	// Decoding graph: horizontal edge h(x,y) separates plaquettes (x,y)
+	// and (x,y−1); vertical edge v(x,y) separates (x,y) and (x−1,y).
+	ends := make([][2]int32, t.Qubits())
+	for y := 0; y < l; y++ {
+		for x := 0; x < l; x++ {
+			ends[t.HEdge(x, y)] = [2]int32{int32(y*l + x), int32(mod(y-1, l)*l + x)}
+			ends[t.VEdge(x, y)] = [2]int32{int32(y*l + x), int32(y*l + mod(x-1, l))}
+		}
+	}
+	t.graph = decoder.NewGraph(t.NumChecks(), ends)
+	graph, qubits := t.graph, t.Qubits()
+	t.scratch = &sync.Pool{New: func() any {
+		return &decodeScratch{
+			uf:   decoder.NewUnionFind(graph),
+			corr: bits.NewVec(qubits),
+		}
+	}}
 	return t
 }
 
@@ -184,22 +230,15 @@ func (t Lattice) LogicalError(errs bits.Vec) bool {
 func (t *Lattice) torusDist(a, b int) int {
 	ax, ay := a%t.L, a/t.L
 	bx, by := b%t.L, b/t.L
-	dx := abs(ax - bx)
-	if t.L-dx < dx {
-		dx = t.L - dx
+	dx := ax - bx
+	if dx < 0 {
+		dx = -dx
 	}
-	dy := abs(ay - by)
-	if t.L-dy < dy {
-		dy = t.L - dy
+	dy := ay - by
+	if dy < 0 {
+		dy = -dy
 	}
-	return dx + dy
-}
-
-func abs(a int) int {
-	if a < 0 {
-		return -a
-	}
-	return a
+	return int(t.wrapDist[dx] + t.wrapDist[dy])
 }
 
 // pathBetween flips a shortest error chain connecting plaquettes a and b
@@ -243,66 +282,124 @@ func (t *Lattice) pathBetween(a, b int, out bits.Vec) {
 	}
 }
 
-// DecoderKind selects the matching strategy.
+// DecoderKind selects the decoding strategy.
 type DecoderKind int
 
 // Decoders.
 const (
 	// DecoderGreedy repeatedly pairs the two closest defects.
 	DecoderGreedy DecoderKind = iota
-	// DecoderExact finds a minimum-weight perfect matching by bitmask
-	// dynamic programming when the defect count is small (≤ 14), falling
-	// back to greedy otherwise.
+	// DecoderExact finds a minimum-weight perfect matching with the
+	// polynomial (O(n³)-style) blossom matcher — exact at any defect
+	// count; the accuracy baseline.
 	DecoderExact
+	// DecoderUnionFind is the near-linear weighted-growth union-find
+	// decoder — the production decoder for large-L experiments.
+	DecoderUnionFind
 )
+
+// decodeScratch carries one worker's reusable decoder state. Instances
+// live in the lattice's sync.Pool, so any decode path — public one-off
+// calls and batch workers alike — recycles buffers instead of
+// reallocating per call.
+type decodeScratch struct {
+	uf      *decoder.UnionFind
+	matcher decoder.Matcher
+	pairs   [][2]int
+	alive   []int
+	defects []int
+	corr    bits.Vec
+}
+
+func (s *decodeScratch) takePairs(n int) [][2]int {
+	if cap(s.pairs) < n {
+		s.pairs = make([][2]int, 0, n)
+	}
+	return s.pairs[:0]
+}
 
 // Decode returns a correction for the given defect set.
 func (t Lattice) Decode(defects []int, kind DecoderKind) bits.Vec {
 	corr := bits.NewVec(t.Qubits())
-	for _, p := range t.matchDefects(defects, kind, nil) {
-		t.pathBetween(p[0], p[1], corr)
-	}
+	scr := t.scratch.Get().(*decodeScratch)
+	t.decodeInto(defects, kind, scr, corr)
+	t.scratch.Put(scr)
 	return corr
 }
 
-// matchScratch holds reusable buffers for the matcher so a batch of
-// decodes allocates once instead of per lane. The returned pair slices
-// alias scr.pairs and are valid until the next call with the same scr.
-type matchScratch struct {
-	dp, choice []int32
-	pairs      [][2]int
+// decodeInto flips a correction for the defect set into corr. All decode
+// paths (scalar and batch) funnel through here, so every path shares one
+// deterministic tie-break per decoder kind.
+func (t *Lattice) decodeInto(defects []int, kind DecoderKind, scr *decodeScratch, corr bits.Vec) {
+	if kind == DecoderUnionFind {
+		scr.uf.Decode(defects, func(e int) { corr.Flip(e) })
+		return
+	}
+	for _, pr := range t.matchDefects(defects, kind, scr) {
+		t.pathBetween(pr[0], pr[1], corr)
+	}
 }
 
-func (s *matchScratch) take(n int) [][2]int {
-	if s == nil {
-		return make([][2]int, 0, n)
-	}
-	if cap(s.pairs) < n {
-		s.pairs = make([][2]int, 0, n)
-	}
-	s.pairs = s.pairs[:0]
-	return s.pairs
-}
-
-// matchDefects pairs up the defect set with the chosen strategy. scr may
-// be nil (one-off decodes) or carried across calls to reuse buffers.
-func (t *Lattice) matchDefects(defects []int, kind DecoderKind, scr *matchScratch) [][2]int {
+// matchDefects pairs up the defect set with the chosen strategy. The
+// returned pairs alias scr and are valid until its next use.
+func (t *Lattice) matchDefects(defects []int, kind DecoderKind, scr *decodeScratch) [][2]int {
 	switch {
 	case len(defects) == 0:
 		return nil
 	case len(defects) == 2:
-		// One pair: both strategies agree, no search needed.
-		return append(scr.take(1), [2]int{defects[0], defects[1]})
-	case kind == DecoderExact && len(defects) <= 14:
-		return t.exactMatch(defects, scr)
+		// One pair: all strategies agree, no search needed.
+		return append(scr.takePairs(1), [2]int{defects[0], defects[1]})
+	case kind == DecoderExact && len(defects) == 4:
+		return t.matchFour(defects, scr)
+	case kind == DecoderExact:
+		return t.mwpmMatch(defects, scr)
 	}
 	return t.greedyMatch(defects, scr)
 }
 
+// matchFour picks the lightest of the three pairings of four defects
+// directly — the dominant nontrivial case at low error rates, decided
+// without touching the matcher.
+func (t *Lattice) matchFour(defects []int, scr *decodeScratch) [][2]int {
+	d01 := t.torusDist(defects[0], defects[1])
+	d23 := t.torusDist(defects[2], defects[3])
+	d02 := t.torusDist(defects[0], defects[2])
+	d13 := t.torusDist(defects[1], defects[3])
+	d03 := t.torusDist(defects[0], defects[3])
+	d12 := t.torusDist(defects[1], defects[2])
+	best, bi := d01+d23, 1
+	if c := d02 + d13; c < best {
+		best, bi = c, 2
+	}
+	if c := d03 + d12; c < best {
+		bi = 3
+	}
+	pairs := scr.takePairs(2)
+	switch bi {
+	case 1:
+		return append(pairs, [2]int{defects[0], defects[1]}, [2]int{defects[2], defects[3]})
+	case 2:
+		return append(pairs, [2]int{defects[0], defects[2]}, [2]int{defects[1], defects[3]})
+	}
+	return append(pairs, [2]int{defects[0], defects[3]}, [2]int{defects[1], defects[2]})
+}
+
+// mwpmMatch is the polynomial exact matcher on the torus distance graph.
+func (t *Lattice) mwpmMatch(defects []int, scr *decodeScratch) [][2]int {
+	idx := scr.matcher.MinWeightPairs(len(defects), func(i, j int) int64 {
+		return int64(t.torusDist(defects[i], defects[j]))
+	})
+	pairs := scr.takePairs(len(idx))
+	for _, pr := range idx {
+		pairs = append(pairs, [2]int{defects[pr[0]], defects[pr[1]]})
+	}
+	return pairs
+}
+
 // greedyMatch pairs the globally closest defects first.
-func (t *Lattice) greedyMatch(defects []int, scr *matchScratch) [][2]int {
-	alive := append([]int(nil), defects...)
-	pairs := scr.take(len(defects) / 2)
+func (t *Lattice) greedyMatch(defects []int, scr *decodeScratch) [][2]int {
+	alive := append(scr.alive[:0], defects...)
+	pairs := scr.takePairs(len(defects) / 2)
 	for len(alive) > 1 {
 		bi, bj, best := 0, 1, 1<<30
 		for i := 0; i < len(alive); i++ {
@@ -317,93 +414,7 @@ func (t *Lattice) greedyMatch(defects []int, scr *matchScratch) [][2]int {
 		alive = append(alive[:bj], alive[bj+1:]...)
 		alive = append(alive[:bi], alive[bi+1:]...)
 	}
-	return pairs
-}
-
-// exactMatch is O(2^n · n²) minimum-weight perfect matching over the
-// defect set. Pairwise distances are tabulated up front so the subset DP
-// inner loop is a table lookup.
-func (t *Lattice) exactMatch(defects []int, scr *matchScratch) [][2]int {
-	n := len(defects)
-	if n%2 != 0 {
-		panic("toric: odd defect count on a torus")
-	}
-	var distBuf [14 * 14]int32
-	dist := distBuf[:n*n]
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := int32(t.torusDist(defects[i], defects[j]))
-			dist[i*n+j] = d
-			dist[j*n+i] = d
-		}
-	}
-	if n == 4 {
-		// Three pairings: pick the lightest directly. The tie-break is
-		// deterministic and shared by the scalar and batch decode paths,
-		// which is all equivalence needs.
-		best, bi := dist[0*4+1]+dist[2*4+3], 1
-		if c := dist[0*4+2] + dist[1*4+3]; c < best {
-			best, bi = c, 2
-		}
-		if c := dist[0*4+3] + dist[1*4+2]; c < best {
-			bi = 3
-		}
-		pairs := scr.take(2)
-		switch bi {
-		case 1:
-			return append(pairs, [2]int{defects[0], defects[1]}, [2]int{defects[2], defects[3]})
-		case 2:
-			return append(pairs, [2]int{defects[0], defects[2]}, [2]int{defects[1], defects[3]})
-		}
-		return append(pairs, [2]int{defects[0], defects[3]}, [2]int{defects[1], defects[2]})
-	}
-	full := 1<<uint(n) - 1
-	const inf = math.MaxInt32
-	var dp, choice []int32
-	if scr != nil {
-		if cap(scr.dp) < full+1 {
-			scr.dp = make([]int32, full+1)
-			scr.choice = make([]int32, full+1)
-		}
-		dp = scr.dp[:full+1]
-		choice = scr.choice[:full+1]
-	} else {
-		dp = make([]int32, full+1)
-		choice = make([]int32, full+1)
-	}
-	dp[0] = 0
-	for m := 1; m <= full; m++ {
-		dp[m] = inf
-	}
-	for m := 0; m <= full; m++ {
-		if dp[m] == inf || m == full {
-			continue
-		}
-		// First unmatched defect.
-		i := 0
-		for m>>uint(i)&1 == 1 {
-			i++
-		}
-		for j := i + 1; j < n; j++ {
-			if m>>uint(j)&1 == 1 {
-				continue
-			}
-			nm := m | 1<<uint(i) | 1<<uint(j)
-			cost := dp[m] + dist[i*n+j]
-			if cost < dp[nm] {
-				dp[nm] = cost
-				choice[nm] = int32(i<<8 | j)
-			}
-		}
-	}
-	pairs := scr.take(n / 2)
-	m := full
-	for m != 0 {
-		c := choice[m]
-		i, j := int(c>>8), int(c&0xff)
-		pairs = append(pairs, [2]int{defects[i], defects[j]})
-		m &^= 1<<uint(i) | 1<<uint(j)
-	}
+	scr.alive = alive[:0]
 	return pairs
 }
 
@@ -451,11 +462,11 @@ func cachedLattice(l int) *Lattice {
 // BatchMemory runs `lanes` independent shots of the passive-memory
 // experiment as bit-planes over the given sampler and returns the
 // per-lane failure mask. Edge sampling and syndrome extraction are
-// word-parallel across lanes; only the matching decoder runs per lane.
-// Under a lockstep sampler lane i reproduces a scalar shot drawn from the
-// paired stream edge by edge.
+// word-parallel across lanes; the per-lane decodes run as a worker-pool
+// stage over word-aligned lane spans. Under a lockstep sampler lane i
+// reproduces a scalar shot drawn from the paired stream edge by edge.
 func (t *Lattice) BatchMemory(p float64, kind DecoderKind, lanes int, smp frame.Sampler) bits.Vec {
-	nq := t.Qubits()
+	nq, nc := t.Qubits(), t.NumChecks()
 	active := bits.NewVec(lanes)
 	active.SetAll()
 	// Sample one error plane per edge, in edge order (the scalar draw
@@ -464,66 +475,104 @@ func (t *Lattice) BatchMemory(p float64, kind DecoderKind, lanes int, smp frame.
 	for e := 0; e < nq; e++ {
 		smp.Bernoulli(p, active, planes[e])
 	}
-	// Plaquette syndromes: one XOR chain of four edge planes per check,
-	// then per-lane defect lists in ascending plaquette order (the order
-	// Syndrome produces). Lists start in a shared backing sized for the
-	// typical defect count; a busy lane grows its own on overflow.
-	const defectCap = 8
-	backing := make([]int, lanes*defectCap)
-	defects := make([][]int, lanes)
-	for lane := range defects {
-		defects[lane] = backing[lane*defectCap : lane*defectCap : (lane+1)*defectCap]
-	}
-	plaq := bits.NewVec(lanes)
+	// Plaquette syndrome planes: one XOR chain of four edge planes per
+	// check, check-major.
+	checks := bits.NewVecs(nc, lanes)
 	for y := 0; y < t.L; y++ {
 		for x := 0; x < t.L; x++ {
-			idx := y*t.L + x
 			edges := t.PlaquetteEdges(x, y)
-			plaq.CopyFrom(planes[edges[0]])
-			plaq.Xor(planes[edges[1]])
-			plaq.Xor(planes[edges[2]])
-			plaq.Xor(planes[edges[3]])
-			for wi := 0; wi < plaq.Words(); wi++ {
-				for w := plaq.Word(wi); w != 0; w &= w - 1 {
-					lane := wi*64 + mbits.TrailingZeros64(w)
-					defects[lane] = append(defects[lane], idx)
-				}
-			}
+			cv := checks[y*t.L+x]
+			cv.CopyFrom(planes[edges[0]])
+			cv.Xor(planes[edges[1]])
+			cv.Xor(planes[edges[2]])
+			cv.Xor(planes[edges[3]])
 		}
 	}
 	// Winding parities of the raw error planes, batched.
 	p1 := bits.NewVec(lanes)
 	p2 := bits.NewVec(lanes)
-	for _, e := range t.det1.Support() {
+	for _, e := range t.det1Sup {
 		p1.Xor(planes[e])
 	}
-	for _, e := range t.det2.Support() {
+	for _, e := range t.det2Sup {
 		p2.Xor(planes[e])
 	}
-	// Per-lane: match defects, accumulate the correction chain, and test
-	// the residual's homology class. The correction's syndrome equals the
-	// defect set by construction (each path ends exactly on its pair), so
-	// the residual is always a cycle and the winding parities decide.
+	// Pivot to lane-major syndromes so each decode worker reads its own
+	// lanes' bit-vectors and extracts sparse defect lists by word scans.
+	syn := bits.NewVecs(lanes, nc)
+	bits.TransposePlanes(syn, checks)
 	fails := bits.NewVec(lanes)
-	corr := bits.NewVec(nq)
-	var scr matchScratch
-	for lane := 0; lane < lanes; lane++ {
-		d := defects[lane]
+	t.decodeLanes(kind, syn, p1, p2, fails)
+	return fails
+}
+
+// decodeLanes is the worker-pool decode stage: lanes are partitioned
+// into 64-lane word-aligned spans handed out to GOMAXPROCS workers. Each
+// worker owns its spans' words of `fails` outright (no two workers touch
+// the same machine word) and draws private scratch from the lattice
+// pool, so the result is bit-identical for any worker count or
+// scheduling order.
+func (t *Lattice) decodeLanes(kind DecoderKind, syn []bits.Vec, p1, p2, fails bits.Vec) {
+	lanes := len(syn)
+	words := fails.Words()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > words {
+		workers = words
+	}
+	// Small batches (the fixed-width chunks of ForEachChunk, 2 words)
+	// decode serially: the experiment loop already saturates the CPUs
+	// with one goroutine per chunk, so an inner pool would only add
+	// spawn overhead. The pool engages for large standalone batches.
+	if workers <= 1 || words < 4 {
+		t.decodeLaneSpan(kind, syn, p1, p2, fails, 0, lanes)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				wi := int(next.Add(1)) - 1
+				if wi >= words {
+					return
+				}
+				lo := wi * 64
+				hi := lo + 64
+				if hi > lanes {
+					hi = lanes
+				}
+				t.decodeLaneSpan(kind, syn, p1, p2, fails, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// decodeLaneSpan decodes lanes [lo, hi): extract the sparse defect list
+// from the lane's syndrome vector (word scan + trailing-zero walk),
+// decode it, and fold the correction's winding parities into the error
+// chain's. The correction's syndrome equals the defect set by
+// construction, so the residual is always a cycle and the winding
+// parities decide failure.
+func (t *Lattice) decodeLaneSpan(kind DecoderKind, syn []bits.Vec, p1, p2, fails bits.Vec, lo, hi int) {
+	scr := t.scratch.Get().(*decodeScratch)
+	for lane := lo; lane < hi; lane++ {
+		scr.defects = syn[lane].AppendSupport(scr.defects[:0])
 		l1 := p1.Get(lane)
 		l2 := p2.Get(lane)
-		if len(d) > 0 {
-			corr.Clear()
-			for _, pr := range t.matchDefects(d, kind, &scr) {
-				t.pathBetween(pr[0], pr[1], corr)
-			}
-			l1 = l1 != corr.Dot(t.det1)
-			l2 = l2 != corr.Dot(t.det2)
+		if len(scr.defects) > 0 {
+			scr.corr.Clear()
+			t.decodeInto(scr.defects, kind, scr, scr.corr)
+			l1 = l1 != scr.corr.Dot(t.det1)
+			l2 = l2 != scr.corr.Dot(t.det2)
 		}
 		if l1 || l2 {
 			fails.Set(lane, true)
 		}
 	}
-	return fails
+	t.scratch.Put(scr)
 }
 
 // ThermalResult is one point of the E18 temperature sweep.

@@ -1,7 +1,9 @@
 package toric
 
 import (
+	"math"
 	"math/rand/v2"
+	"runtime"
 	"testing"
 
 	"ftqc/internal/bits"
@@ -288,7 +290,9 @@ func TestBatchMemoryMatchesScalar(t *testing.T) {
 		{5, 0.03, DecoderExact},
 		{5, 0.12, DecoderGreedy},
 		{4, 0.25, DecoderGreedy},
-		{5, 0.25, DecoderExact}, // >14 defects: exercises the greedy fallback
+		{5, 0.25, DecoderExact}, // >14 defects: beyond the old bitmask cap
+		{4, 0.06, DecoderUnionFind},
+		{5, 0.2, DecoderUnionFind},
 	} {
 		lat := NewLattice(tc.l)
 		seed := uint64(1000*tc.l) + uint64(tc.p*1e4)
@@ -315,5 +319,142 @@ func TestBatchMemoryMatchesScalar(t *testing.T) {
 func TestTunnelingEstimate(t *testing.T) {
 	if TunnelingErrorProb(1.0, 10) >= TunnelingErrorProb(1.0, 5) {
 		t.Fatal("tunneling amplitude must fall with separation")
+	}
+}
+
+// TestAllDecodersClearSyndrome is the shared soundness property: for
+// every decoder kind, the correction's syndrome must equal the defect
+// set on random error patterns of every density, leaving a closed
+// (syndrome-free) residual.
+func TestAllDecodersClearSyndrome(t *testing.T) {
+	rng := rand.New(rand.NewPCG(151, 152))
+	for _, l := range []int{3, 5, 8} {
+		lat := NewLattice(l)
+		for trial := 0; trial < 150; trial++ {
+			p := []float64{0.02, 0.08, 0.2, 0.45}[trial%4]
+			errs := bits.NewVec(lat.Qubits())
+			for e := 0; e < lat.Qubits(); e++ {
+				if rng.Float64() < p {
+					errs.Flip(e)
+				}
+			}
+			defects := lat.Syndrome(errs)
+			for _, kind := range []DecoderKind{DecoderGreedy, DecoderExact, DecoderUnionFind} {
+				work := errs.Clone()
+				work.Xor(lat.Decode(defects, kind))
+				if rest := lat.Syndrome(work); len(rest) != 0 {
+					t.Fatalf("L=%d trial %d kind %d: correction left %d defects",
+						l, trial, kind, len(rest))
+				}
+			}
+		}
+	}
+}
+
+// TestUnionFindMatchesExactFailureRate holds the union-find decoder to
+// the exact-matching baseline at small L: the two logical failure rates
+// must agree within combined statistical error (plus a small systematic
+// allowance — union-find is near-optimal, not optimal).
+func TestUnionFindMatchesExactFailureRate(t *testing.T) {
+	const samples = 6000
+	for _, tc := range []struct {
+		l int
+		p float64
+	}{{4, 0.04}, {6, 0.06}} {
+		ex := MemoryExperiment(tc.l, tc.p, DecoderExact, samples, 161)
+		uf := MemoryExperiment(tc.l, tc.p, DecoderUnionFind, samples, 161)
+		fe, fu := ex.FailRate(), uf.FailRate()
+		// Binomial standard errors, combined.
+		sigma := math.Sqrt(fe*(1-fe)/samples + fu*(1-fu)/samples)
+		if diff := math.Abs(fe - fu); diff > 4*sigma+0.01 {
+			t.Fatalf("L=%d p=%v: union-find %.4f vs exact %.4f (diff %.4f > %.4f)",
+				tc.l, tc.p, fu, fe, diff, 4*sigma+0.01)
+		}
+		if fu > 3*fe+4*sigma && fe > 0 {
+			t.Fatalf("L=%d p=%v: union-find failure %.4f far above exact %.4f",
+				tc.l, tc.p, fu, fe)
+		}
+	}
+}
+
+// TestDecoderComparison pits the old greedy matcher against both new
+// decoders: the exact matcher must never produce a heavier correction
+// than greedy, and at a below-threshold operating point both new
+// decoders must have a logical failure rate no worse than greedy's
+// (within statistical error).
+func TestDecoderComparison(t *testing.T) {
+	lat := NewLattice(6)
+	rng := rand.New(rand.NewPCG(163, 164))
+	for trial := 0; trial < 300; trial++ {
+		errs := bits.NewVec(lat.Qubits())
+		for k := 0; k < 8; k++ {
+			errs.Flip(rng.IntN(lat.Qubits()))
+		}
+		defects := lat.Syndrome(errs)
+		ew := lat.Decode(defects, DecoderExact).Weight()
+		gw := lat.Decode(defects, DecoderGreedy).Weight()
+		if ew > gw {
+			t.Fatalf("trial %d: exact weight %d > greedy weight %d", trial, ew, gw)
+		}
+	}
+	const samples = 5000
+	const p = 0.06
+	g := MemoryExperiment(6, p, DecoderGreedy, samples, 165)
+	e := MemoryExperiment(6, p, DecoderExact, samples, 165)
+	u := MemoryExperiment(6, p, DecoderUnionFind, samples, 165)
+	sigma := math.Sqrt(g.FailRate() * (1 - g.FailRate()) / samples)
+	if e.FailRate() > g.FailRate()+4*sigma+0.01 {
+		t.Fatalf("exact failure %.4f worse than greedy %.4f", e.FailRate(), g.FailRate())
+	}
+	if u.FailRate() > g.FailRate()+4*sigma+0.015 {
+		t.Fatalf("union-find failure %.4f worse than greedy %.4f", u.FailRate(), g.FailRate())
+	}
+}
+
+// TestDecodeStageGOMAXPROCSInvariant is the determinism contract of the
+// worker-pool decode stage: the same experiment must produce identical
+// failure counts whatever the worker count.
+func TestDecodeStageGOMAXPROCSInvariant(t *testing.T) {
+	run := func() [3]int {
+		var out [3]int
+		for i, kind := range []DecoderKind{DecoderGreedy, DecoderExact, DecoderUnionFind} {
+			out[i] = MemoryExperiment(6, 0.08, kind, 900, 167).Failures
+		}
+		return out
+	}
+	old := runtime.GOMAXPROCS(1)
+	serial := run()
+	runtime.GOMAXPROCS(8)
+	parallel := run()
+	runtime.GOMAXPROCS(old)
+	if serial != parallel {
+		t.Fatalf("decode results depend on GOMAXPROCS: 1 → %v, 8 → %v", serial, parallel)
+	}
+	// And lane-level: a single big batch decoded with many workers must
+	// match the single-worker mask bit for bit.
+	lat := NewLattice(8)
+	const lanes = 500
+	runtime.GOMAXPROCS(1)
+	a := lat.BatchMemory(0.07, DecoderUnionFind, lanes, frame.NewLockstepSampler(42, lanes))
+	runtime.GOMAXPROCS(8)
+	b := lat.BatchMemory(0.07, DecoderUnionFind, lanes, frame.NewLockstepSampler(42, lanes))
+	runtime.GOMAXPROCS(old)
+	if !a.Equal(b) {
+		t.Fatal("BatchMemory failure mask depends on GOMAXPROCS")
+	}
+}
+
+// TestLargeDistanceSmoke: the union-find decoder makes L = 16 and L = 32
+// memory experiments run — the workloads the old bitmask/greedy path
+// could not reach — and below threshold the larger distance must not be
+// worse.
+func TestLargeDistanceSmoke(t *testing.T) {
+	r16 := MemoryExperiment(16, 0.04, DecoderUnionFind, 400, 169)
+	r32 := MemoryExperiment(32, 0.04, DecoderUnionFind, 100, 170)
+	if r16.Samples != 400 || r32.Samples != 100 {
+		t.Fatal("sample counts wrong")
+	}
+	if r32.FailRate() > r16.FailRate()+0.05 {
+		t.Fatalf("no suppression at scale: L=16 %.4f vs L=32 %.4f", r16.FailRate(), r32.FailRate())
 	}
 }

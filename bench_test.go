@@ -23,6 +23,7 @@ import (
 	"ftqc/internal/noise"
 	"ftqc/internal/pauli"
 	"ftqc/internal/resource"
+	"ftqc/internal/spacetime"
 	"ftqc/internal/statevec"
 	"ftqc/internal/threshold"
 	"ftqc/internal/toric"
@@ -236,6 +237,30 @@ func toricDecodeConfigs() []toricDecodeConfig {
 	return out
 }
 
+// BenchmarkSpacetimeDecode — the space-time subsystem at the sustained
+// near-threshold operating point p = q = 0.025 with T = L rounds. Each
+// iteration runs one 64-shot batch end to end — T rounds of error and
+// measurement sampling in both sectors, difference-layer extraction,
+// transpose, weighted per-lane 3D decode, homology test.
+func BenchmarkSpacetimeDecode(b *testing.B) {
+	for _, cfg := range spacetimeDecodeConfigs() {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spacetime.Memory(cfg.l, cfg.l, 0.025, 0.025, cfg.kind, 64, 7)
+			}
+		})
+	}
+}
+
+func spacetimeDecodeConfigs() []toricDecodeConfig {
+	var out []toricDecodeConfig
+	for _, l := range []int{4, 8, 16} {
+		out = append(out, toricDecodeConfig{fmt.Sprintf("L=%d", l), l, toric.DecoderUnionFind})
+	}
+	out = append(out, toricDecodeConfig{"L=4/exact", 4, toric.DecoderExact})
+	return out
+}
+
 // TestEmitToricBenchJSON records the decode benchmark grid to
 // BENCH_toric.json (or the path in FTQC_BENCH_JSON) so the perf
 // trajectory is tracked across PRs. Skipped unless FTQC_BENCH_JSON is
@@ -251,7 +276,9 @@ func TestEmitToricBenchJSON(t *testing.T) {
 	type entry struct {
 		Name       string  `json:"name"`
 		L          int     `json:"L"`
+		Rounds     int     `json:"rounds"` // 0: perfect-measurement 2D decode
 		P          float64 `json:"p"`
+		Q          float64 `json:"q"`
 		Decoder    string  `json:"decoder"`
 		ShotsPerOp int     `json:"shots_per_op"`
 		NsPerOp    float64 `json:"ns_per_op"`
@@ -262,25 +289,36 @@ func TestEmitToricBenchJSON(t *testing.T) {
 		toric.DecoderExact:     "exact",
 		toric.DecoderUnionFind: "union-find",
 	}
-	const shots = 256
 	report := struct {
 		GoMaxProcs int     `json:"gomaxprocs"`
 		UnixTime   int64   `json:"unix_time"`
 		Entries    []entry `json:"entries"`
 	}{GoMaxProcs: runtime.GOMAXPROCS(0), UnixTime: time.Now().Unix()}
-	for _, cfg := range toricDecodeConfigs() {
-		run := func() { toric.MemoryExperiment(cfg.l, 0.08, cfg.kind, shots, 7) }
-		run() // warm lattice caches and scratch pools
+	measure := func(run func()) float64 {
+		run() // warm lattice/volume caches and scratch pools
 		const iters = 5
 		t0 := time.Now()
 		for i := 0; i < iters; i++ {
 			run()
 		}
-		ns := float64(time.Since(t0).Nanoseconds()) / iters
+		return float64(time.Since(t0).Nanoseconds()) / iters
+	}
+	const shots = 256
+	for _, cfg := range toricDecodeConfigs() {
+		ns := measure(func() { toric.MemoryExperiment(cfg.l, 0.08, cfg.kind, shots, 7) })
 		report.Entries = append(report.Entries, entry{
 			Name: "BenchmarkToricDecode/" + cfg.name, L: cfg.l, P: 0.08,
 			Decoder: decoderName[cfg.kind], ShotsPerOp: shots,
 			NsPerOp: ns, NsPerShot: ns / shots,
+		})
+	}
+	const stShots = 64
+	for _, cfg := range spacetimeDecodeConfigs() {
+		ns := measure(func() { spacetime.Memory(cfg.l, cfg.l, 0.025, 0.025, cfg.kind, stShots, 7) })
+		report.Entries = append(report.Entries, entry{
+			Name: "BenchmarkSpacetimeDecode/" + cfg.name, L: cfg.l, Rounds: cfg.l,
+			P: 0.025, Q: 0.025, Decoder: decoderName[cfg.kind], ShotsPerOp: stShots,
+			NsPerOp: ns, NsPerShot: ns / stShots,
 		})
 	}
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -10,6 +10,8 @@ import (
 	"math"
 	"math/rand/v2"
 	"os"
+	"strconv"
+	"strings"
 
 	"ftqc/internal/anyon"
 	"ftqc/internal/concat"
@@ -17,6 +19,7 @@ import (
 	"ftqc/internal/ft"
 	"ftqc/internal/noise"
 	"ftqc/internal/resource"
+	"ftqc/internal/spacetime"
 	"ftqc/internal/threshold"
 	"ftqc/internal/toric"
 )
@@ -43,6 +46,7 @@ func main() {
 		{"systematic", "E13: random vs systematic error accumulation (§6)", cmdSystematic},
 		{"leakage", "E14: leakage detection and replacement (Fig. 15)", cmdLeakage},
 		{"toric", "E17: toric memory vs distance (§7.1)", cmdToric},
+		{"spacetime", "E22: noisy syndrome extraction — 3D space-time decoding, sustained threshold", cmdSpacetime},
 		{"thermal", "E18: thermal anyon plasma, e^{-Δ/T} (§7.1)", cmdThermal},
 		{"interferometer", "E19: repeated interferometric measurement (Figs. 18/22)", cmdInterferometer},
 		{"anyon", "E20: A5 fluxon logic — NOT, Toffoli, pull counts (§7.3-7.4)", cmdAnyon},
@@ -335,6 +339,127 @@ func cmdToric(args []string) {
 		fmt.Println()
 	}
 	fmt.Println("below threshold the failure falls like e^{-αL} (the paper's e^{-mL} tunneling scaling)")
+}
+
+func cmdSpacetime(args []string) {
+	fs := flag.NewFlagSet("spacetime", flag.ExitOnError)
+	sizes := fs.String("L", "4,8", "comma-separated code distances")
+	rounds := fs.String("rounds", "L", "measurement rounds per shot: a number, or L for rounds = distance")
+	q := fs.Float64("q", -1, "measurement error probability (-1: track p, the sustained p=q sweep)")
+	grid := fs.String("p", "0.01,0.015,0.02,0.025,0.03,0.04,0.05", "comma-separated data error probabilities")
+	samples := fs.Int("samples", 4000, "Monte Carlo samples per point")
+	dec := fs.String("decoder", "uf", "decoder: uf (weighted union-find) or exact (weighted blossom MWPM)")
+	compare := fs.Bool("compare", true, "cross-check union-find against exact MWPM at the smallest distance")
+	fs.Parse(args)
+	kind, ok := toricDecoder(*dec)
+	if !ok || kind == toric.DecoderGreedy {
+		fmt.Fprintf(os.Stderr, "spacetime: unknown decoder %q (want uf or exact)\n", *dec)
+		os.Exit(2)
+	}
+	if *q > 1 || (*q < 0 && *q != -1) {
+		fmt.Fprintf(os.Stderr, "spacetime: bad -q %v (want a probability, or -1 to track p)\n", *q)
+		os.Exit(2)
+	}
+	ls := parseIntList(*sizes)
+	ps := parseFloatList(*grid)
+	roundsOf := func(l int) int { return l }
+	if *rounds != "L" {
+		r, err := strconv.Atoi(*rounds)
+		if err != nil || r < 1 {
+			fmt.Fprintf(os.Stderr, "spacetime: bad -rounds %q\n", *rounds)
+			os.Exit(2)
+		}
+		roundsOf = func(int) int { return r }
+	}
+	qOf := func(p float64) float64 { return p }
+	if *q >= 0 {
+		qOf = func(float64) float64 { return *q }
+	}
+	// The exact-MWPM cross-check column only makes sense against another
+	// decoder and only pays off where the matcher is cheap; large
+	// distances are union-find territory.
+	const compareMaxL = 8
+	if kind == toric.DecoderExact {
+		*compare = false
+	}
+	if *compare && ls[0] > compareMaxL {
+		fmt.Printf("(skipping exact cross-check: L=%d > %d is union-find territory)\n", ls[0], compareMaxL)
+		*compare = false
+	}
+	fmt.Printf("E22: noisy syndrome extraction (%s decoder): T rounds of measurement flipping with q,\n", *dec)
+	fmt.Println("     defects = consecutive-round syndrome differences, decoded over the weighted 3D volume")
+	fmt.Printf("%-8s", "p\\L")
+	for _, l := range ls {
+		fmt.Printf(" %-12s", fmt.Sprintf("%d (T=%d)", l, roundsOf(l)))
+	}
+	if *compare {
+		fmt.Printf(" %-12s", fmt.Sprintf("%d exact", ls[0]))
+	}
+	fmt.Println()
+	rates := make([][]float64, len(ps))
+	seed := uint64(121)
+	for i, p := range ps {
+		rates[i] = make([]float64, len(ls))
+		fmt.Printf("%-8.3f", p)
+		for j, l := range ls {
+			seed++
+			r := spacetime.Memory(l, roundsOf(l), p, qOf(p), kind, *samples, seed)
+			rates[i][j] = r.FailRate()
+			fmt.Printf(" %-12.4e", r.FailRate())
+		}
+		if *compare {
+			r := spacetime.Memory(ls[0], roundsOf(ls[0]), p, qOf(p), toric.DecoderExact, *samples, seed+1000)
+			fmt.Printf(" %-12.4e", r.FailRate())
+		}
+		fmt.Println()
+	}
+	if len(ls) >= 2 {
+		lo, hi := 0, len(ls)-1
+		small := make([]float64, len(ps))
+		large := make([]float64, len(ps))
+		for i := range ps {
+			small[i] = rates[i][lo]
+			large[i] = rates[i][hi]
+		}
+		cross := spacetime.CrossingEstimate(ps, small, large)
+		switch {
+		case math.IsNaN(cross):
+			fmt.Printf("\nno L=%d / L=%d crossing on this grid (threshold outside it)\n", ls[lo], ls[hi])
+		case *q >= 0:
+			fmt.Printf("\nthreshold at fixed q=%g (L=%d vs L=%d failure curves cross): p ≈ %.3f\n", *q, ls[lo], ls[hi], cross)
+		default:
+			fmt.Printf("\nsustained threshold (L=%d vs L=%d failure curves cross): p = q ≈ %.3f\n", ls[lo], ls[hi], cross)
+		}
+		fmt.Println("below the crossing, larger distance + more rounds help; above, they hurt")
+	}
+}
+
+// parseIntList parses a comma-separated list of lattice sizes.
+func parseIntList(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 2 {
+			fmt.Fprintf(os.Stderr, "bad list entry %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// parseFloatList parses a comma-separated list of probabilities.
+func parseFloatList(s string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v < 0 || v > 1 {
+			fmt.Fprintf(os.Stderr, "bad list entry %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 // toricDecoder maps a CLI name to a decoder kind.

@@ -34,11 +34,19 @@
 // *rand.Rand: batched workers derive their independent streams from it.
 //
 // The toric experiments decode through internal/decoder's scalable
-// subsystem: a near-linear union-find decoder (the production choice,
-// tractable out to L = 32 and beyond) and a polynomial blossom
-// minimum-weight perfect matcher as the accuracy baseline, run as a
-// worker-pool stage over word-aligned lane spans with results identical
-// for any GOMAXPROCS.
+// subsystem: a near-linear weighted-growth union-find decoder (the
+// production choice, tractable out to L = 32 and beyond) and a
+// polynomial blossom minimum-weight perfect matcher — dense or pruned
+// to the locally short edges with priced optimality repair — as the
+// accuracy baseline, run as a worker-pool stage over word-aligned lane
+// spans with results identical for any GOMAXPROCS.
+//
+// Noisy syndrome extraction (the regime real hardware decodes in) is
+// the internal/spacetime subsystem: T measurement rounds whose
+// difference syndromes span a weighted 3D space-time decoding volume,
+// with time-like edges for measurement errors, both X and Z logical
+// sectors tracked per shot through the dual-lattice indexing, and the
+// sustained p = q threshold exposed via SustainedThreshold.
 //
 // The facade below re-exports the main entry points; the implementation
 // lives in the internal/ packages, one per subsystem (see DESIGN.md for
@@ -57,6 +65,7 @@ import (
 	"ftqc/internal/group"
 	"ftqc/internal/noise"
 	"ftqc/internal/resource"
+	"ftqc/internal/spacetime"
 	"ftqc/internal/statevec"
 	"ftqc/internal/tableau"
 	"ftqc/internal/threshold"
@@ -216,4 +225,41 @@ func ToricMemoryWith(l int, p float64, dec ToricDecoder, samples int, seed uint6
 func NewAnyonComputer(k int) (A5Encoding, *FluxRegister) {
 	enc := anyon.NewA5Encoding()
 	return enc, anyon.NewRegister(enc.G, k, enc.U0)
+}
+
+// Space-time decoding (noisy syndrome extraction).
+type (
+	// SpacetimeVolume is the weighted 3D decoding volume of a toric code
+	// under repeated noisy syndrome extraction.
+	SpacetimeVolume = spacetime.Volume
+	// SpacetimeResult is one noisy-extraction memory measurement, with
+	// per-sector (bit-flip and phase-flip) failure counts.
+	SpacetimeResult = spacetime.Result
+	// ThresholdPoint is one p = q grid point of a sustained-threshold
+	// sweep.
+	ThresholdPoint = spacetime.ThresholdPoint
+)
+
+// SpacetimeMemory runs the repeated-round noisy-syndrome toric memory:
+// `rounds` rounds of syndrome extraction whose measurements flip with
+// probability q, data errors at rate p per round, decoded over the
+// weighted 3D space-time graph with the union-find production decoder.
+// Both logical sectors are tracked per shot; q = 0, rounds = 1 reduces
+// to the 2D ToricMemory statistics.
+func SpacetimeMemory(l, rounds int, p, q float64, samples int, seed uint64) SpacetimeResult {
+	return spacetime.Memory(l, rounds, p, q, toric.DecoderUnionFind, samples, seed)
+}
+
+// SpacetimeMemoryWith is SpacetimeMemory under an explicit decoder
+// choice (DecoderExact runs the weighted blossom matcher).
+func SpacetimeMemoryWith(l, rounds int, p, q float64, dec ToricDecoder, samples int, seed uint64) SpacetimeResult {
+	return spacetime.Memory(l, rounds, p, q, dec, samples, seed)
+}
+
+// SustainedThreshold sweeps p = q with rounds = L for two code
+// distances and returns the crossing of their failure curves — the
+// sustained threshold of the noisy-extraction memory — along with the
+// measured points (NaN if the grid shows no crossing).
+func SustainedThreshold(l1, l2 int, grid []float64, samples int, seed uint64) (float64, []ThresholdPoint) {
+	return spacetime.SustainedThreshold(l1, l2, grid, toric.DecoderUnionFind, samples, seed)
 }

@@ -111,3 +111,21 @@ func TestFacadeAnyon(t *testing.T) {
 		t.Fatalf("anyon NOT broken: %v %v", f, err)
 	}
 }
+
+func TestFacadeSpacetime(t *testing.T) {
+	r := SpacetimeMemory(4, 4, 0.02, 0.02, 1000, 11)
+	if r.Samples != 1000 || r.L != 4 || r.T != 4 {
+		t.Fatalf("spacetime memory wrong: %+v", r)
+	}
+	if r.Failures < r.FailX || r.Failures < r.FailZ {
+		t.Fatalf("sector accounting broken: %+v", r)
+	}
+	ex := SpacetimeMemoryWith(3, 2, 0.03, 0.03, ToricDecoderExact, 500, 12)
+	if ex.Samples != 500 {
+		t.Fatalf("spacetime exact decode wrong: %+v", ex)
+	}
+	a := SpacetimeMemory(4, 4, 0.02, 0.02, 1000, 11)
+	if a != r {
+		t.Fatalf("spacetime memory not deterministic: %+v vs %+v", a, r)
+	}
+}

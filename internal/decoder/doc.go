@@ -9,33 +9,42 @@
 // # The union-find growth/merge algorithm
 //
 // UnionFind implements the Delfosse–Nickerson decoder on a fixed decoding
-// Graph (detectors = nodes, qubits = edges). Decoding runs in three
-// phases:
+// Graph (detectors = nodes, qubits = edges, each edge carrying a positive
+// integer weight — a scaled log-likelihood ratio, 1 for uniform noise).
+// Decoding runs in three phases:
 //
 //  1. Seeding. Every defect (lit detector) becomes a singleton cluster
-//     with odd parity whose boundary is its incident edge list.
+//     with odd parity whose boundary is its incident edge list. When
+//     erasure information is supplied (DecodeErased), every erased edge
+//     enters the erasure at full support first: its endpoints are
+//     absorbed and united before any growth, so pure-erasure syndromes
+//     skip phase 2 entirely.
 //
 //  2. Growth and merge. While any cluster has odd parity, every odd
-//     cluster grows each boundary edge by a half-step (edge support
-//     0→1→2). An edge reaching full support (2) leaves the boundary and
-//     triggers a merge: its endpoint clusters are united (union by size,
-//     ties to the smaller root id; parities add, boundary lists
-//     concatenate), and a node reached for the first time is absorbed as
-//     a parity-0 member bringing its own incident edges. Because the
-//     total defect parity on a closed graph is even, growth terminates
-//     with every cluster even.
+//     cluster grows each boundary edge by one half-step of support; an
+//     edge of weight w is fully grown at support 2w (the classic 0→1→2
+//     progression on unit-weight graphs, proportionally more sweeps for
+//     heavier — less likely — edges, which is how measurement-error and
+//     data-error channels with different rates steer the clusters). A
+//     fully grown edge leaves the boundary and triggers a merge: its
+//     endpoint clusters are united (union by size, ties to the smaller
+//     root id; parities add, boundary lists concatenate), and a node
+//     reached for the first time is absorbed as a parity-0 member
+//     bringing its own incident edges. Because the total defect parity
+//     on a closed graph is even, growth terminates with every cluster
+//     even.
 //
-//  3. Peeling. The fully-grown (support-2) edges form an "erasure" that
-//     connects each cluster. A depth-first spanning forest of that
-//     erasure is peeled leaf-first: a leaf holding a defect emits its
-//     tree edge into the correction and hands the defect to its parent.
-//     Within each even cluster the defects cancel pairwise, so the
-//     emitted chain's syndrome is exactly the defect set.
+//  3. Peeling. The fully-grown edges form an "erasure" that connects
+//     each cluster. A depth-first spanning forest of that erasure is
+//     peeled leaf-first: a leaf holding a defect emits its tree edge
+//     into the correction and hands the defect to its parent. Within
+//     each even cluster the defects cancel pairwise, so the emitted
+//     chain's syndrome is exactly the defect set.
 //
 // Cost is near-linear (inverse-Ackermann union-find) in the size of the
 // grown region, not in the lattice, which is what makes L = 16–32 memory
-// experiments tractable where matching decoders pay at least
-// O(defects²).
+// experiments — and L=16, T=16 space-time volumes — tractable where
+// matching decoders pay at least O(defects²).
 //
 // # Exact matching baseline
 //
@@ -45,16 +54,37 @@
 // program, with no cap on the defect count. It is the accuracy baseline
 // the union-find decoder is measured against.
 //
+// MinWeightPairsPruned is the sparse-blossom variant: only the locally
+// short edges (weight ≤ cutoff) are staged, and after each solve every
+// excluded pair is priced against the engine's dual variables — blossom
+// duals are nonnegative, so the vertex-dual test is a conservative
+// certificate. Violated edges are staged back in and the solve repeats;
+// a cutoff too tight to admit a perfect matching doubles. The returned
+// matching's total weight therefore equals the dense optimum exactly
+// (property-tested), while the engine typically runs on ~O(n) edges.
+//
 // # Determinism contract
 //
-// Both decoders are pure functions of their inputs: adjacency lists are
-// laid out in ascending (node, edge) order at Graph construction, growth
-// sweeps visit clusters in first-touch order, merges happen in grow
-// order, peeling follows DFS order, and the matcher breaks ties by its
-// fixed edge enumeration. No map iteration, clock, or scheduling enters
-// any decision, so a decode's output depends only on (graph, defect
-// list) — the property the batch experiments rely on to stay
-// reproducible for any GOMAXPROCS. Decoder instances carry scratch state
-// and must not be shared between goroutines; the Graph is immutable and
-// shared freely.
+// All decoders are pure functions of their inputs:
+//
+//   - Graph construction lays adjacency lists in ascending (node, edge)
+//     order; 3D space-time graphs are built layer-major (all horizontal
+//     edges of layer 0 … T−1, then all vertical edges), so edge ids and
+//     traversal order are fixed by (L, T) alone.
+//   - Growth sweeps visit clusters in first-touch order and increment
+//     support by exactly one half-step per boundary visit; weighted
+//     targets (2·weight) change when an edge crosses, never the visit
+//     order. A unit-weight graph is therefore bit-identical to the
+//     pre-weighted decoder, emit order included.
+//   - Erased edges seed in caller order before any growth; merges happen
+//     in grow order; peeling follows DFS order.
+//   - The matcher breaks ties by its fixed edge enumeration, and the
+//     pruned matcher's stage/price/repeat loop is itself a pure function
+//     of the weight table and cutoff.
+//
+// No map iteration, clock, or scheduling enters any decision, so a
+// decode's output depends only on (graph, defect list, erasure) — the
+// property the batch experiments rely on to stay reproducible for any
+// GOMAXPROCS. Decoder instances carry scratch state and must not be
+// shared between goroutines; the Graph is immutable and shared freely.
 package decoder

@@ -2,33 +2,62 @@ package decoder
 
 // Graph is a decoding graph in compressed adjacency form: detectors
 // (checks) are nodes, physical qubits are edges between the two checks
-// they can flip. It is immutable after construction and safely shared by
-// any number of concurrent decoder instances.
+// they can flip. Every edge carries a positive integer weight (a scaled
+// log-likelihood ratio; 1 everywhere for uniform noise). It is immutable
+// after construction and safely shared by any number of concurrent
+// decoder instances.
 type Graph struct {
-	nodes int
-	endU  []int32 // edge e runs endU[e] — endV[e]
-	endV  []int32
-	off   []int32 // CSR offsets into adjEdge/adjNode, len nodes+1
-	adjE  []int32 // incident edge ids, grouped by node
-	adjN  []int32 // the far endpoint of the matching adjE entry
+	nodes  int
+	endU   []int32 // edge e runs endU[e] — endV[e]
+	endV   []int32
+	weight []int32 // per-edge growth weight, >= 1
+	maxW   int32
+	off    []int32 // CSR offsets into adjEdge/adjNode, len nodes+1
+	adjE   []int32 // incident edge ids, grouped by node
+	adjN   []int32 // the far endpoint of the matching adjE entry
 }
 
-// NewGraph builds the graph from the edge-endpoint table: edge e connects
-// ends[e][0] and ends[e][1]. Adjacency lists are laid out in ascending
-// (node, edge) order, which fixes the traversal order every decoder pass
-// uses — the root of the package's determinism contract.
+// NewGraph builds a unit-weight graph from the edge-endpoint table: edge
+// e connects ends[e][0] and ends[e][1]. Adjacency lists are laid out in
+// ascending (node, edge) order, which fixes the traversal order every
+// decoder pass uses — the root of the package's determinism contract.
 func NewGraph(nodes int, ends [][2]int32) *Graph {
+	return NewWeightedGraph(nodes, ends, nil)
+}
+
+// NewWeightedGraph is NewGraph with per-edge integer weights (all 1 when
+// weights is nil). Weights are the growth currency of the union-find
+// decoder: an edge of weight w needs 2w half-steps of support to join the
+// erasure, so non-uniform error channels (data vs measurement errors in a
+// space-time volume) steer the clusters along the likelier paths.
+func NewWeightedGraph(nodes int, ends [][2]int32, weights []int32) *Graph {
+	if weights != nil && len(weights) != len(ends) {
+		panic("decoder: weight count does not match edge count")
+	}
 	g := &Graph{
-		nodes: nodes,
-		endU:  make([]int32, len(ends)),
-		endV:  make([]int32, len(ends)),
-		off:   make([]int32, nodes+1),
+		nodes:  nodes,
+		endU:   make([]int32, len(ends)),
+		endV:   make([]int32, len(ends)),
+		weight: make([]int32, len(ends)),
+		maxW:   1,
+		off:    make([]int32, nodes+1),
 	}
 	for e, uv := range ends {
 		if uv[0] < 0 || uv[1] < 0 || int(uv[0]) >= nodes || int(uv[1]) >= nodes || uv[0] == uv[1] {
 			panic("decoder: bad edge endpoints")
 		}
+		w := int32(1)
+		if weights != nil {
+			w = weights[e]
+		}
+		if w < 1 {
+			panic("decoder: edge weight must be positive")
+		}
+		if w > g.maxW {
+			g.maxW = w
+		}
 		g.endU[e], g.endV[e] = uv[0], uv[1]
+		g.weight[e] = w
 		g.off[uv[0]+1]++
 		g.off[uv[1]+1]++
 	}
@@ -57,3 +86,9 @@ func (g *Graph) Edges() int { return len(g.endU) }
 
 // Ends returns the two endpoints of edge e.
 func (g *Graph) Ends(e int) (int, int) { return int(g.endU[e]), int(g.endV[e]) }
+
+// Weight returns the growth weight of edge e.
+func (g *Graph) Weight(e int) int { return int(g.weight[e]) }
+
+// MaxWeight returns the largest edge weight in the graph.
+func (g *Graph) MaxWeight() int { return int(g.maxW) }

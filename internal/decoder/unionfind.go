@@ -21,10 +21,17 @@ type UnionFind struct {
 	// roots), bit 1 the node's live defect flag during peeling.
 	node []ufNode
 
-	// Edge growth state: epoch<<2 | support packed in one word (one load
-	// on the growth hot path). support counts growth steps: 0 untouched,
-	// 1 half-grown, 2 fully grown (in the erasure).
-	edgeState []uint32
+	// Edge growth state: epoch<<32 | support packed in one word (one load
+	// on the growth hot path). support counts half-steps of growth: an
+	// edge of weight w is fully grown (in the erasure) at support 2w, so
+	// unit-weight graphs keep the classic 0→1→2 progression and heavier
+	// edges take proportionally more sweeps to cross.
+	edgeState []uint64
+
+	// sweeps counts the growth sweeps of the last Decode; a pure-erasure
+	// syndrome (every defect inside an even-parity erased component)
+	// leaves it at 0 — the peeling-only fast path.
+	sweeps int
 
 	// Boundary lists: cluster members that may still have ungrown
 	// incident edges, kept as arena linked lists headed at the root
@@ -69,13 +76,18 @@ func NewUnionFind(g *Graph) *UnionFind {
 	return &UnionFind{
 		g:         g,
 		node:      make([]ufNode, g.nodes),
-		edgeState: make([]uint32, g.Edges()),
+		edgeState: make([]uint64, g.Edges()),
 		bndHead:   make([]int32, g.nodes),
 		bndTail:   make([]int32, g.nodes),
 		eraHead:   make([]int32, g.nodes),
 		eraSeen:   make([]uint32, g.nodes),
 	}
 }
+
+// GrowthSweeps returns the number of growth sweeps the last Decode (or
+// DecodeErased) ran. Zero means the peeling-only fast path: every defect
+// was already inside an even-parity erased cluster.
+func (u *UnionFind) GrowthSweeps() int { return u.sweeps }
 
 // touch initializes node v's cluster state for the current epoch if it
 // has not been seen yet, as a parity-0 singleton with an empty boundary.
@@ -117,6 +129,17 @@ func (u *UnionFind) pushBoundary(r, w int32) {
 // emit receives each edge at most once, in a deterministic order that
 // depends only on the defect list.
 func (u *UnionFind) Decode(defects []int, emit func(edge int)) {
+	u.DecodeErased(defects, nil, emit)
+}
+
+// DecodeErased is Decode with erasure information: the listed edges are
+// known fault locations (leaked or erased qubits) and enter the erasure
+// at full support before any growth. Clusters whose defects are already
+// paired inside the erased components decode by peeling alone; only the
+// odd remainder grows. Erased edges may be emitted in the correction
+// even when no cluster grows.
+func (u *UnionFind) DecodeErased(defects, erased []int, emit func(edge int)) {
+	u.sweeps = 0
 	if len(defects) == 0 {
 		return
 	}
@@ -139,7 +162,26 @@ func (u *UnionFind) Decode(defects []int, emit func(edge int)) {
 		u.clusters = append(u.clusters, v)
 	}
 	g := u.g
-	epochBits := u.epoch << 2
+	epochBits := uint64(u.epoch) << 32
+	// Seed the erasure: every erased edge is fully grown from the start,
+	// its endpoints absorbed and united, exactly as if growth had crossed
+	// it — so the growth loop and the peeling pass need no special cases.
+	for _, e := range erased {
+		ee := int32(e)
+		target := uint64(2 * g.weight[ee])
+		if st := u.edgeState[ee]; st>>32 == uint64(u.epoch) && st&0xffffffff >= target {
+			continue // duplicate erased edge
+		}
+		u.edgeState[ee] = epochBits | target
+		a, b := g.endU[ee], g.endV[ee]
+		u.eraLink(ee, a, b)
+		u.absorb(a)
+		u.absorb(b)
+		ra, rb := u.find(a), u.find(b)
+		if ra != rb {
+			u.union(ra, rb)
+		}
+	}
 	for {
 		// Collect odd roots (in first-touch order — deterministic) and
 		// compact the cluster list down to live roots.
@@ -159,9 +201,10 @@ func (u *UnionFind) Decode(defects []int, emit func(edge int)) {
 			break
 		}
 		// Growth sweep: every ungrown edge incident to an odd cluster's
-		// boundary nodes gains one unit of support. Edges reaching full
-		// support (2) queue a merge; a node whose incident edges are all
-		// fully grown leaves the boundary for good.
+		// boundary nodes gains one half-step of support. Edges reaching
+		// full support (2·weight) queue a merge; a node whose incident
+		// edges are all fully grown leaves the boundary for good.
+		u.sweeps++
 		u.grown = u.grown[:0]
 		advanced := false
 		for _, r := range u.odd {
@@ -172,18 +215,19 @@ func (u *UnionFind) Decode(defects []int, emit func(edge int)) {
 				open := false
 				for k := g.off[v]; k < g.off[v+1]; k++ {
 					e := g.adjE[k]
+					target := uint64(2 * g.weight[e])
 					st := u.edgeState[e]
-					if st>>2 != u.epoch {
+					if st>>32 != uint64(u.epoch) {
 						st = 0
 					} else {
-						st &= 3
+						st &= 0xffffffff
 					}
-					if st >= 2 {
+					if st >= target {
 						continue
 					}
 					u.edgeState[e] = epochBits | (st + 1)
 					advanced = true
-					if st+1 == 2 {
+					if st+1 == target {
 						u.grown = append(u.grown, e)
 					} else {
 						open = true
@@ -321,9 +365,8 @@ func (u *UnionFind) peel(defects []int, emit func(edge int)) {
 	}
 }
 
-// bumpEpoch advances the scratch epoch, clearing the stamp arrays on the
-// wraparound of the 30-bit packed epoch so stale stamps can never
-// collide.
+// bumpEpoch advances the scratch epoch, clearing the stamp arrays on
+// wraparound of the 30-bit epoch so stale stamps can never collide.
 func (u *UnionFind) bumpEpoch() {
 	u.epoch++
 	if u.epoch >= 1<<30 {

@@ -1,0 +1,299 @@
+package decoder
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// weightedTorusGraph is torusGraph with explicit per-edge weights.
+func weightedTorusGraph(l int, weightOf func(e int) int32) *Graph {
+	mod := func(a int) int { return ((a % l) + l) % l }
+	ends := make([][2]int32, 2*l*l)
+	for y := 0; y < l; y++ {
+		for x := 0; x < l; x++ {
+			ends[y*l+x] = [2]int32{int32(y*l + x), int32(mod(y-1)*l + x)}
+			ends[l*l+y*l+x] = [2]int32{int32(y*l + x), int32(y*l + mod(x-1))}
+		}
+	}
+	weights := make([]int32, len(ends))
+	for e := range weights {
+		weights[e] = weightOf(e)
+	}
+	return NewWeightedGraph(l*l, ends, weights)
+}
+
+// TestUnitWeightBitIdentical: a weighted graph with every weight 1 must
+// drive the union-find decoder through exactly the classic half-step
+// schedule — corrections bit-identical, emit order included, to the
+// unweighted constructor on the same defect sets.
+func TestUnitWeightBitIdentical(t *testing.T) {
+	const l = 8
+	gu := torusGraph(l)
+	gw := weightedTorusGraph(l, func(int) int32 { return 1 })
+	ufu, ufw := NewUnionFind(gu), NewUnionFind(gw)
+	rng := rand.New(rand.NewPCG(301, 302))
+	for trial := 0; trial < 60; trial++ {
+		errs := map[int]bool{}
+		for e := 0; e < gu.Edges(); e++ {
+			if rng.Float64() < 0.12 {
+				errs[e] = true
+			}
+		}
+		defects := syndromeOf(gu, errs)
+		var a, b []int
+		ufu.Decode(defects, func(e int) { a = append(a, e) })
+		ufw.Decode(defects, func(e int) { b = append(b, e) })
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: emit counts differ: %d vs %d", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: emit order differs at %d: %d vs %d", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestWeightedUnionFindClearsSyndrome: soundness holds for any positive
+// weight assignment — the correction's syndrome equals the defect set.
+func TestWeightedUnionFindClearsSyndrome(t *testing.T) {
+	rng := rand.New(rand.NewPCG(303, 304))
+	for _, l := range []int{3, 5, 9} {
+		g := weightedTorusGraph(l, func(int) int32 { return int32(1 + rng.IntN(5)) })
+		uf := NewUnionFind(g)
+		for trial := 0; trial < 120; trial++ {
+			p := []float64{0.02, 0.08, 0.25}[trial%3]
+			errs := map[int]bool{}
+			for e := 0; e < g.Edges(); e++ {
+				if rng.Float64() < p {
+					errs[e] = true
+				}
+			}
+			defects := syndromeOf(g, errs)
+			residual := map[int]bool{}
+			for e := range errs {
+				residual[e] = true
+			}
+			uf.Decode(defects, func(e int) {
+				if residual[e] {
+					delete(residual, e)
+				} else {
+					residual[e] = true
+				}
+			})
+			if rest := syndromeOf(g, residual); len(rest) != 0 {
+				t.Fatalf("L=%d trial %d: weighted correction left %d defects", l, trial, len(rest))
+			}
+		}
+	}
+}
+
+// TestWeightedGrowthPrefersLightPath: between a heavy direct edge and a
+// light two-edge detour, weighted growth must cross the detour first —
+// the behavior that makes measurement-error (time-like) edges with
+// larger log-likelihood weights repel the correction.
+func TestWeightedGrowthPrefersLightPath(t *testing.T) {
+	// Triangle: 0—2 direct (weight 4), 0—1—2 detour (weight 1 each).
+	g := NewWeightedGraph(3, [][2]int32{{0, 2}, {0, 1}, {1, 2}}, []int32{4, 1, 1})
+	uf := NewUnionFind(g)
+	var got []int
+	uf.Decode([]int{0, 2}, func(e int) { got = append(got, e) })
+	if len(got) != 2 || got[0] == 0 || got[1] == 0 {
+		t.Fatalf("weighted decode crossed the heavy edge: %v", got)
+	}
+	// Same topology, uniform weights: the direct edge wins.
+	gu := NewWeightedGraph(3, [][2]int32{{0, 2}, {0, 1}, {1, 2}}, []int32{1, 1, 1})
+	got = got[:0]
+	NewUnionFind(gu).Decode([]int{0, 2}, func(e int) { got = append(got, e) })
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("unit-weight decode should take the direct edge: %v", got)
+	}
+}
+
+// TestDecodeErasedPureErasure: when every error sits on an erased edge,
+// the decoder must finish in the peeling-only fast path — zero growth
+// sweeps, every correction edge inside the erasure, syndrome cleared.
+func TestDecodeErasedPureErasure(t *testing.T) {
+	rng := rand.New(rand.NewPCG(305, 306))
+	for _, l := range []int{4, 8} {
+		g := torusGraph(l)
+		uf := NewUnionFind(g)
+		for trial := 0; trial < 150; trial++ {
+			erased := map[int]bool{}
+			var erasedList []int
+			for e := 0; e < g.Edges(); e++ {
+				if rng.Float64() < 0.25 {
+					erased[e] = true
+					erasedList = append(erasedList, e)
+				}
+			}
+			errs := map[int]bool{}
+			for e := range erased {
+				if rng.Float64() < 0.5 {
+					errs[e] = true
+				}
+			}
+			defects := syndromeOf(g, errs)
+			residual := map[int]bool{}
+			for e := range errs {
+				residual[e] = true
+			}
+			uf.DecodeErased(defects, erasedList, func(e int) {
+				if !erased[e] {
+					t.Fatalf("L=%d trial %d: correction edge %d outside the erasure", l, trial, e)
+				}
+				if residual[e] {
+					delete(residual, e)
+				} else {
+					residual[e] = true
+				}
+			})
+			if uf.GrowthSweeps() != 0 {
+				t.Fatalf("L=%d trial %d: pure erasure took %d growth sweeps, want peeling only",
+					l, trial, uf.GrowthSweeps())
+			}
+			if rest := syndromeOf(g, residual); len(rest) != 0 {
+				t.Fatalf("L=%d trial %d: erasure correction left %d defects", l, trial, len(rest))
+			}
+		}
+	}
+}
+
+// TestDecodeErasedMixed: erasure plus ordinary errors elsewhere — the
+// grown region extends the erased clusters and the syndrome still clears.
+func TestDecodeErasedMixed(t *testing.T) {
+	rng := rand.New(rand.NewPCG(307, 308))
+	g := torusGraph(6)
+	uf := NewUnionFind(g)
+	for trial := 0; trial < 200; trial++ {
+		var erasedList []int
+		errs := map[int]bool{}
+		for e := 0; e < g.Edges(); e++ {
+			switch {
+			case rng.Float64() < 0.15:
+				erasedList = append(erasedList, e)
+				if rng.Float64() < 0.5 {
+					errs[e] = true
+				}
+			case rng.Float64() < 0.05:
+				errs[e] = true
+			}
+		}
+		defects := syndromeOf(g, errs)
+		residual := map[int]bool{}
+		for e := range errs {
+			residual[e] = true
+		}
+		uf.DecodeErased(defects, erasedList, func(e int) {
+			if residual[e] {
+				delete(residual, e)
+			} else {
+				residual[e] = true
+			}
+		})
+		if rest := syndromeOf(g, residual); len(rest) != 0 {
+			t.Fatalf("trial %d: mixed erasure decode left %d defects", trial, len(rest))
+		}
+	}
+}
+
+// TestPrunedMatchesDenseWeight is the sparse-blossom optimality property:
+// on random metric and non-metric instances, at friendly and adversarial
+// cutoffs, the pruned matching's total weight must equal the dense
+// matcher's exactly (the pricing loop repairs any cutoff casualty).
+func TestPrunedMatchesDenseWeight(t *testing.T) {
+	rng := rand.New(rand.NewPCG(309, 310))
+	var dense, pruned Matcher
+	// Torus-metric instances: the production shape.
+	const l = 16
+	dist := func(a, b int) int64 {
+		ax, ay := a%l, a/l
+		bx, by := b%l, b/l
+		dx, dy := ax-bx, ay-by
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if l-dx < dx {
+			dx = l - dx
+		}
+		if l-dy < dy {
+			dy = l - dy
+		}
+		return int64(dx + dy)
+	}
+	for trial := 0; trial < 120; trial++ {
+		n := 2 * (2 + rng.IntN(15)) // 4..32 defects
+		pos := make([]int, n)
+		seen := map[int]bool{}
+		for i := range pos {
+			for {
+				p := rng.IntN(l * l)
+				if !seen[p] {
+					seen[p] = true
+					pos[i] = p
+					break
+				}
+			}
+		}
+		weight := func(i, j int) int64 { return dist(pos[i], pos[j]) }
+		want := pairsWeight(dense.MinWeightPairs(n, weight), weight)
+		for _, cutoff := range []int64{1, 3, 6, int64(l)} {
+			got := pairsWeight(pruned.MinWeightPairsPruned(n, weight, cutoff), weight)
+			if got != want {
+				t.Fatalf("trial %d n=%d cutoff=%d: pruned weight %d, dense %d",
+					trial, n, cutoff, got, want)
+			}
+		}
+	}
+	// Arbitrary (non-metric) weight tables: pricing must still certify.
+	for trial := 0; trial < 150; trial++ {
+		n := 2 * (2 + rng.IntN(6)) // 4..14
+		w := make([]int64, n*n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := rng.Int64N(50)
+				w[i*n+j] = d
+				w[j*n+i] = d
+			}
+		}
+		weight := func(i, j int) int64 { return w[i*n+j] }
+		want := pairsWeight(dense.MinWeightPairs(n, weight), weight)
+		got := pairsWeight(pruned.MinWeightPairsPruned(n, weight, 10), weight)
+		if got != want {
+			t.Fatalf("non-metric trial %d n=%d: pruned weight %d, dense %d", trial, n, got, want)
+		}
+		checkPerfect(t, n, pruned.pairs)
+	}
+}
+
+// TestPrunedDeterministic: pruning (including its repair rounds) stays a
+// pure function of the weight table and cutoff.
+func TestPrunedDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(311, 312))
+	n := 20
+	w := make([]int64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := rng.Int64N(9)
+			w[i*n+j] = d
+			w[j*n+i] = d
+		}
+	}
+	weight := func(i, j int) int64 { return w[i*n+j] }
+	var m1, m2 Matcher
+	a := append([][2]int32(nil), m1.MinWeightPairsPruned(n, weight, 3)...)
+	for trial := 0; trial < 8; trial++ {
+		b := m2.MinWeightPairsPruned(n, weight, 3)
+		if len(a) != len(b) {
+			t.Fatal("pair count changed between runs")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("run %d: pairing differs at %d", trial, i)
+			}
+		}
+	}
+}

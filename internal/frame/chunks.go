@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"ftqc/internal/bits"
 )
 
 // chunkLanes is the fixed lane count per Monte Carlo batch chunk. It is a
@@ -13,6 +15,66 @@ import (
 // word-level sampling while leaving samples/128 chunks to spread over the
 // CPUs.
 const chunkLanes = 128
+
+// ForEachLaneSpan partitions `lanes` bit-plane lanes into 64-lane
+// word-aligned spans and runs fn once per span, fanned out over the
+// CPUs. No two spans share a machine word, so per-lane writers into
+// word-addressed bit vectors own their output words outright and the
+// result is bit-identical for any worker count or scheduling order —
+// the discipline every batch decode stage relies on. Small batches
+// (under 4 words, e.g. the fixed-width ForEachChunk chunks) run
+// serially: the chunk loop above already saturates the CPUs, so an
+// inner pool would only add spawn overhead.
+func ForEachLaneSpan(lanes int, fn func(lo, hi int)) {
+	words := (lanes + 63) / 64
+	workers := runtime.GOMAXPROCS(0)
+	if workers > words {
+		workers = words
+	}
+	if workers <= 1 || words < 4 {
+		fn(0, lanes)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				wi := int(next.Add(1)) - 1
+				if wi >= words {
+					return
+				}
+				lo := wi * 64
+				hi := lo + 64
+				if hi > lanes {
+					hi = lanes
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// CountSectorFailures runs a two-sector chunked experiment and tallies
+// the per-sector failure counts plus the either-sector union — the
+// shared accounting of every dual-sector (bit-flip/phase-flip) memory
+// experiment. run must return the two per-lane failure masks for its
+// chunk; the masks are consumed (the first is overwritten with the
+// union).
+func CountSectorFailures(samples int, seed uint64, run func(lanes int, smp Sampler) (failA, failB bits.Vec)) (a, b, either int) {
+	var ca, cb, ce atomic.Int64
+	ForEachChunk(samples, seed, func(lanes int, smp Sampler) {
+		failA, failB := run(lanes, smp)
+		ca.Add(int64(failA.Weight()))
+		cb.Add(int64(failB.Weight()))
+		failA.Or(failB)
+		ce.Add(int64(failA.Weight()))
+	})
+	return int(ca.Load()), int(cb.Load()), int(ce.Load())
+}
 
 // ForEachChunk partitions samples into fixed-width lane chunks and runs
 // fn once per chunk, fanned out over the available CPUs. Each invocation

@@ -1,0 +1,57 @@
+// Package spacetime decodes the toric code under noisy syndrome
+// extraction — the regime every fault-tolerant architecture actually
+// operates in. With perfect measurements a single syndrome snapshot
+// pins the defects and decoding is a 2D matching problem (package
+// toric); with measurements that lie with probability q, a single
+// snapshot is worthless and the experiment instead runs T rounds of
+// plaquette/star measurement, takes the XOR *difference* of consecutive
+// rounds as its detectors, and decodes over a three-dimensional
+// space-time volume closed by one final perfect round.
+//
+// # The 3D decoding volume
+//
+// Detector (c, t) is the difference between round t and round t+1 of
+// check c, for layers t = 0…T (layer 0 compares against the clean
+// initial state, layer T against the perfect closing round). Every
+// fault flips exactly two detectors, so faults are the edges of a
+// decoder.Graph over (T+1)·L² nodes:
+//
+//   - a data error entering at round t flips every later measurement of
+//     its two adjacent checks, which telescopes to one difference layer:
+//     a horizontal (space-like) edge between the two checks at layer
+//     t−1;
+//   - a measurement error at round t corrupts that round only, flipping
+//     layers t−1 and t of its check: a vertical (time-like) edge.
+//
+// The two edge families carry different likelihoods, so the graph is
+// weighted: integer weights proportional to the log-likelihood ratios
+// log((1−p)/p) and log((1−q)/q), gcd-normalized (p = q gives the
+// unit-weight graph). The union-find decoder grows along the weights
+// (an edge of weight w needs 2w half-steps); the blossom matcher prices
+// pairs at wH·d₂ + wV·|Δt|. A matched correction projects to the data
+// qubits by dropping its time-like edges and XOR-ing the space-like
+// ones into the final error estimate; the telescoped detector algebra
+// guarantees the projected residual is a closed 2D cycle, so the
+// winding detectors decide logical failure exactly as in the 2D
+// experiment.
+//
+// Both error sectors run per shot: bit-flip chains over the primal
+// (plaquette) volume and phase-flip chains over the dual (star) volume,
+// via toric's dual-lattice indexing.
+//
+// # Batch layout
+//
+// Shots advance as bit-planes (one word per 64 shots): per round, data
+// error planes accumulate edge-major, measurement-error masks come from
+// the sampler (frame.AggregateSampler's geometric skipping makes the q
+// draws nearly free), and difference layers are stored check-major.
+// The (T+1)·L² layer planes pivot lane-major through
+// bits.TransposePlanes, and the per-lane decodes run as a worker pool
+// over word-aligned lane spans — bit-identical for any GOMAXPROCS,
+// exactly like the 2D pipeline.
+//
+// The sustained-memory threshold (failure curves of growing L with
+// T ∝ L crossing at p = q ≈ 3%) is the package's headline experiment:
+// below the crossing, more rounds and bigger lattices make the memory
+// better; above it, worse.
+package spacetime

@@ -1,0 +1,462 @@
+package spacetime
+
+import (
+	"math"
+	"sync"
+
+	"ftqc/internal/bits"
+	"ftqc/internal/decoder"
+	"ftqc/internal/frame"
+	"ftqc/internal/toric"
+)
+
+// Volume is the 3D space-time decoding volume of an L×L toric code over
+// T noisy syndrome-extraction rounds plus one perfect closing round:
+// (T+1)·L² detectors per sector, horizontal (space-like) edges of weight
+// WH for data errors and vertical (time-like) edges of weight WV for
+// measurement errors. It is immutable after construction and shared
+// across workers; per-worker decoder state lives in the scratch pool.
+type Volume struct {
+	L, T   int
+	WH, WV int
+
+	lat    *toric.Lattice
+	nq     int            // data qubits, 2L²
+	nc     int            // checks per layer, L²
+	nodes  int            // (T+1)·L²
+	horiz  int            // horizontal edge count, T·2L² (ids below this project to data edges)
+	graphX *decoder.Graph // primal (plaquette) sector
+	graphZ *decoder.Graph // dual (star) sector
+
+	scratch *sync.Pool
+}
+
+// volScratch is one worker's decoder state over a volume.
+type volScratch struct {
+	ufX, ufZ *decoder.UnionFind
+	matcher  decoder.Matcher
+	defects  []int
+	corr     bits.Vec
+}
+
+// NewVolume builds the space-time volume for an L×L lattice, rounds ≥ 1
+// noisy extraction rounds and the given integer edge weights (see
+// Weights). Both sector graphs are built; node (c, t) has index t·L²+c.
+func NewVolume(l, rounds, wh, wv int) *Volume {
+	if rounds < 1 {
+		panic("spacetime: need at least one measurement round")
+	}
+	if wh < 1 || wv < 1 {
+		panic("spacetime: edge weights must be positive")
+	}
+	lat := toric.Cached(l)
+	v := &Volume{
+		L: l, T: rounds, WH: wh, WV: wv,
+		lat:   lat,
+		nq:    lat.Qubits(),
+		nc:    lat.NumChecks(),
+		nodes: (rounds + 1) * lat.NumChecks(),
+		horiz: rounds * lat.Qubits(),
+	}
+	v.graphX = v.buildGraph(lat.Graph())
+	v.graphZ = v.buildGraph(lat.DualGraph())
+	gx, gz, nq := v.graphX, v.graphZ, v.nq
+	v.scratch = &sync.Pool{New: func() any {
+		return &volScratch{
+			ufX:  decoder.NewUnionFind(gx),
+			ufZ:  decoder.NewUnionFind(gz),
+			corr: bits.NewVec(nq),
+		}
+	}}
+	return v
+}
+
+// buildGraph extrudes a 2D sector graph into the weighted space-time
+// volume. Edge ids: horizontal edge (e, t) = t·nq + e for layers
+// t = 0…T−1 (a data error entering at round t+1), then vertical edge
+// (c, t) = T·nq + t·nc + c joining layers t and t+1 of check c (a
+// measurement error at round t+1).
+func (v *Volume) buildGraph(base *decoder.Graph) *decoder.Graph {
+	ends := make([][2]int32, v.horiz+v.T*v.nc)
+	weights := make([]int32, len(ends))
+	for t := 0; t < v.T; t++ {
+		off := t * v.nq
+		layer := int32(t * v.nc)
+		for e := 0; e < v.nq; e++ {
+			a, b := base.Ends(e)
+			ends[off+e] = [2]int32{layer + int32(a), layer + int32(b)}
+			weights[off+e] = int32(v.WH)
+		}
+	}
+	for t := 0; t < v.T; t++ {
+		off := v.horiz + t*v.nc
+		for c := 0; c < v.nc; c++ {
+			ends[off+c] = [2]int32{int32(t*v.nc + c), int32((t+1)*v.nc + c)}
+			weights[off+c] = int32(v.WV)
+		}
+	}
+	return decoder.NewWeightedGraph(v.nodes, ends, weights)
+}
+
+// Graph returns the primal (plaquette-sector) space-time graph.
+func (v *Volume) Graph() *decoder.Graph { return v.graphX }
+
+// DualGraph returns the dual (star-sector) space-time graph.
+func (v *Volume) DualGraph() *decoder.Graph { return v.graphZ }
+
+// Lattice returns the underlying 2D lattice.
+func (v *Volume) Lattice() *toric.Lattice { return v.lat }
+
+// weightScale is the target magnitude of the larger LLR weight before
+// gcd normalization: fine enough to separate p from q likelihoods,
+// small enough that weighted union-find growth stays a handful of
+// sweeps per graph distance.
+const weightScale = 12
+
+// Weights converts the physical error rates into the integer edge
+// weights of the volume: wh ∝ log((1−p)/p) for data edges, wv ∝
+// log((1−q)/q) for measurement edges, scaled so the larger is
+// weightScale, capped so an impossible channel (q = 0) can never be
+// cheaper than any detour that avoids it, and gcd-normalized — p = q
+// yields the unit-weight (1, 1) graph.
+func Weights(p, q float64, l, rounds int) (wh, wv int) {
+	lp := clampLLR(p)
+	lq := clampLLR(q)
+	m := lp
+	if lq > m {
+		m = lq
+	}
+	wh = int(math.Round(weightScale * lp / m))
+	wv = int(math.Round(weightScale * lq / m))
+	if wh < 1 {
+		wh = 1
+	}
+	if wv < 1 {
+		wv = 1
+	}
+	// An all-horizontal detour never exceeds wh·L; an all-vertical one,
+	// wv·rounds. Weights beyond those bounds are indistinguishable from
+	// "never", so cap them and keep the normalized integers small.
+	if lim := wh*l + 1; wv > lim {
+		wv = lim
+	}
+	if lim := wv*rounds + 1; wh > lim {
+		wh = lim
+	}
+	g := gcd(wh, wv)
+	return wh / g, wv / g
+}
+
+// clampLLR returns log((1−x)/x) clamped to a positive finite range.
+func clampLLR(x float64) float64 {
+	if x < 1e-9 {
+		x = 1e-9
+	}
+	if x > 0.5 {
+		x = 0.5
+	}
+	v := math.Log((1 - x) / x)
+	if v < 1e-9 {
+		v = 1e-9
+	}
+	return v
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// volumeCache memoizes constructed volumes: sweeps revisit the same
+// (L, T, weights) grid point for every p in a curve.
+var volumeCache sync.Map // volumeKey → *Volume
+
+type volumeKey struct{ l, t, wh, wv int }
+
+// CachedVolume returns the memoized volume for the given lattice size,
+// round count and physical rates (weights derived via Weights).
+func CachedVolume(l, rounds int, p, q float64) *Volume {
+	wh, wv := Weights(p, q, l, rounds)
+	key := volumeKey{l, rounds, wh, wv}
+	if v, ok := volumeCache.Load(key); ok {
+		return v.(*Volume)
+	}
+	v, _ := volumeCache.LoadOrStore(key, NewVolume(l, rounds, wh, wv))
+	return v.(*Volume)
+}
+
+// Decode returns the projected spatial correction for a 3D defect set:
+// the decoder runs on the space-time graph of the chosen sector and the
+// space-like correction edges are XOR-ed onto their data qubits
+// (time-like edges are measurement-error assignments and project away).
+// DecoderExact runs the blossom matcher on wh·d₂ + wv·|Δt| distances
+// (pruned above decoder.SparseMatchMin defects); every other kind runs
+// the weighted union-find decoder.
+func (v *Volume) Decode(defects []int, kind toric.DecoderKind, dual bool) bits.Vec {
+	corr := bits.NewVec(v.nq)
+	scr := v.scratch.Get().(*volScratch)
+	v.decodeInto(defects, kind, dual, scr, corr)
+	v.scratch.Put(scr)
+	return corr
+}
+
+func (v *Volume) decodeInto(defects []int, kind toric.DecoderKind, dual bool, scr *volScratch, corr bits.Vec) {
+	if len(defects) == 0 {
+		return
+	}
+	if kind == toric.DecoderExact {
+		weight := func(i, j int) int64 {
+			a, b := defects[i], defects[j]
+			dt := a/v.nc - b/v.nc
+			if dt < 0 {
+				dt = -dt
+			}
+			return int64(v.WH)*int64(v.lat.TorusDist(a%v.nc, b%v.nc)) + int64(v.WV)*int64(dt)
+		}
+		var pairs [][2]int32
+		if n := len(defects); n > decoder.SparseMatchMin {
+			pairs = scr.matcher.MinWeightPairsPruned(n, weight, v.matchCutoff(n))
+		} else {
+			pairs = scr.matcher.MinWeightPairs(n, weight)
+		}
+		for _, pr := range pairs {
+			ca, cb := defects[pr[0]]%v.nc, defects[pr[1]]%v.nc
+			if ca == cb {
+				continue
+			}
+			if dual {
+				v.lat.PathBetweenDual(ca, cb, corr)
+			} else {
+				v.lat.PathBetween(ca, cb, corr)
+			}
+		}
+		return
+	}
+	uf := scr.ufX
+	if dual {
+		uf = scr.ufZ
+	}
+	uf.Decode(defects, func(e int) {
+		if e < v.horiz {
+			corr.Flip(e % v.nq)
+		}
+	})
+}
+
+// matchCutoff picks the pruning radius (in weighted units) for n defects
+// in the volume: a few mean nearest-neighbor spacings at the observed
+// defect density, times the heavier edge weight.
+func (v *Volume) matchCutoff(n int) int64 {
+	mean := 1
+	for mean*mean*mean*n < 4*v.nodes {
+		mean++
+	}
+	w := v.WH
+	if v.WV > w {
+		w = v.WV
+	}
+	return int64(3 * mean * w)
+}
+
+// BatchMemory runs `lanes` shots of the noisy-extraction memory
+// experiment as bit-planes: T rounds of fresh X and Z data errors at
+// rate p per edge, plaquette and star measurements flipped with
+// probability q, difference-syndrome layers closed by one perfect
+// round, both sectors decoded per lane over the weighted volume. Draw
+// order per round: X edge planes, Z edge planes, plaquette measurement
+// masks, star measurement masks — all in index order, so the experiment
+// is a pure function of the sampler stream. Returns the per-lane
+// logical failure masks of the two sectors.
+func (v *Volume) BatchMemory(p, q float64, kind toric.DecoderKind, lanes int, smp frame.Sampler) (failX, failZ bits.Vec) {
+	nq, nc := v.nq, v.nc
+	active := bits.NewVec(lanes)
+	active.SetAll()
+	tmp := bits.NewVec(lanes)
+	cumX := bits.NewVecs(nq, lanes)
+	cumZ := bits.NewVecs(nq, lanes)
+	prevX := bits.NewVecs(nc, lanes)
+	prevZ := bits.NewVecs(nc, lanes)
+	curX := bits.NewVecs(nc, lanes)
+	curZ := bits.NewVecs(nc, lanes)
+	layersX := bits.NewVecs(v.nodes, lanes)
+	layersZ := bits.NewVecs(v.nodes, lanes)
+	for t := 1; t <= v.T; t++ {
+		for e := 0; e < nq; e++ {
+			smp.Bernoulli(p, active, tmp)
+			cumX[e].Xor(tmp)
+		}
+		for e := 0; e < nq; e++ {
+			smp.Bernoulli(p, active, tmp)
+			cumZ[e].Xor(tmp)
+		}
+		v.lat.PlaquetteSyndromePlanes(cumX, curX)
+		for c := 0; c < nc; c++ {
+			smp.Bernoulli(q, active, tmp)
+			curX[c].Xor(tmp)
+		}
+		v.lat.StarSyndromePlanes(cumZ, curZ)
+		for c := 0; c < nc; c++ {
+			smp.Bernoulli(q, active, tmp)
+			curZ[c].Xor(tmp)
+		}
+		off := (t - 1) * nc
+		for c := 0; c < nc; c++ {
+			lx := layersX[off+c]
+			lx.CopyFrom(curX[c])
+			lx.Xor(prevX[c])
+			lz := layersZ[off+c]
+			lz.CopyFrom(curZ[c])
+			lz.Xor(prevZ[c])
+		}
+		prevX, curX = curX, prevX
+		prevZ, curZ = curZ, prevZ
+	}
+	// Perfect closing round: the true syndromes of the accumulated
+	// errors, no fresh faults.
+	v.lat.PlaquetteSyndromePlanes(cumX, curX)
+	v.lat.StarSyndromePlanes(cumZ, curZ)
+	off := v.T * nc
+	for c := 0; c < nc; c++ {
+		lx := layersX[off+c]
+		lx.CopyFrom(curX[c])
+		lx.Xor(prevX[c])
+		lz := layersZ[off+c]
+		lz.CopyFrom(curZ[c])
+		lz.Xor(prevZ[c])
+	}
+	// Winding parities of the accumulated error chains.
+	pX1 := bits.NewVec(lanes)
+	pX2 := bits.NewVec(lanes)
+	v.lat.WindingPlanes(cumX, pX1, pX2)
+	pZ1 := bits.NewVec(lanes)
+	pZ2 := bits.NewVec(lanes)
+	v.lat.WindingPlanesDual(cumZ, pZ1, pZ2)
+	// Pivot detector planes lane-major and decode each sector.
+	syn := bits.NewVecs(lanes, v.nodes)
+	bits.TransposePlanes(syn, layersX)
+	failX = bits.NewVec(lanes)
+	v.decodeLanes(kind, syn, pX1, pX2, failX, false)
+	bits.TransposePlanes(syn, layersZ)
+	failZ = bits.NewVec(lanes)
+	v.decodeLanes(kind, syn, pZ1, pZ2, failZ, true)
+	return failX, failZ
+}
+
+// decodeLanes is the worker-pool decode stage over word-aligned lane
+// spans (frame.ForEachLaneSpan), the same discipline as the 2D
+// pipeline: each span owns its failure-mask words outright and draws
+// private scratch from the volume pool, so the result is bit-identical
+// for any worker count.
+func (v *Volume) decodeLanes(kind toric.DecoderKind, syn []bits.Vec, p1, p2, fails bits.Vec, dual bool) {
+	frame.ForEachLaneSpan(len(syn), func(lo, hi int) {
+		v.decodeLaneSpan(kind, syn, p1, p2, fails, dual, lo, hi)
+	})
+}
+
+// decodeLaneSpan decodes lanes [lo, hi): extract the sparse 3D defect
+// list, decode, project, and fold the projected correction's winding
+// parities into the accumulated chain's. The projected residual is
+// always a closed 2D cycle (the correction's 3D syndrome equals the
+// defect set and time-like edges project to nothing), so the winding
+// parities decide failure.
+func (v *Volume) decodeLaneSpan(kind toric.DecoderKind, syn []bits.Vec, p1, p2, fails bits.Vec, dual bool, lo, hi int) {
+	scr := v.scratch.Get().(*volScratch)
+	for lane := lo; lane < hi; lane++ {
+		scr.defects = syn[lane].AppendSupport(scr.defects[:0])
+		l1 := p1.Get(lane)
+		l2 := p2.Get(lane)
+		if len(scr.defects) > 0 {
+			scr.corr.Clear()
+			v.decodeInto(scr.defects, kind, dual, scr, scr.corr)
+			var c1, c2 bool
+			if dual {
+				c1, c2 = v.lat.WindingParityDual(scr.corr)
+			} else {
+				c1, c2 = v.lat.WindingParity(scr.corr)
+			}
+			l1 = l1 != c1
+			l2 = l2 != c2
+		}
+		if l1 || l2 {
+			fails.Set(lane, true)
+		}
+	}
+	v.scratch.Put(scr)
+}
+
+// Result summarizes a space-time memory Monte Carlo run.
+type Result struct {
+	L, T     int
+	P, Q     float64
+	Samples  int
+	FailX    int // bit-flip (plaquette-sector) logical failures
+	FailZ    int // phase-flip (star-sector) logical failures
+	Failures int // shots failing in either sector
+}
+
+// FailRate returns the either-sector logical failure probability.
+func (r Result) FailRate() float64 { return float64(r.Failures) / float64(r.Samples) }
+
+// FailRateX returns the bit-flip sector failure probability.
+func (r Result) FailRateX() float64 { return float64(r.FailX) / float64(r.Samples) }
+
+// FailRateZ returns the phase-flip sector failure probability.
+func (r Result) FailRateZ() float64 { return float64(r.FailZ) / float64(r.Samples) }
+
+// Memory runs the repeated-round noisy-syndrome memory experiment:
+// `rounds` noisy extraction rounds at data rate p and measurement rate
+// q, decoded over the weighted space-time volume, fanned out over the
+// CPUs in deterministic seed-per-chunk batches. With q = 0 and
+// rounds = 1 it reduces (statistically) to the 2D MemoryExperiment.
+func Memory(l, rounds int, p, q float64, kind toric.DecoderKind, samples int, seed uint64) Result {
+	v := CachedVolume(l, rounds, p, q)
+	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
+		return v.BatchMemory(p, q, kind, lanes, smp)
+	})
+	return Result{L: l, T: rounds, P: p, Q: q, Samples: samples,
+		FailX: fx, FailZ: fz, Failures: fa}
+}
+
+// ThresholdPoint is one p = q grid point of a sustained-threshold sweep.
+type ThresholdPoint struct {
+	P            float64
+	Small, Large Result
+}
+
+// SustainedThreshold sweeps p = q over the grid with T = L rounds for
+// two code distances and estimates where the failure curves cross — the
+// sustained threshold of the noisy-extraction memory (below it, the
+// larger distance is better; above, worse). Returns NaN when the grid
+// shows no crossing, plus the measured points either way.
+func SustainedThreshold(l1, l2 int, grid []float64, kind toric.DecoderKind, samples int, seed uint64) (float64, []ThresholdPoint) {
+	pts := make([]ThresholdPoint, len(grid))
+	small := make([]float64, len(grid))
+	large := make([]float64, len(grid))
+	for i, p := range grid {
+		pts[i] = ThresholdPoint{
+			P:     p,
+			Small: Memory(l1, l1, p, p, kind, samples, seed+uint64(2*i)),
+			Large: Memory(l2, l2, p, p, kind, samples, seed+uint64(2*i+1)),
+		}
+		small[i] = pts[i].Small.FailRate()
+		large[i] = pts[i].Large.FailRate()
+	}
+	return CrossingEstimate(grid, small, large), pts
+}
+
+// CrossingEstimate linearly interpolates the first sign change of the
+// (large − small) failure-rate difference over the grid — the threshold
+// estimate every sweep (library and CLI) shares. NaN when the curves
+// never cross.
+func CrossingEstimate(grid, small, large []float64) float64 {
+	for i := 1; i < len(grid); i++ {
+		d0 := large[i-1] - small[i-1]
+		d1 := large[i] - small[i]
+		if d0 < 0 && d1 >= 0 {
+			return grid[i-1] + d0/(d0-d1)*(grid[i]-grid[i-1])
+		}
+	}
+	return math.NaN()
+}

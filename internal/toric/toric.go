@@ -9,14 +9,18 @@
 //
 // Decoding is delegated to internal/decoder: a near-linear union-find
 // decoder for the hot Monte Carlo path and a polynomial exact
-// minimum-weight matcher as the accuracy baseline. Batch decodes run as
-// a worker-pool stage over word-aligned lane spans, bit-identical for
-// any GOMAXPROCS.
+// minimum-weight matcher as the accuracy baseline. Both error sectors
+// decode through the same machinery via the dual lattice (plaquette
+// syndromes for bit flips, star syndromes for phase flips), leakage-
+// detected qubits feed the union-find peeling pass as erasure, and
+// batch decodes run as a worker-pool stage over word-aligned lane
+// spans, bit-identical for any GOMAXPROCS. Noisy syndrome extraction
+// over repeated rounds lives in internal/spacetime, built on this
+// package's lattices.
 package toric
 
 import (
 	"math"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -28,28 +32,43 @@ import (
 // Lattice is an L×L torus with one qubit per edge (2L² qubits).
 // Horizontal edge (x,y) has index y·L+x; vertical edge (x,y) has index
 // L²+y·L+x. Arithmetic is mod L in both directions.
+//
+// Both error sectors are first-class: bit-flip (X) chains end on
+// plaquette (Z-check) defects and decode over the primal graph;
+// phase-flip (Z) chains end on star (X-check) defects and decode over
+// the dual graph, whose sites reuse the same y·L+x indexing — the
+// dual-lattice trick that makes one decoder subsystem serve both.
 type Lattice struct {
 	L int
-	// homology membership tester: an XOR basis of the space of trivial
-	// cycles (plaquette boundaries), indexed by leading column.
+	// homology membership testers: XOR bases of the trivial-cycle spaces
+	// (star products for the X sector, plaquette products for the Z
+	// sector), indexed by leading column.
 	hbasis []bits.Vec
 	hset   []bool
+	zbasis []bits.Vec
+	zset   []bool
 	// Winding detectors: two fixed edge sets orthogonal to every star
 	// operator whose GF(2) inner products with a syndrome-free chain read
 	// off its homology class directly (O(L) instead of a basis
 	// reduction). det1 is the column of vertical edges at x=0 (odd
 	// intersection ⇔ the chain winds horizontally on the dual lattice);
-	// det2 is the row of horizontal edges at y=0.
-	det1, det2 bits.Vec
+	// det2 is the row of horizontal edges at y=0. det1Z/det2Z are the
+	// dual pair, orthogonal to every plaquette: the row of vertical edges
+	// at y=0 and the column of horizontal edges at x=0.
+	det1, det2   bits.Vec
+	det1Z, det2Z bits.Vec
 	// Support lists of the detectors, precomputed for the batch path.
-	det1Sup, det2Sup []int
+	det1Sup, det2Sup   []int
+	det1ZSup, det2ZSup []int
 	// wrapDist[d] = min(d, L−d): the one-axis torus metric, cached so a
 	// plaquette distance is two table lookups shared by every lane and
 	// worker.
 	wrapDist []int32
-	// graph is the decoding graph (plaquettes = nodes, qubits = edges),
-	// immutable and shared across all decoder instances.
-	graph *decoder.Graph
+	// graph is the primal decoding graph (plaquettes = nodes, qubits =
+	// edges); dualGraph is the star-sector graph (sites = nodes). Both
+	// are immutable and shared across all decoder instances.
+	graph     *decoder.Graph
+	dualGraph *decoder.Graph
 	// scratch recycles per-worker decoder state (union-find arrays,
 	// matcher arrays, defect and correction buffers) across decodes.
 	scratch *sync.Pool
@@ -61,15 +80,21 @@ func NewLattice(l int) Lattice {
 		panic("toric: lattice size must be at least 2")
 	}
 	t := Lattice{L: l}
-	t.buildHomologyTester()
+	t.buildHomologyTesters()
 	t.det1 = bits.NewVec(t.Qubits())
 	t.det2 = bits.NewVec(t.Qubits())
+	t.det1Z = bits.NewVec(t.Qubits())
+	t.det2Z = bits.NewVec(t.Qubits())
 	for i := 0; i < l; i++ {
 		t.det1.Flip(t.VEdge(0, i))
 		t.det2.Flip(t.HEdge(i, 0))
+		t.det1Z.Flip(t.VEdge(i, 0))
+		t.det2Z.Flip(t.HEdge(0, i))
 	}
 	t.det1Sup = t.det1.Support()
 	t.det2Sup = t.det2.Support()
+	t.det1ZSup = t.det1Z.Support()
+	t.det2ZSup = t.det2Z.Support()
 	t.wrapDist = make([]int32, l)
 	for d := 0; d < l; d++ {
 		if l-d < d {
@@ -78,18 +103,26 @@ func NewLattice(l int) Lattice {
 			t.wrapDist[d] = int32(d)
 		}
 	}
-	// Decoding graph: horizontal edge h(x,y) separates plaquettes (x,y)
-	// and (x,y−1); vertical edge v(x,y) separates (x,y) and (x−1,y).
+	// Primal decoding graph: horizontal edge h(x,y) separates plaquettes
+	// (x,y) and (x,y−1); vertical edge v(x,y) separates (x,y) and
+	// (x−1,y). Dual graph: the same qubit edges between the sites they
+	// join — h(x,y) joins sites (x,y)–(x+1,y), v(x,y) joins (x,y)–(x,y+1).
 	ends := make([][2]int32, t.Qubits())
+	dualEnds := make([][2]int32, t.Qubits())
 	for y := 0; y < l; y++ {
 		for x := 0; x < l; x++ {
 			ends[t.HEdge(x, y)] = [2]int32{int32(y*l + x), int32(mod(y-1, l)*l + x)}
 			ends[t.VEdge(x, y)] = [2]int32{int32(y*l + x), int32(y*l + mod(x-1, l))}
+			dualEnds[t.HEdge(x, y)] = [2]int32{int32(y*l + x), int32(y*l + mod(x+1, l))}
+			dualEnds[t.VEdge(x, y)] = [2]int32{int32(y*l + x), int32(mod(y+1, l)*l + x)}
 		}
 	}
 	t.graph = decoder.NewGraph(t.NumChecks(), ends)
+	t.dualGraph = decoder.NewGraph(t.NumChecks(), dualEnds)
 	graph, qubits := t.graph, t.Qubits()
 	t.scratch = &sync.Pool{New: func() any {
+		// ufDual stays nil until a dual-sector decode first needs it
+		// (dualUF), so the X-only hot paths never pay for its arrays.
 		return &decodeScratch{
 			uf:   decoder.NewUnionFind(graph),
 			corr: bits.NewVec(qubits),
@@ -97,6 +130,14 @@ func NewLattice(l int) Lattice {
 	}}
 	return t
 }
+
+// Graph returns the primal decoding graph (plaquettes = nodes, qubit
+// edges between the two plaquettes they bound). It is immutable.
+func (t Lattice) Graph() *decoder.Graph { return t.graph }
+
+// DualGraph returns the star-sector decoding graph (sites = nodes, qubit
+// edges between the two sites they join). It is immutable.
+func (t Lattice) DualGraph() *decoder.Graph { return t.dualGraph }
 
 // WindingParity returns the two homology-class bits of a syndrome-free
 // chain: whether it crosses the x=0 vertical-edge column an odd number of
@@ -107,53 +148,68 @@ func (t Lattice) WindingParity(errs bits.Vec) (bool, bool) {
 	return errs.Dot(t.det1), errs.Dot(t.det2)
 }
 
-// buildHomologyTester builds an XOR basis of the space of trivial X-error
-// chains. An X pattern acts trivially on the code space exactly when it is
-// a product of star (X-stabilizer) operators, so the basis rows are the
-// star edge-sets; syndrome-free chains outside this span are logical
-// operators (noncontractible dual cycles).
-func (t *Lattice) buildHomologyTester() {
+// WindingParityDual is WindingParity for the Z sector: the homology bits
+// of a star-syndrome-free phase-flip chain against the dual detector
+// pair (the y=0 vertical-edge row and the x=0 horizontal-edge column,
+// each orthogonal to every plaquette operator).
+func (t Lattice) WindingParityDual(errs bits.Vec) (bool, bool) {
+	return errs.Dot(t.det1Z), errs.Dot(t.det2Z)
+}
+
+// buildHomologyTesters builds XOR bases of the trivial-chain spaces of
+// both sectors. An X pattern acts trivially on the code space exactly
+// when it is a product of star (X-stabilizer) operators; a Z pattern,
+// when it is a product of plaquette (Z-stabilizer) operators.
+// Syndrome-free chains outside the span are logical operators
+// (noncontractible cycles of the dual or direct lattice respectively).
+func (t *Lattice) buildHomologyTesters() {
 	t.hbasis = make([]bits.Vec, t.Qubits())
 	t.hset = make([]bool, t.Qubits())
+	t.zbasis = make([]bits.Vec, t.Qubits())
+	t.zset = make([]bool, t.Qubits())
 	for y := 0; y < t.L; y++ {
 		for x := 0; x < t.L; x++ {
 			row := bits.NewVec(t.Qubits())
 			for _, e := range t.StarEdges(x, y) {
 				row.Flip(e)
 			}
-			t.insertBasis(row)
+			insertBasis(t.hbasis, t.hset, row)
+			zrow := bits.NewVec(t.Qubits())
+			for _, e := range t.PlaquetteEdges(x, y) {
+				zrow.Flip(e)
+			}
+			insertBasis(t.zbasis, t.zset, zrow)
 		}
 	}
 }
 
-// insertBasis adds a vector to the XOR basis (standard leading-column
+// insertBasis adds a vector to an XOR basis (standard leading-column
 // reduction).
-func (t *Lattice) insertBasis(v bits.Vec) {
+func insertBasis(basis []bits.Vec, set []bool, v bits.Vec) {
 	for c := 0; c < v.Len(); c++ {
 		if !v.Get(c) {
 			continue
 		}
-		if !t.hset[c] {
-			t.hbasis[c] = v
-			t.hset[c] = true
+		if !set[c] {
+			basis[c] = v
+			set[c] = true
 			return
 		}
-		v.Xor(t.hbasis[c])
+		v.Xor(basis[c])
 	}
 }
 
-// inBoundarySpan reduces v against the basis and reports whether it
-// vanishes (is a sum of plaquette boundaries).
-func (t *Lattice) inBoundarySpan(v bits.Vec) bool {
+// inSpan reduces v against a basis and reports whether it vanishes.
+func inSpan(basis []bits.Vec, set []bool, v bits.Vec) bool {
 	w := v.Clone()
 	for c := 0; c < w.Len(); c++ {
 		if !w.Get(c) {
 			continue
 		}
-		if !t.hset[c] {
+		if !set[c] {
 			return false
 		}
-		w.Xor(t.hbasis[c])
+		w.Xor(basis[c])
 	}
 	return true
 }
@@ -223,11 +279,41 @@ func (t Lattice) Syndrome(errs bits.Vec) []int {
 // star operators, so membership in that span is tested directly over
 // GF(2).
 func (t Lattice) LogicalError(errs bits.Vec) bool {
-	return !t.inBoundarySpan(errs)
+	return !inSpan(t.hbasis, t.hset, errs)
 }
 
-// torusDist is the Manhattan distance between plaquettes on the torus.
-func (t *Lattice) torusDist(a, b int) int {
+// LogicalZError is LogicalError for the Z sector: a star-syndrome-free
+// phase-flip pattern is a logical operator exactly when it is not a
+// product of plaquette operators.
+func (t Lattice) LogicalZError(errs bits.Vec) bool {
+	return !inSpan(t.zbasis, t.zset, errs)
+}
+
+// StarSyndrome computes the star syndrome of a phase-flip error pattern:
+// defect positions are sites with odd incident parity. Site (x,y) has
+// index y·L+x, the same indexing as plaquettes, so distances, paths and
+// decoding graphs transfer between the sectors unchanged.
+func (t Lattice) StarSyndrome(errs bits.Vec) []int {
+	var defects []int
+	for y := 0; y < t.L; y++ {
+		for x := 0; x < t.L; x++ {
+			parity := false
+			for _, e := range t.StarEdges(x, y) {
+				if errs.Get(e) {
+					parity = !parity
+				}
+			}
+			if parity {
+				defects = append(defects, y*t.L+x)
+			}
+		}
+	}
+	return defects
+}
+
+// TorusDist is the Manhattan distance between plaquettes (equivalently
+// sites — both use y·L+x indexing) on the torus.
+func (t *Lattice) TorusDist(a, b int) int {
 	ax, ay := a%t.L, a/t.L
 	bx, by := b%t.L, b/t.L
 	dx := ax - bx
@@ -241,9 +327,9 @@ func (t *Lattice) torusDist(a, b int) int {
 	return int(t.wrapDist[dx] + t.wrapDist[dy])
 }
 
-// pathBetween flips a shortest error chain connecting plaquettes a and b
+// PathBetween flips a shortest error chain connecting plaquettes a and b
 // into out (move in x first, then y, wrapping the short way).
-func (t *Lattice) pathBetween(a, b int, out bits.Vec) {
+func (t *Lattice) PathBetween(a, b int, out bits.Vec) {
 	ax, ay := a%t.L, a/t.L
 	bx, by := b%t.L, b/t.L
 	// Walk in x: crossing from plaquette (x,y) to (x+1,y) flips the
@@ -282,6 +368,45 @@ func (t *Lattice) pathBetween(a, b int, out bits.Vec) {
 	}
 }
 
+// PathBetweenDual is PathBetween on the dual lattice: it flips a shortest
+// phase-flip chain connecting sites a and b into out. Crossing from site
+// (x,y) to (x+1,y) flips h(x,y); from (x,y) to (x,y+1) flips v(x,y).
+func (t *Lattice) PathBetweenDual(a, b int, out bits.Vec) {
+	ax, ay := a%t.L, a/t.L
+	bx, by := b%t.L, b/t.L
+	stepX := 1
+	dx := mod(bx-ax, t.L)
+	if dx > t.L-dx {
+		stepX = -1
+		dx = t.L - dx
+	}
+	x, y := ax, ay
+	for i := 0; i < dx; i++ {
+		if stepX == 1 {
+			out.Flip(t.HEdge(x, y))
+			x = mod(x+1, t.L)
+		} else {
+			out.Flip(t.HEdge(x-1, y))
+			x = mod(x-1, t.L)
+		}
+	}
+	stepY := 1
+	dy := mod(by-ay, t.L)
+	if dy > t.L-dy {
+		stepY = -1
+		dy = t.L - dy
+	}
+	for i := 0; i < dy; i++ {
+		if stepY == 1 {
+			out.Flip(t.VEdge(x, y))
+			y = mod(y+1, t.L)
+		} else {
+			out.Flip(t.VEdge(x, y-1))
+			y = mod(y-1, t.L)
+		}
+	}
+}
+
 // DecoderKind selects the decoding strategy.
 type DecoderKind int
 
@@ -304,10 +429,12 @@ const (
 // reallocating per call.
 type decodeScratch struct {
 	uf      *decoder.UnionFind
+	ufDual  *decoder.UnionFind
 	matcher decoder.Matcher
 	pairs   [][2]int
 	alive   []int
 	defects []int
+	erased  []int
 	corr    bits.Vec
 }
 
@@ -327,6 +454,28 @@ func (t Lattice) Decode(defects []int, kind DecoderKind) bits.Vec {
 	return corr
 }
 
+// DecodeDual returns a phase-flip correction for the given star-defect
+// set, decoded over the dual graph.
+func (t Lattice) DecodeDual(defects []int, kind DecoderKind) bits.Vec {
+	corr := bits.NewVec(t.Qubits())
+	scr := t.scratch.Get().(*decodeScratch)
+	t.decodeDualInto(defects, kind, scr, corr)
+	t.scratch.Put(scr)
+	return corr
+}
+
+// DecodeErasure returns a correction for the defect set given known
+// erased qubit locations (leakage-detected edges): the erased edges seed
+// the union-find peeling pass at full support, so pure-erasure syndromes
+// decode in linear time without any cluster growth.
+func (t Lattice) DecodeErasure(defects, erased []int) bits.Vec {
+	corr := bits.NewVec(t.Qubits())
+	scr := t.scratch.Get().(*decodeScratch)
+	scr.uf.DecodeErased(defects, erased, func(e int) { corr.Flip(e) })
+	t.scratch.Put(scr)
+	return corr
+}
+
 // decodeInto flips a correction for the defect set into corr. All decode
 // paths (scalar and batch) funnel through here, so every path shares one
 // deterministic tie-break per decoder kind.
@@ -336,8 +485,31 @@ func (t *Lattice) decodeInto(defects []int, kind DecoderKind, scr *decodeScratch
 		return
 	}
 	for _, pr := range t.matchDefects(defects, kind, scr) {
-		t.pathBetween(pr[0], pr[1], corr)
+		t.PathBetween(pr[0], pr[1], corr)
 	}
+}
+
+// decodeDualInto is decodeInto for the Z sector. Sites and plaquettes
+// share the y·L+x indexing, so the matching stage (distances, pairing,
+// tie-breaks) is sector-blind; only the graph and the path emitter
+// change.
+func (t *Lattice) decodeDualInto(defects []int, kind DecoderKind, scr *decodeScratch, corr bits.Vec) {
+	if kind == DecoderUnionFind {
+		t.dualUF(scr).Decode(defects, func(e int) { corr.Flip(e) })
+		return
+	}
+	for _, pr := range t.matchDefects(defects, kind, scr) {
+		t.PathBetweenDual(pr[0], pr[1], corr)
+	}
+}
+
+// dualUF returns the scratch's dual-sector union-find, created on first
+// use so X-only workloads never allocate the dual graph's arrays.
+func (t *Lattice) dualUF(scr *decodeScratch) *decoder.UnionFind {
+	if scr.ufDual == nil {
+		scr.ufDual = decoder.NewUnionFind(t.dualGraph)
+	}
+	return scr.ufDual
 }
 
 // matchDefects pairs up the defect set with the chosen strategy. The
@@ -361,12 +533,12 @@ func (t *Lattice) matchDefects(defects []int, kind DecoderKind, scr *decodeScrat
 // directly — the dominant nontrivial case at low error rates, decided
 // without touching the matcher.
 func (t *Lattice) matchFour(defects []int, scr *decodeScratch) [][2]int {
-	d01 := t.torusDist(defects[0], defects[1])
-	d23 := t.torusDist(defects[2], defects[3])
-	d02 := t.torusDist(defects[0], defects[2])
-	d13 := t.torusDist(defects[1], defects[3])
-	d03 := t.torusDist(defects[0], defects[3])
-	d12 := t.torusDist(defects[1], defects[2])
+	d01 := t.TorusDist(defects[0], defects[1])
+	d23 := t.TorusDist(defects[2], defects[3])
+	d02 := t.TorusDist(defects[0], defects[2])
+	d13 := t.TorusDist(defects[1], defects[3])
+	d03 := t.TorusDist(defects[0], defects[3])
+	d12 := t.TorusDist(defects[1], defects[2])
 	best, bi := d01+d23, 1
 	if c := d02 + d13; c < best {
 		best, bi = c, 2
@@ -385,15 +557,37 @@ func (t *Lattice) matchFour(defects []int, scr *decodeScratch) [][2]int {
 }
 
 // mwpmMatch is the polynomial exact matcher on the torus distance graph.
+// Large defect sets go through the pruned (sparse-blossom) path: only
+// locally short edges enter the engine, with dual pricing restoring any
+// cutoff casualty, so the result weight is exactly the dense optimum at
+// a fraction of the edge count.
 func (t *Lattice) mwpmMatch(defects []int, scr *decodeScratch) [][2]int {
-	idx := scr.matcher.MinWeightPairs(len(defects), func(i, j int) int64 {
-		return int64(t.torusDist(defects[i], defects[j]))
-	})
+	n := len(defects)
+	weight := func(i, j int) int64 {
+		return int64(t.TorusDist(defects[i], defects[j]))
+	}
+	var idx [][2]int32
+	if n > decoder.SparseMatchMin {
+		idx = scr.matcher.MinWeightPairsPruned(n, weight, matchCutoff(t.L*t.L, n))
+	} else {
+		idx = scr.matcher.MinWeightPairs(n, weight)
+	}
 	pairs := scr.takePairs(len(idx))
 	for _, pr := range idx {
 		pairs = append(pairs, [2]int{defects[pr[0]], defects[pr[1]]})
 	}
 	return pairs
+}
+
+// matchCutoff picks the pruning radius for n defects on a lattice of the
+// given check count: a few mean nearest-neighbor spacings, so each defect
+// keeps O(1) candidate partners and the staged edge count stays ~O(n).
+func matchCutoff(area, n int) int64 {
+	mean := 1
+	for mean*mean*n < 4*area {
+		mean++
+	}
+	return int64(3 * mean)
 }
 
 // greedyMatch pairs the globally closest defects first.
@@ -404,7 +598,7 @@ func (t *Lattice) greedyMatch(defects []int, scr *decodeScratch) [][2]int {
 		bi, bj, best := 0, 1, 1<<30
 		for i := 0; i < len(alive); i++ {
 			for j := i + 1; j < len(alive); j++ {
-				if d := t.torusDist(alive[i], alive[j]); d < best {
+				if d := t.TorusDist(alive[i], alive[j]); d < best {
 					bi, bj, best = i, j, d
 				}
 			}
@@ -450,6 +644,10 @@ func MemoryExperiment(l int, p float64, kind DecoderKind, samples int, seed uint
 // same lattice is safely shared across calls and workers.
 var latticeCache sync.Map // int → *Lattice
 
+// Cached returns the memoized lattice of size l, shared across callers
+// (the space-time subsystem builds its decoding volumes on top of it).
+func Cached(l int) *Lattice { return cachedLattice(l) }
+
 func cachedLattice(l int) *Lattice {
 	if v, ok := latticeCache.Load(l); ok {
 		return v.(*Lattice)
@@ -476,8 +674,25 @@ func (t *Lattice) BatchMemory(p float64, kind DecoderKind, lanes int, smp frame.
 		smp.Bernoulli(p, active, planes[e])
 	}
 	// Plaquette syndrome planes: one XOR chain of four edge planes per
-	// check, check-major.
+	// check, check-major; then the winding parities of the raw error
+	// planes, batched.
 	checks := bits.NewVecs(nc, lanes)
+	t.PlaquetteSyndromePlanes(planes, checks)
+	p1 := bits.NewVec(lanes)
+	p2 := bits.NewVec(lanes)
+	windingPlanes(planes, t.det1Sup, t.det2Sup, p1, p2)
+	// Pivot to lane-major syndromes so each decode worker reads its own
+	// lanes' bit-vectors and extracts sparse defect lists by word scans.
+	syn := bits.NewVecs(lanes, nc)
+	bits.TransposePlanes(syn, checks)
+	fails := bits.NewVec(lanes)
+	t.decodeLanes(laneDecodeJob{kind: kind, syn: syn, p1: p1, p2: p2, out: fails})
+	return fails
+}
+
+// PlaquetteSyndromePlanes fills check-major syndrome planes (one vector
+// per check, one bit per lane) from the edge error planes.
+func (t *Lattice) PlaquetteSyndromePlanes(planes, checks []bits.Vec) {
 	for y := 0; y < t.L; y++ {
 		for x := 0; x < t.L; x++ {
 			edges := t.PlaquetteEdges(x, y)
@@ -488,66 +703,186 @@ func (t *Lattice) BatchMemory(p float64, kind DecoderKind, lanes int, smp frame.
 			cv.Xor(planes[edges[3]])
 		}
 	}
-	// Winding parities of the raw error planes, batched.
-	p1 := bits.NewVec(lanes)
-	p2 := bits.NewVec(lanes)
-	for _, e := range t.det1Sup {
+}
+
+// StarSyndromePlanes is PlaquetteSyndromePlanes for the Z sector.
+func (t *Lattice) StarSyndromePlanes(planes, checks []bits.Vec) {
+	for y := 0; y < t.L; y++ {
+		for x := 0; x < t.L; x++ {
+			edges := t.StarEdges(x, y)
+			cv := checks[y*t.L+x]
+			cv.CopyFrom(planes[edges[0]])
+			cv.Xor(planes[edges[1]])
+			cv.Xor(planes[edges[2]])
+			cv.Xor(planes[edges[3]])
+		}
+	}
+}
+
+// windingPlanes accumulates the two detector parities of the error
+// planes into p1, p2 using the given support lists.
+func windingPlanes(planes []bits.Vec, sup1, sup2 []int, p1, p2 bits.Vec) {
+	for _, e := range sup1 {
 		p1.Xor(planes[e])
 	}
-	for _, e := range t.det2Sup {
+	for _, e := range sup2 {
 		p2.Xor(planes[e])
 	}
-	// Pivot to lane-major syndromes so each decode worker reads its own
-	// lanes' bit-vectors and extracts sparse defect lists by word scans.
+}
+
+// WindingPlanes accumulates the primal winding-detector parities of
+// edge-major error planes into p1, p2 (the batched WindingParity).
+func (t *Lattice) WindingPlanes(planes []bits.Vec, p1, p2 bits.Vec) {
+	windingPlanes(planes, t.det1Sup, t.det2Sup, p1, p2)
+}
+
+// WindingPlanesDual is WindingPlanes against the dual (Z-sector)
+// detector pair.
+func (t *Lattice) WindingPlanesDual(planes []bits.Vec, p1, p2 bits.Vec) {
+	windingPlanes(planes, t.det1ZSup, t.det2ZSup, p1, p2)
+}
+
+// BatchMemoryXZ runs `lanes` shots of the dual-sector passive-memory
+// experiment: independent bit-flip (X) and phase-flip (Z) errors with
+// probability p per edge, plaquette syndromes decoded over the primal
+// graph and star syndromes over the dual graph, so both logical failure
+// kinds are tracked per shot. Draw order: all X edge planes in edge
+// order, then all Z edge planes.
+func (t *Lattice) BatchMemoryXZ(p float64, kind DecoderKind, lanes int, smp frame.Sampler) (failX, failZ bits.Vec) {
+	nq, nc := t.Qubits(), t.NumChecks()
+	active := bits.NewVec(lanes)
+	active.SetAll()
+	xp := bits.NewVecs(nq, lanes)
+	for e := 0; e < nq; e++ {
+		smp.Bernoulli(p, active, xp[e])
+	}
+	zp := bits.NewVecs(nq, lanes)
+	for e := 0; e < nq; e++ {
+		smp.Bernoulli(p, active, zp[e])
+	}
+	checks := bits.NewVecs(nc, lanes)
+	syn := bits.NewVecs(lanes, nc)
+	failX = bits.NewVec(lanes)
+	failZ = bits.NewVec(lanes)
+	p1 := bits.NewVec(lanes)
+	p2 := bits.NewVec(lanes)
+
+	t.PlaquetteSyndromePlanes(xp, checks)
+	windingPlanes(xp, t.det1Sup, t.det2Sup, p1, p2)
+	bits.TransposePlanes(syn, checks)
+	t.decodeLanes(laneDecodeJob{kind: kind, syn: syn, p1: p1, p2: p2, out: failX})
+
+	p1.Clear()
+	p2.Clear()
+	t.StarSyndromePlanes(zp, checks)
+	windingPlanes(zp, t.det1ZSup, t.det2ZSup, p1, p2)
+	bits.TransposePlanes(syn, checks)
+	t.decodeLanes(laneDecodeJob{kind: kind, syn: syn, p1: p1, p2: p2, out: failZ, dual: true})
+	return failX, failZ
+}
+
+// BatchMemoryErasure runs `lanes` shots of the erasure-augmented memory
+// experiment: each edge is independently erased (a leakage-detected
+// location, the same bit-plane shape the batch frame engine's leakage
+// flags use) with probability pe; erased edges depolarize (flip with
+// probability ½) while intact edges flip with probability p. The erased
+// supports feed the union-find decoder's peeling pass as erasure, so
+// known-bad qubits are corrected without growth. Draw order per edge:
+// erasure mask, intact-lane flips, erased-lane coin.
+func (t *Lattice) BatchMemoryErasure(p, pe float64, lanes int, smp frame.Sampler) bits.Vec {
+	nq, nc := t.Qubits(), t.NumChecks()
+	active := bits.NewVec(lanes)
+	active.SetAll()
+	planes := bits.NewVecs(nq, lanes)
+	era := bits.NewVecs(nq, lanes)
+	intact := bits.NewVec(lanes)
+	coin := bits.NewVec(lanes)
+	for e := 0; e < nq; e++ {
+		smp.Bernoulli(pe, active, era[e])
+		intact.CopyFrom(active)
+		intact.AndNot(era[e])
+		smp.Bernoulli(p, intact, planes[e])
+		smp.Bernoulli(0.5, era[e], coin)
+		planes[e].Or(coin)
+	}
+	checks := bits.NewVecs(nc, lanes)
+	t.PlaquetteSyndromePlanes(planes, checks)
+	p1 := bits.NewVec(lanes)
+	p2 := bits.NewVec(lanes)
+	windingPlanes(planes, t.det1Sup, t.det2Sup, p1, p2)
 	syn := bits.NewVecs(lanes, nc)
 	bits.TransposePlanes(syn, checks)
+	eraLane := bits.NewVecs(lanes, nq)
+	bits.TransposePlanes(eraLane, era)
 	fails := bits.NewVec(lanes)
-	t.decodeLanes(kind, syn, p1, p2, fails)
+	t.decodeLanes(laneDecodeJob{kind: DecoderUnionFind, syn: syn, era: eraLane, p1: p1, p2: p2, out: fails})
 	return fails
 }
 
-// decodeLanes is the worker-pool decode stage: lanes are partitioned
-// into 64-lane word-aligned spans handed out to GOMAXPROCS workers. Each
-// worker owns its spans' words of `fails` outright (no two workers touch
-// the same machine word) and draws private scratch from the lattice
-// pool, so the result is bit-identical for any worker count or
+// MemoryXZResult summarizes a dual-sector memory run.
+type MemoryXZResult struct {
+	L        int
+	P        float64
+	Samples  int
+	FailX    int // bit-flip (plaquette-sector) logical failures
+	FailZ    int // phase-flip (star-sector) logical failures
+	Failures int // shots failing in either sector
+}
+
+// FailRate returns the either-sector logical failure probability.
+func (r MemoryXZResult) FailRate() float64 { return float64(r.Failures) / float64(r.Samples) }
+
+// FailRateX returns the bit-flip sector failure probability.
+func (r MemoryXZResult) FailRateX() float64 { return float64(r.FailX) / float64(r.Samples) }
+
+// FailRateZ returns the phase-flip sector failure probability.
+func (r MemoryXZResult) FailRateZ() float64 { return float64(r.FailZ) / float64(r.Samples) }
+
+// MemoryExperimentXZ is MemoryExperiment over both error sectors:
+// independent X and Z flips at probability p per edge, each sector
+// decoded over its own graph, failures counted per sector and combined.
+func MemoryExperimentXZ(l int, p float64, kind DecoderKind, samples int, seed uint64) MemoryXZResult {
+	t := cachedLattice(l)
+	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
+		return t.BatchMemoryXZ(p, kind, lanes, smp)
+	})
+	return MemoryXZResult{L: l, P: p, Samples: samples, FailX: fx, FailZ: fz, Failures: fa}
+}
+
+// ErasureMemoryExperiment is MemoryExperiment with leakage-seeded
+// erasure: edges are erased with probability pe (and depolarized), and
+// the decoder exploits the known locations through the peeling pass.
+func ErasureMemoryExperiment(l int, p, pe float64, samples int, seed uint64) MemoryResult {
+	t := cachedLattice(l)
+	var fails atomic.Int64
+	frame.ForEachChunk(samples, seed, func(lanes int, smp frame.Sampler) {
+		fails.Add(int64(t.BatchMemoryErasure(p, pe, lanes, smp).Weight()))
+	})
+	return MemoryResult{L: l, P: p, Samples: samples, Failures: int(fails.Load())}
+}
+
+// laneDecodeJob is one sector's worth of per-lane decoding work: the
+// lane-major syndrome vectors, the raw error chains' winding parities,
+// optional lane-major erasure supports, and the sector selector.
+type laneDecodeJob struct {
+	kind DecoderKind
+	syn  []bits.Vec // lane-major syndromes
+	era  []bits.Vec // lane-major erased-edge supports (nil: no erasure)
+	p1   bits.Vec   // winding parities of the raw error planes
+	p2   bits.Vec
+	out  bits.Vec // per-lane failure mask (out)
+	dual bool     // decode in the star (Z) sector
+}
+
+// decodeLanes is the worker-pool decode stage: frame.ForEachLaneSpan
+// hands word-aligned lane spans to the CPUs, each span owning its words
+// of the failure mask outright and drawing private scratch from the
+// lattice pool, so the result is bit-identical for any worker count or
 // scheduling order.
-func (t *Lattice) decodeLanes(kind DecoderKind, syn []bits.Vec, p1, p2, fails bits.Vec) {
-	lanes := len(syn)
-	words := fails.Words()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > words {
-		workers = words
-	}
-	// Small batches (the fixed-width chunks of ForEachChunk, 2 words)
-	// decode serially: the experiment loop already saturates the CPUs
-	// with one goroutine per chunk, so an inner pool would only add
-	// spawn overhead. The pool engages for large standalone batches.
-	if workers <= 1 || words < 4 {
-		t.decodeLaneSpan(kind, syn, p1, p2, fails, 0, lanes)
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				wi := int(next.Add(1)) - 1
-				if wi >= words {
-					return
-				}
-				lo := wi * 64
-				hi := lo + 64
-				if hi > lanes {
-					hi = lanes
-				}
-				t.decodeLaneSpan(kind, syn, p1, p2, fails, lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+func (t *Lattice) decodeLanes(job laneDecodeJob) {
+	frame.ForEachLaneSpan(len(job.syn), func(lo, hi int) {
+		t.decodeLaneSpan(job, lo, hi)
+	})
 }
 
 // decodeLaneSpan decodes lanes [lo, hi): extract the sparse defect list
@@ -556,20 +891,38 @@ func (t *Lattice) decodeLanes(kind DecoderKind, syn []bits.Vec, p1, p2, fails bi
 // chain's. The correction's syndrome equals the defect set by
 // construction, so the residual is always a cycle and the winding
 // parities decide failure.
-func (t *Lattice) decodeLaneSpan(kind DecoderKind, syn []bits.Vec, p1, p2, fails bits.Vec, lo, hi int) {
+func (t *Lattice) decodeLaneSpan(job laneDecodeJob, lo, hi int) {
+	da, db := t.det1, t.det2
+	if job.dual {
+		da, db = t.det1Z, t.det2Z
+	}
 	scr := t.scratch.Get().(*decodeScratch)
 	for lane := lo; lane < hi; lane++ {
-		scr.defects = syn[lane].AppendSupport(scr.defects[:0])
-		l1 := p1.Get(lane)
-		l2 := p2.Get(lane)
+		scr.defects = job.syn[lane].AppendSupport(scr.defects[:0])
+		l1 := job.p1.Get(lane)
+		l2 := job.p2.Get(lane)
 		if len(scr.defects) > 0 {
 			scr.corr.Clear()
-			t.decodeInto(scr.defects, kind, scr, scr.corr)
-			l1 = l1 != scr.corr.Dot(t.det1)
-			l2 = l2 != scr.corr.Dot(t.det2)
+			switch {
+			case job.era != nil:
+				// Erasure decoding is union-find only (the peeling pass is
+				// what exploits the known locations), in either sector.
+				uf := scr.uf
+				if job.dual {
+					uf = t.dualUF(scr)
+				}
+				scr.erased = job.era[lane].AppendSupport(scr.erased[:0])
+				uf.DecodeErased(scr.defects, scr.erased, func(e int) { scr.corr.Flip(e) })
+			case job.dual:
+				t.decodeDualInto(scr.defects, job.kind, scr, scr.corr)
+			default:
+				t.decodeInto(scr.defects, job.kind, scr, scr.corr)
+			}
+			l1 = l1 != scr.corr.Dot(da)
+			l2 = l2 != scr.corr.Dot(db)
 		}
 		if l1 || l2 {
-			fails.Set(lane, true)
+			job.out.Set(lane, true)
 		}
 	}
 	t.scratch.Put(scr)

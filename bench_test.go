@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ftqc/internal/anyon"
+	"ftqc/internal/bits"
 	"ftqc/internal/code"
 	"ftqc/internal/concat"
 	"ftqc/internal/frame"
@@ -25,6 +26,7 @@ import (
 	"ftqc/internal/resource"
 	"ftqc/internal/spacetime"
 	"ftqc/internal/statevec"
+	"ftqc/internal/stream"
 	"ftqc/internal/threshold"
 	"ftqc/internal/toric"
 )
@@ -261,6 +263,27 @@ func spacetimeDecodeConfigs() []toricDecodeConfig {
 	return out
 }
 
+// BenchmarkStreamDecode — the streaming sliding-window pipeline at the
+// sustained operating point p = q = 0.025 with T = 4L rounds through
+// W = 2L windows (commit L). Each iteration streams one 64-shot batch
+// end to end: round-by-round sampling, window slides through the
+// long-lived decode services, closing decode, homology test.
+func BenchmarkStreamDecode(b *testing.B) {
+	const pq = 0.025
+	for _, l := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("L=%d", l), func(b *testing.B) {
+			w, c := stream.DefaultWindow(l)
+			wh, wv := spacetime.Weights(pq, pq, l, 4*l)
+			s := stream.NewSession(l, w, c, wh, wv)
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.BatchMemory(4*l, pq, pq, 64, frame.NewAggregateSampler(7, uint64(i)))
+			}
+		})
+	}
+}
+
 // TestEmitToricBenchJSON records the decode benchmark grid to
 // BENCH_toric.json (or the path in FTQC_BENCH_JSON) so the perf
 // trajectory is tracked across PRs. Skipped unless FTQC_BENCH_JSON is
@@ -276,13 +299,17 @@ func TestEmitToricBenchJSON(t *testing.T) {
 	type entry struct {
 		Name       string  `json:"name"`
 		L          int     `json:"L"`
-		Rounds     int     `json:"rounds"` // 0: perfect-measurement 2D decode
+		Rounds     int     `json:"rounds"`           // 0: perfect-measurement 2D decode
+		Window     int     `json:"window,omitempty"` // streaming: window height in layers
+		Commit     int     `json:"commit,omitempty"` // streaming: rounds committed per slide
 		P          float64 `json:"p"`
 		Q          float64 `json:"q"`
 		Decoder    string  `json:"decoder"`
 		ShotsPerOp int     `json:"shots_per_op"`
 		NsPerOp    float64 `json:"ns_per_op"`
 		NsPerShot  float64 `json:"ns_per_shot"`
+		NsPerRound float64 `json:"ns_per_shot_round,omitempty"`     // streaming: per shot per round
+		WindowRSS  int     `json:"resident_window_bytes,omitempty"` // streaming decoder footprint
 	}
 	decoderName := map[toric.DecoderKind]string{
 		toric.DecoderGreedy:    "greedy",
@@ -319,6 +346,34 @@ func TestEmitToricBenchJSON(t *testing.T) {
 			Name: "BenchmarkSpacetimeDecode/" + cfg.name, L: cfg.l, Rounds: cfg.l,
 			P: 0.025, Q: 0.025, Decoder: decoderName[cfg.kind], ShotsPerOp: stShots,
 			NsPerOp: ns, NsPerShot: ns / stShots,
+		})
+	}
+	// Streaming series: T = 4L rounds through W = 2L windows, plus the
+	// resident window footprint of a 64-lane decoder in steady state.
+	for _, l := range []int{4, 8, 16} {
+		w, c := stream.DefaultWindow(l)
+		wh, wv := spacetime.Weights(0.025, 0.025, l, 4*l)
+		s := stream.NewSession(l, w, c, wh, wv)
+		rounds := 4 * l
+		ns := measure(func() {
+			s.BatchMemory(rounds, 0.025, 0.025, stShots, frame.NewAggregateSampler(7, 0))
+		})
+		d := s.NewDecoder(stShots)
+		src := spacetime.NewLayerSource(l, 0.025, 0.025, stShots, frame.NewAggregateSampler(7, 1))
+		nc := l * l
+		layerX := bits.NewVecs(nc, stShots)
+		layerZ := bits.NewVecs(nc, stShots)
+		for r := 0; r < 3*w; r++ {
+			src.NextLayers(layerX, layerZ)
+			d.Push(layerX, layerZ)
+		}
+		foot := d.FootprintBytes()
+		s.Close()
+		report.Entries = append(report.Entries, entry{
+			Name: fmt.Sprintf("BenchmarkStreamDecode/L=%d", l), L: l, Rounds: rounds,
+			Window: w, Commit: c, P: 0.025, Q: 0.025, Decoder: "window-" + decoderName[toric.DecoderUnionFind],
+			ShotsPerOp: stShots, NsPerOp: ns, NsPerShot: ns / stShots,
+			NsPerRound: ns / stShots / float64(rounds), WindowRSS: foot,
 		})
 	}
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -20,6 +20,7 @@ import (
 	"ftqc/internal/noise"
 	"ftqc/internal/resource"
 	"ftqc/internal/spacetime"
+	"ftqc/internal/stream"
 	"ftqc/internal/threshold"
 	"ftqc/internal/toric"
 )
@@ -47,6 +48,7 @@ func main() {
 		{"leakage", "E14: leakage detection and replacement (Fig. 15)", cmdLeakage},
 		{"toric", "E17: toric memory vs distance (§7.1)", cmdToric},
 		{"spacetime", "E22: noisy syndrome extraction — 3D space-time decoding, sustained threshold", cmdSpacetime},
+		{"stream", "E23: streaming windowed decoding — sustained operation in constant memory", cmdStream},
 		{"thermal", "E18: thermal anyon plasma, e^{-Δ/T} (§7.1)", cmdThermal},
 		{"interferometer", "E19: repeated interferometric measurement (Figs. 18/22)", cmdInterferometer},
 		{"anyon", "E20: A5 fluxon logic — NOT, Toffoli, pull counts (§7.3-7.4)", cmdAnyon},
@@ -69,6 +71,16 @@ func main() {
 func usage() {
 	fmt.Println("usage: ftqc <command> [flags]")
 	fmt.Println()
+	fmt.Println("Each command reproduces one experiment of the EXPERIMENTS.md index and")
+	fmt.Println("prints the corresponding table. Common flags share names everywhere:")
+	fmt.Println("  -L        code distance(s); comma-separated lists sweep")
+	fmt.Println("  -T        measurement rounds per shot (a number, or L for rounds = distance)")
+	fmt.Println("  -decoder  decoding strategy: uf (union-find), exact (blossom MWPM), greedy")
+	fmt.Println("  -window   sliding-window height in rounds (streaming commands)")
+	fmt.Println("  -samples  Monte Carlo samples per grid point")
+	fmt.Println("Run `ftqc <command> -h` for the full flag list of a command.")
+	fmt.Println()
+	fmt.Println("commands:")
 	for _, c := range commands {
 		fmt.Printf("  %-15s %s\n", c.name, c.about)
 	}
@@ -311,6 +323,7 @@ func cmdToric(args []string) {
 	fs := flag.NewFlagSet("toric", flag.ExitOnError)
 	samples := fs.Int("samples", 20000, "samples per point")
 	decoder := fs.String("decoder", "uf", "decoder: greedy, exact (polynomial MWPM) or uf (union-find)")
+	sizesFlag := fs.String("L", "3,5,7,9", "comma-separated code distances")
 	big := fs.Bool("big", false, "extend the distance sweep to L=16 and L=32 (union-find territory)")
 	fs.Parse(args)
 	kind, ok := toricDecoder(*decoder)
@@ -320,7 +333,7 @@ func cmdToric(args []string) {
 	}
 	fmt.Printf("E17: toric-code passive memory (§7.1): logical failure vs distance L (%s decoder)\n", *decoder)
 	fmt.Printf("%-8s", "p\\L")
-	sizes := []int{3, 5, 7, 9}
+	sizes := parseIntList(*sizesFlag)
 	if *big {
 		sizes = append(sizes, 16, 32)
 	}
@@ -344,9 +357,12 @@ func cmdToric(args []string) {
 func cmdSpacetime(args []string) {
 	fs := flag.NewFlagSet("spacetime", flag.ExitOnError)
 	sizes := fs.String("L", "4,8", "comma-separated code distances")
-	rounds := fs.String("rounds", "L", "measurement rounds per shot: a number, or L for rounds = distance")
+	rounds := fs.String("T", "L", "measurement rounds per shot: a number, or L for rounds = distance")
+	fs.StringVar(rounds, "rounds", "L", "alias for -T")
 	q := fs.Float64("q", -1, "measurement error probability (-1: track p, the sustained p=q sweep)")
 	grid := fs.String("p", "0.01,0.015,0.02,0.025,0.03,0.04,0.05", "comma-separated data error probabilities")
+	pe := fs.Float64("pe", 0, "data-qubit leakage (erasure) probability per edge per round")
+	qe := fs.Float64("qe", 0, "lost-measurement probability per check per round")
 	samples := fs.Int("samples", 4000, "Monte Carlo samples per point")
 	dec := fs.String("decoder", "uf", "decoder: uf (weighted union-find) or exact (weighted blossom MWPM)")
 	compare := fs.Bool("compare", true, "cross-check union-find against exact MWPM at the smallest distance")
@@ -360,13 +376,18 @@ func cmdSpacetime(args []string) {
 		fmt.Fprintf(os.Stderr, "spacetime: bad -q %v (want a probability, or -1 to track p)\n", *q)
 		os.Exit(2)
 	}
+	erased := *pe > 0 || *qe > 0
+	if erased && kind != toric.DecoderUnionFind {
+		fmt.Fprintln(os.Stderr, "spacetime: erasure decoding is union-find only (-decoder uf)")
+		os.Exit(2)
+	}
 	ls := parseIntList(*sizes)
 	ps := parseFloatList(*grid)
 	roundsOf := func(l int) int { return l }
 	if *rounds != "L" {
 		r, err := strconv.Atoi(*rounds)
 		if err != nil || r < 1 {
-			fmt.Fprintf(os.Stderr, "spacetime: bad -rounds %q\n", *rounds)
+			fmt.Fprintf(os.Stderr, "spacetime: bad -T %q\n", *rounds)
 			os.Exit(2)
 		}
 		roundsOf = func(int) int { return r }
@@ -379,15 +400,24 @@ func cmdSpacetime(args []string) {
 	// decoder and only pays off where the matcher is cheap; large
 	// distances are union-find territory.
 	const compareMaxL = 8
-	if kind == toric.DecoderExact {
+	if kind == toric.DecoderExact || erased {
 		*compare = false
 	}
 	if *compare && ls[0] > compareMaxL {
 		fmt.Printf("(skipping exact cross-check: L=%d > %d is union-find territory)\n", ls[0], compareMaxL)
 		*compare = false
 	}
+	runPoint := func(l, rounds int, p, q float64, k toric.DecoderKind, seed uint64) spacetime.Result {
+		if erased {
+			return spacetime.ErasedMemory(l, rounds, p, q, *pe, *qe, *samples, seed)
+		}
+		return spacetime.Memory(l, rounds, p, q, k, *samples, seed)
+	}
 	fmt.Printf("E22: noisy syndrome extraction (%s decoder): T rounds of measurement flipping with q,\n", *dec)
 	fmt.Println("     defects = consecutive-round syndrome differences, decoded over the weighted 3D volume")
+	if erased {
+		fmt.Printf("     erasure channels: leaked data qubits pe=%g, lost measurements qe=%g (peeling-aware decode)\n", *pe, *qe)
+	}
 	fmt.Printf("%-8s", "p\\L")
 	for _, l := range ls {
 		fmt.Printf(" %-12s", fmt.Sprintf("%d (T=%d)", l, roundsOf(l)))
@@ -403,12 +433,12 @@ func cmdSpacetime(args []string) {
 		fmt.Printf("%-8.3f", p)
 		for j, l := range ls {
 			seed++
-			r := spacetime.Memory(l, roundsOf(l), p, qOf(p), kind, *samples, seed)
+			r := runPoint(l, roundsOf(l), p, qOf(p), kind, seed)
 			rates[i][j] = r.FailRate()
 			fmt.Printf(" %-12.4e", r.FailRate())
 		}
 		if *compare {
-			r := spacetime.Memory(ls[0], roundsOf(ls[0]), p, qOf(p), toric.DecoderExact, *samples, seed+1000)
+			r := runPoint(ls[0], roundsOf(ls[0]), p, qOf(p), toric.DecoderExact, seed+1000)
 			fmt.Printf(" %-12.4e", r.FailRate())
 		}
 		fmt.Println()
@@ -432,6 +462,96 @@ func cmdSpacetime(args []string) {
 		}
 		fmt.Println("below the crossing, larger distance + more rounds help; above, they hurt")
 	}
+}
+
+func cmdStream(args []string) {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	sizes := fs.String("L", "4,8", "comma-separated code distances")
+	rounds := fs.String("T", "4L", "noisy rounds per shot: a number, or 4L for rounds = 4·distance")
+	window := fs.Int("window", 0, "sliding-window height in rounds (0: the 2L default)")
+	commit := fs.Int("commit", 0, "rounds committed per slide (0: half the window)")
+	q := fs.Float64("q", -1, "measurement error probability (-1: track p, the sustained p=q sweep)")
+	grid := fs.String("p", "0.01,0.015,0.02,0.025,0.03,0.04,0.05", "comma-separated data error probabilities")
+	samples := fs.Int("samples", 4000, "Monte Carlo samples per point")
+	volume := fs.Bool("volume", true, "cross-check the smallest distance against the whole-volume decode")
+	fs.Parse(args)
+	if *q > 1 || (*q < 0 && *q != -1) {
+		fmt.Fprintf(os.Stderr, "stream: bad -q %v (want a probability, or -1 to track p)\n", *q)
+		os.Exit(2)
+	}
+	ls := parseIntList(*sizes)
+	ps := parseFloatList(*grid)
+	roundsOf := func(l int) int { return 4 * l }
+	if *rounds != "4L" {
+		r, err := strconv.Atoi(*rounds)
+		if err != nil || r < 1 {
+			fmt.Fprintf(os.Stderr, "stream: bad -T %q\n", *rounds)
+			os.Exit(2)
+		}
+		roundsOf = func(int) int { return r }
+	}
+	qOf := func(p float64) float64 { return p }
+	if *q >= 0 {
+		qOf = func(float64) float64 { return *q }
+	}
+	winOf := func(l int) (int, int) {
+		w, c := stream.DefaultWindow(l)
+		if *window > 0 {
+			w = *window
+			c = w / 2
+		}
+		if *commit > 0 && *commit < w {
+			c = *commit
+		}
+		if c < 1 {
+			c = 1
+		}
+		return w, c
+	}
+	fmt.Println("E23: streaming windowed decoding — syndrome layers decode as they arrive through a")
+	fmt.Println("     sliding W-round window with a commit region; memory is O(L²·W), independent of T")
+	fmt.Printf("%-8s", "p\\L")
+	for _, l := range ls {
+		w, c := winOf(l)
+		fmt.Printf(" %-16s", fmt.Sprintf("%d (T=%d W=%d/%d)", l, roundsOf(l), w, c))
+	}
+	if *volume {
+		fmt.Printf(" %-12s", fmt.Sprintf("%d volume", ls[0]))
+	}
+	fmt.Println()
+	rates := make([][]float64, len(ps))
+	seed := uint64(151)
+	for i, p := range ps {
+		rates[i] = make([]float64, len(ls))
+		fmt.Printf("%-8.3f", p)
+		for j, l := range ls {
+			seed++
+			w, c := winOf(l)
+			r := stream.Memory(l, roundsOf(l), p, qOf(p), w, c, *samples, seed)
+			rates[i][j] = r.FailRate()
+			fmt.Printf(" %-16.4e", r.FailRate())
+		}
+		if *volume {
+			r := spacetime.Memory(ls[0], roundsOf(ls[0]), p, qOf(p), toric.DecoderUnionFind, *samples, seed+2000)
+			fmt.Printf(" %-12.4e", r.FailRate())
+		}
+		fmt.Println()
+	}
+	if len(ls) >= 2 {
+		small := make([]float64, len(ps))
+		large := make([]float64, len(ps))
+		for i := range ps {
+			small[i] = rates[i][0]
+			large[i] = rates[i][len(ls)-1]
+		}
+		cross := spacetime.CrossingEstimate(ps, small, large)
+		if math.IsNaN(cross) {
+			fmt.Printf("\nno L=%d / L=%d crossing on this grid (threshold outside it)\n", ls[0], ls[len(ls)-1])
+		} else {
+			fmt.Printf("\nstreaming sustained threshold (L=%d vs L=%d curves cross): p = q ≈ %.3f\n", ls[0], ls[len(ls)-1], cross)
+		}
+	}
+	fmt.Println("windowed accuracy matches the whole-volume decode at W ≥ 2L; the window never grows with T")
 }
 
 // parseIntList parses a comma-separated list of lattice sizes.

@@ -44,9 +44,21 @@
 // Noisy syndrome extraction (the regime real hardware decodes in) is
 // the internal/spacetime subsystem: T measurement rounds whose
 // difference syndromes span a weighted 3D space-time decoding volume,
-// with time-like edges for measurement errors, both X and Z logical
-// sectors tracked per shot through the dual-lattice indexing, and the
-// sustained p = q threshold exposed via SustainedThreshold.
+// with time-like edges for measurement errors, erasure channels
+// (leaked data qubits, lost measurement rounds) feeding the peeling
+// pass, both X and Z logical sectors tracked per shot through the
+// dual-lattice indexing, and the sustained p = q threshold exposed via
+// SustainedThreshold.
+//
+// Sustained operation — decoding forever in constant memory — is the
+// internal/stream subsystem: difference layers decode through a
+// sliding window of W rounds with a commit region (StreamingMemory,
+// StreamingMemoryWith), corrections finalize into a running Pauli
+// frame behind the window, and the decode stage runs as a long-lived
+// worker-pool service (batched shots in, corrections out, identical
+// for any GOMAXPROCS). A window of 2L rounds reproduces whole-volume
+// failure rates; a window covering the whole stream reproduces the
+// whole-volume decode bit for bit.
 //
 // The facade below re-exports the main entry points; the implementation
 // lives in the internal/ packages, one per subsystem (see DESIGN.md for
@@ -67,6 +79,7 @@ import (
 	"ftqc/internal/resource"
 	"ftqc/internal/spacetime"
 	"ftqc/internal/statevec"
+	"ftqc/internal/stream"
 	"ftqc/internal/tableau"
 	"ftqc/internal/threshold"
 	"ftqc/internal/toric"
@@ -262,4 +275,63 @@ func SpacetimeMemoryWith(l, rounds int, p, q float64, dec ToricDecoder, samples 
 // measured points (NaN if the grid shows no crossing).
 func SustainedThreshold(l1, l2 int, grid []float64, samples int, seed uint64) (float64, []ThresholdPoint) {
 	return spacetime.SustainedThreshold(l1, l2, grid, toric.DecoderUnionFind, samples, seed)
+}
+
+// ErasedSpacetimeMemory is SpacetimeMemory with erasure channels
+// threaded into the 3D decode: data qubits leak (depolarize at a known
+// location) with probability pe per round, measurements are lost
+// (replaced by a coin, their time-like edge erased) with probability qe
+// per round, and the union-find peeling pass exploits the locations.
+func ErasedSpacetimeMemory(l, rounds int, p, q, pe, qe float64, samples int, seed uint64) SpacetimeResult {
+	return spacetime.ErasedMemory(l, rounds, p, q, pe, qe, samples, seed)
+}
+
+// Streaming windowed decoding (sustained operation).
+type (
+	// StreamingResult is one streaming-memory measurement.
+	StreamingResult = stream.Result
+	// StreamSession owns a window configuration and its long-lived
+	// decode services (decoder worker pools).
+	StreamSession = stream.Session
+	// StreamDecoder consumes difference layers round by round through a
+	// sliding window with a commit region — constant memory per lane.
+	StreamDecoder = stream.Decoder
+)
+
+// StreamingMemory runs the noisy-syndrome toric memory through the
+// sliding-window streaming decoder with the default window (W = 2L,
+// commit L): syndrome layers decode as they arrive, corrections commit
+// behind the window, and per-lane memory stays O(L²·W) no matter how
+// many rounds stream past. With W ≥ rounds it reproduces the
+// whole-volume SpacetimeMemory decode bit for bit.
+func StreamingMemory(l, rounds int, p, q float64, samples int, seed uint64) StreamingResult {
+	w, c := stream.DefaultWindow(l)
+	return stream.Memory(l, rounds, p, q, w, c, samples, seed)
+}
+
+// StreamingMemoryWith is StreamingMemory with explicit window-size
+// knobs: `window` buffered rounds per decode, `commit` rounds finalized
+// per slide (0 picks the defaults).
+func StreamingMemoryWith(l, rounds int, p, q float64, window, commit int, samples int, seed uint64) StreamingResult {
+	return stream.Memory(l, rounds, p, q, window, commit, samples, seed)
+}
+
+// NewStreamSession builds a streaming decode session (window graphs
+// plus worker-pool decode services) for rate-(p, q) noise. Close it
+// when done. Edge weights are derived with the window as the decode
+// horizon — the natural choice for an endless stream, but in extreme
+// regimes where the spacetime.Weights caps bind (q near 0 or ½) it can
+// differ from the rounds-derived weights StreamingMemory uses; for
+// exact parity with a Memory result, build stream.NewSession with
+// explicit spacetime.Weights(p, q, l, rounds).
+func NewStreamSession(l, window, commit int, p, q float64) *StreamSession {
+	wh, wv := spacetime.Weights(p, q, l, window)
+	return stream.NewSession(l, window, commit, wh, wv)
+}
+
+// StreamingSustainedThreshold sweeps p = q with T = 4L rounds through
+// W = 2L sliding windows for two code distances — the sustained
+// threshold measured in genuine streaming operation.
+func StreamingSustainedThreshold(l1, l2 int, grid []float64, samples int, seed uint64) (float64, []stream.ThresholdPoint) {
+	return stream.SustainedThreshold(l1, l2, grid, samples, seed)
 }

@@ -129,3 +129,24 @@ func TestFacadeSpacetime(t *testing.T) {
 		t.Fatalf("spacetime memory not deterministic: %+v vs %+v", a, r)
 	}
 }
+
+func TestFacadeStreaming(t *testing.T) {
+	r := StreamingMemory(4, 16, 0.02, 0.02, 1000, 13)
+	if r.Samples != 1000 || r.L != 4 || r.T != 16 || r.Window != 8 || r.Commit != 4 {
+		t.Fatalf("streaming memory wrong: %+v", r)
+	}
+	if r.Failures < r.FailX || r.Failures < r.FailZ {
+		t.Fatalf("sector accounting broken: %+v", r)
+	}
+	if a := StreamingMemory(4, 16, 0.02, 0.02, 1000, 13); a != r {
+		t.Fatalf("streaming memory not deterministic: %+v vs %+v", a, r)
+	}
+	w := StreamingMemoryWith(4, 10, 0.02, 0.02, 5, 2, 500, 14)
+	if w.Window != 5 || w.Commit != 2 || w.Samples != 500 {
+		t.Fatalf("window knobs ignored: %+v", w)
+	}
+	er := ErasedSpacetimeMemory(4, 3, 0.01, 0.01, 0.08, 0.08, 500, 15)
+	if er.Pe != 0.08 || er.Qe != 0.08 || er.Samples != 500 {
+		t.Fatalf("erased spacetime memory wrong: %+v", er)
+	}
+}

@@ -18,7 +18,11 @@
 //     erasure information is supplied (DecodeErased), every erased edge
 //     enters the erasure at full support first: its endpoints are
 //     absorbed and united before any growth, so pure-erasure syndromes
-//     skip phase 2 entirely.
+//     skip phase 2 entirely. On graphs with open-boundary nodes
+//     (NewBoundaryGraph — the future edge of a sliding decode window),
+//     a cluster that reaches a boundary node is "grounded": the
+//     boundary absorbs its parity, it never counts as odd, and it stops
+//     growing.
 //
 //  2. Growth and merge. While any cluster has odd parity, every odd
 //     cluster grows each boundary edge by one half-step of support; an
@@ -39,7 +43,11 @@
 //     peeled leaf-first: a leaf holding a defect emits its tree edge
 //     into the correction and hands the defect to its parent. Within
 //     each even cluster the defects cancel pairwise, so the emitted
-//     chain's syndrome is exactly the defect set.
+//     chain's syndrome is exactly the defect set. Grounded clusters
+//     root their trees at their boundary node (boundary nodes first, in
+//     ascending node order), so any unpaired defect drains onto the
+//     boundary and the emitted chains' interior syndrome still equals
+//     the interior defect set exactly.
 //
 // Cost is near-linear (inverse-Ackermann union-find) in the size of the
 // grown region, not in the lattice, which is what makes L = 16–32 memory
@@ -55,13 +63,34 @@
 // the union-find decoder is measured against.
 //
 // MinWeightPairsPruned is the sparse-blossom variant: only the locally
-// short edges (weight ≤ cutoff) are staged, and after each solve every
-// excluded pair is priced against the engine's dual variables — blossom
-// duals are nonnegative, so the vertex-dual test is a conservative
-// certificate. Violated edges are staged back in and the solve repeats;
-// a cutoff too tight to admit a perfect matching doubles. The returned
-// matching's total weight therefore equals the dense optimum exactly
-// (property-tested), while the engine typically runs on ~O(n) edges.
+// short edges (weight ≤ cutoff) are staged, and after each solve
+// excluded pairs are priced against the engine's dual variables —
+// blossom duals are nonnegative, so the vertex-dual test is a
+// conservative certificate. Violated edges are staged back in and the
+// solve repeats; a cutoff too tight to admit a perfect matching
+// doubles. The returned matching's total weight therefore equals the
+// dense optimum exactly (property-tested), while the engine typically
+// runs on ~O(n) edges.
+//
+// MinWeightPairsIndexed is the same engine behind a caller-supplied
+// neighbor enumerator, and DefectGrid is the standard enumerator: a
+// bucket index over defect coordinates (torus x, y plus an unwrapped
+// time axis) that visits only the cells a query radius can reach. With
+// it, staging enumerates ~O(n·k) candidate pairs instead of n², and
+// the pricing sweep contracts the same way — a pair excluded by the
+// cutoff can only be violated within a radius computed from the dual
+// variables, so each vertex prices only the candidates inside that
+// radius. The optimality certificate is unchanged.
+//
+// # Decode service
+//
+// Service wraps any decoder Graph in a long-lived worker pool: batched
+// Shot submissions (defects + optional erasure) in, per-shot correction
+// edge lists out, in submission order. Workers reuse UnionFind scratch
+// across submissions and results land in indexed slots, so a batch's
+// output is bit-identical for any worker count — the deployable shape
+// of the decode stage (the streaming window pipeline submits every
+// slide through one).
 //
 // # Determinism contract
 //
@@ -77,10 +106,20 @@
 //     order. A unit-weight graph is therefore bit-identical to the
 //     pre-weighted decoder, emit order included.
 //   - Erased edges seed in caller order before any growth; merges happen
-//     in grow order; peeling follows DFS order.
+//     in grow order; peeling follows DFS order (boundary-rooted trees
+//     first on open-boundary graphs).
 //   - The matcher breaks ties by its fixed edge enumeration, and the
 //     pruned matcher's stage/price/repeat loop is itself a pure function
-//     of the weight table and cutoff.
+//     of the weight table and cutoff. An indexed matcher additionally
+//     requires its neighbor enumerator to be a pure function of (point,
+//     radius) — DefectGrid scans cells in a fixed order and points
+//     within a cell in reverse insertion order, which qualifies.
+//   - Scratch reuse is invisible: UnionFind, Matcher and DefectGrid all
+//     recycle their arrays across calls (epoch stamps, length resets),
+//     and incremental reuse across a stream of windows — thousands of
+//     Decodes against one graph from one instance — yields the same
+//     output as a fresh instance per call. The Service's worker pool
+//     relies on exactly this to share instances across submissions.
 //
 // No map iteration, clock, or scheduling enters any decision, so a
 // decode's output depends only on (graph, defect list, erasure) — the

@@ -15,6 +15,12 @@ type Graph struct {
 	off    []int32 // CSR offsets into adjEdge/adjNode, len nodes+1
 	adjE   []int32 // incident edge ids, grouped by node
 	adjN   []int32 // the far endpoint of the matching adjE entry
+
+	// Open-boundary support (sliding-window decoding): boundary nodes
+	// absorb defect parity, so a cluster containing one never counts as
+	// odd. bnd is nil on closed graphs — the common case pays nothing.
+	bnd     []bool
+	bndList []int32 // boundary node ids in ascending order
 }
 
 // NewGraph builds a unit-weight graph from the edge-endpoint table: edge
@@ -78,8 +84,41 @@ func NewWeightedGraph(nodes int, ends [][2]int32, weights []int32) *Graph {
 	return g
 }
 
+// NewBoundaryGraph is NewWeightedGraph with open-boundary (virtual)
+// nodes: defect parity reaching a boundary node is absorbed rather than
+// matched, the construction a sliding decode window needs at its open
+// future edge (detectors there may pair with faults that have not
+// happened yet). Boundary nodes cannot themselves be defects; clusters
+// containing one are "grounded" and stop growing, and peeling drains
+// their unpaired defects into the boundary.
+func NewBoundaryGraph(nodes int, ends [][2]int32, weights []int32, boundary []int) *Graph {
+	g := NewWeightedGraph(nodes, ends, weights)
+	if len(boundary) == 0 {
+		return g
+	}
+	g.bnd = make([]bool, nodes)
+	for _, b := range boundary {
+		if b < 0 || b >= nodes {
+			panic("decoder: boundary node out of range")
+		}
+		if !g.bnd[b] {
+			g.bnd[b] = true
+			g.bndList = append(g.bndList, int32(b))
+		}
+	}
+	for i := 1; i < len(g.bndList); i++ {
+		for j := i; j > 0 && g.bndList[j] < g.bndList[j-1]; j-- {
+			g.bndList[j], g.bndList[j-1] = g.bndList[j-1], g.bndList[j]
+		}
+	}
+	return g
+}
+
 // Nodes returns the detector count.
 func (g *Graph) Nodes() int { return g.nodes }
+
+// IsBoundary reports whether node v is an open-boundary node.
+func (g *Graph) IsBoundary(v int) bool { return g.bnd != nil && g.bnd[v] }
 
 // Edges returns the qubit-edge count.
 func (g *Graph) Edges() int { return len(g.endU) }

@@ -23,8 +23,11 @@ type Matcher struct {
 	edgeI, edgeJ []int32
 	edgeW        []int64
 	pairs        [][2]int32
-	// pruned-matching repair edges (pairs priced back in), keyed i*n+j
-	repair map[int64]bool
+	// pruned-matching repair edges (pairs priced back in): membership
+	// keyed i*n+j, plus the insertion-ordered list that keeps staging
+	// deterministic (map iteration never enters a decision).
+	repair     map[int64]bool
+	repairList [][2]int32
 }
 
 // MinWeightPairs returns a pairing (i,j), i<j, of the n vertices
@@ -92,99 +95,26 @@ const SparseMatchMin = 24
 // MinWeightPairs while feeding the blossom engine only the locally short
 // edges — those of weight at most cutoff — so the engine runs on ~O(n)
 // edges instead of the complete O(n²) graph. Optimality against the full
-// graph is certified, not assumed: after each solve, every excluded pair
-// is priced against the engine's dual variables (blossom duals are
+// graph is certified, not assumed: after each solve, excluded pairs are
+// priced against the engine's dual variables (blossom duals are
 // nonnegative, so the vertex-dual check is conservative), violated edges
 // are staged back in, and the solve repeats; if the pruned graph admits
 // no perfect matching the cutoff doubles. For defect sets whose matched
 // pairs are all locally close — the generic case below threshold — no
 // repair round ever runs.
+//
+// Candidate enumeration here scans all pairs (no geometry is assumed);
+// callers whose defects carry coordinates should pass a DefectGrid
+// enumerator to MinWeightPairsIndexed instead, which makes staging and
+// pricing ~O(n·k).
 func (m *Matcher) MinWeightPairsPruned(n int, weight func(i, j int) int64, cutoff int64) [][2]int32 {
-	if n%2 != 0 {
-		panic("decoder: odd vertex count in MinWeightPairsPruned")
-	}
-	m.pairs = m.pairs[:0]
-	if n == 0 {
-		return m.pairs
-	}
-	if n == 2 {
-		return append(m.pairs, [2]int32{0, 1})
-	}
-	if cutoff < 1 {
-		cutoff = 1
-	}
-	if m.repair == nil {
-		m.repair = make(map[int64]bool)
-	}
-	clear(m.repair)
-	for {
-		// Stage the short edges plus any priced-in repairs, with raw
-		// weights; the complement base is recomputed per round so staged
-		// complemented weights stay nonnegative.
-		m.edgeI, m.edgeJ, m.edgeW = m.edgeI[:0], m.edgeJ[:0], m.edgeW[:0]
-		var maxW int64
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				w := weight(i, j)
-				if w < 0 {
-					panic("decoder: negative weight")
-				}
-				if w > cutoff && !m.repair[int64(i)*int64(n)+int64(j)] {
-					continue
-				}
-				if w > maxW {
-					maxW = w
-				}
-				m.edgeI = append(m.edgeI, int32(i))
-				m.edgeJ = append(m.edgeJ, int32(j))
-				m.edgeW = append(m.edgeW, w)
+	return m.MinWeightPairsIndexed(n, weight, cutoff, func(i int, _ int64, visit func(j int)) {
+		for j := 0; j < n; j++ {
+			if j != i {
+				visit(j)
 			}
 		}
-		for k := range m.edgeW {
-			m.edgeW[k] = 2 * (maxW - m.edgeW[k])
-		}
-		mate := m.blossom.maxWeightMatching(n, m.edgeI, m.edgeJ, m.edgeW)
-		perfect := true
-		for v := 0; v < n; v++ {
-			if mate[v] < 0 {
-				perfect = false
-				break
-			}
-		}
-		if !perfect {
-			// Too sparse to pair everyone: widen and retry (bounded —
-			// the complete graph always matches).
-			cutoff *= 2
-			continue
-		}
-		// Pricing: an excluded edge with negative reduced cost against the
-		// complement weights could improve the matching; stage it and
-		// re-solve. No violations certifies the pruned matching optimal
-		// for the complete graph.
-		dual := m.blossom.dualvar
-		violated := false
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				w := weight(i, j)
-				if w <= cutoff || m.repair[int64(i)*int64(n)+int64(j)] {
-					continue
-				}
-				if dual[i]+dual[j]-2*2*(maxW-w) < 0 {
-					m.repair[int64(i)*int64(n)+int64(j)] = true
-					violated = true
-				}
-			}
-		}
-		if violated {
-			continue
-		}
-		for v := 0; v < n; v++ {
-			if w := mate[v]; int32(v) < w {
-				m.pairs = append(m.pairs, [2]int32{int32(v), w})
-			}
-		}
-		return m.pairs
-	}
+	})
 }
 
 // blossomState holds the primal-dual working arrays of one matching run.

@@ -1,0 +1,148 @@
+package decoder
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Shot is one decode request to a Service: a defect list and optional
+// known-erased edges (both in the graph's index space). The slices are
+// read, never written; they must stay untouched until the batch that
+// carries them completes.
+type Shot struct {
+	Defects []int
+	Erased  []int
+}
+
+// Service is a long-lived decode worker pool over a fixed Graph — the
+// shape a control-system consumer calls at scale: batched shot
+// submissions in, corrections out. Workers hold their UnionFind scratch
+// across submissions (epoch-stamped arrays make reuse free), so a
+// sustained stream of windows pays allocation only for the result
+// slices. Results are written into per-shot slots in submission order,
+// which makes every batch's output bit-identical for any worker count
+// or scheduling — the same determinism contract as the rest of the
+// package. Submit may be called from any number of goroutines.
+type Service struct {
+	g       *Graph
+	workers int
+	tasks   chan serviceSpan
+	wg      sync.WaitGroup
+	scratch sync.Pool // *UnionFind, shared so idle workers' state is reused
+}
+
+// serviceSpan is one worker-sized slice of a submitted batch.
+type serviceSpan struct {
+	b      *Batch
+	lo, hi int
+}
+
+// Batch is an in-flight submission. Wait blocks until every shot is
+// decoded and returns the corrections.
+type Batch struct {
+	shots   []Shot
+	out     [][]int32
+	pending atomic.Int64
+	done    chan struct{}
+}
+
+// NewService starts a decode pool of the given worker count over g
+// (workers <= 0 means GOMAXPROCS). Close releases the workers; a
+// Service is meant to outlive many submissions.
+func NewService(g *Graph, workers int) *Service {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Service{
+		g:       g,
+		workers: workers,
+		tasks:   make(chan serviceSpan, 4*workers),
+	}
+	s.scratch.New = func() any { return NewUnionFind(g) }
+	s.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Graph returns the decoding graph the service is bound to.
+func (s *Service) Graph() *Graph { return s.g }
+
+// Workers returns the pool size.
+func (s *Service) Workers() int { return s.workers }
+
+// Submit enqueues a batch of shots and returns immediately; call Wait
+// on the returned Batch for the corrections. An empty batch completes
+// at once.
+func (s *Service) Submit(shots []Shot) *Batch {
+	b := &Batch{
+		shots: shots,
+		out:   make([][]int32, len(shots)),
+		done:  make(chan struct{}),
+	}
+	if len(shots) == 0 {
+		close(b.done)
+		return b
+	}
+	// Span size balances queue traffic against tail latency: a few spans
+	// per worker lets fast workers steal from slow ones.
+	span := (len(shots) + 4*s.workers - 1) / (4 * s.workers)
+	if span < 1 {
+		span = 1
+	}
+	spans := (len(shots) + span - 1) / span
+	b.pending.Store(int64(spans))
+	for lo := 0; lo < len(shots); lo += span {
+		hi := lo + span
+		if hi > len(shots) {
+			hi = len(shots)
+		}
+		s.tasks <- serviceSpan{b: b, lo: lo, hi: hi}
+	}
+	return b
+}
+
+// Decode is Submit followed by Wait: corrections for every shot, in
+// submission order. corr[i] lists shot i's correction edges in the
+// decoder's deterministic emit order.
+func (s *Service) Decode(shots []Shot) [][]int32 {
+	return s.Submit(shots).Wait()
+}
+
+// Wait blocks until the batch is fully decoded and returns the
+// per-shot correction edge lists (in submission order).
+func (b *Batch) Wait() [][]int32 {
+	<-b.done
+	return b.out
+}
+
+// Close shuts the pool down after all queued work drains. The Service
+// must not be used afterwards.
+func (s *Service) Close() {
+	close(s.tasks)
+	s.wg.Wait()
+}
+
+// worker drains span tasks with a pooled UnionFind. The scratch pool
+// (rather than one instance per worker) keeps the grown-region arrays
+// warm even when the scheduler migrates work between workers.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for t := range s.tasks {
+		uf := s.scratch.Get().(*UnionFind)
+		for i := t.lo; i < t.hi; i++ {
+			shot := t.b.shots[i]
+			var corr []int32
+			uf.DecodeErased(shot.Defects, shot.Erased, func(e int) {
+				corr = append(corr, int32(e))
+			})
+			t.b.out[i] = corr
+		}
+		s.scratch.Put(uf)
+		if t.b.pending.Add(-1) == 0 {
+			close(t.b.done)
+		}
+	}
+}

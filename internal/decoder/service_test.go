@@ -1,0 +1,154 @@
+package decoder
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// torusTestGraph is a small unit-weight toric-like grid (wrapping in
+// both directions) for service tests: node (x,y) on an n×n torus,
+// horizontal and vertical edges.
+func torusTestGraph(n int) *Graph {
+	idx := func(x, y int) int32 { return int32((y%n)*n + x%n) }
+	var ends [][2]int32
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			ends = append(ends, [2]int32{idx(x, y), idx(x+1, y)})
+			ends = append(ends, [2]int32{idx(x, y), idx(x, y+1)})
+		}
+	}
+	return NewGraph(n*n, ends)
+}
+
+// randomShots builds valid defect sets (syndromes of random edge
+// patterns) plus occasional erasure lists.
+func randomShots(g *Graph, count int, rng *rand.Rand) []Shot {
+	shots := make([]Shot, count)
+	for s := range shots {
+		par := make([]bool, g.Nodes())
+		var erased []int
+		for e := 0; e < g.Edges(); e++ {
+			if rng.Float64() < 0.08 {
+				a, b := g.Ends(e)
+				par[a] = !par[a]
+				par[b] = !par[b]
+			}
+			if rng.Float64() < 0.03 {
+				erased = append(erased, e)
+			}
+		}
+		var defects []int
+		for v, p := range par {
+			if p {
+				defects = append(defects, v)
+			}
+		}
+		if s%3 == 0 {
+			shots[s] = Shot{Defects: defects, Erased: erased}
+		} else {
+			shots[s] = Shot{Defects: defects}
+		}
+	}
+	return shots
+}
+
+// TestServiceMatchesDirectDecode: the service must return exactly what
+// a private UnionFind emits for every shot, in order.
+func TestServiceMatchesDirectDecode(t *testing.T) {
+	g := torusTestGraph(6)
+	rng := rand.New(rand.NewPCG(81, 82))
+	shots := randomShots(g, 137, rng)
+	svc := NewService(g, 3)
+	defer svc.Close()
+	got := svc.Decode(shots)
+	uf := NewUnionFind(g)
+	for i, shot := range shots {
+		var want []int32
+		uf.DecodeErased(shot.Defects, shot.Erased, func(e int) { want = append(want, int32(e)) })
+		if len(got[i]) != len(want) {
+			t.Fatalf("shot %d: %d edges, want %d", i, len(got[i]), len(want))
+		}
+		for k := range want {
+			if got[i][k] != want[k] {
+				t.Fatalf("shot %d: edge %d is %d, want %d", i, k, got[i][k], want[k])
+			}
+		}
+	}
+}
+
+// TestServiceWorkerCountInvariant: any pool size produces bit-identical
+// corrections.
+func TestServiceWorkerCountInvariant(t *testing.T) {
+	g := torusTestGraph(5)
+	rng := rand.New(rand.NewPCG(83, 84))
+	shots := randomShots(g, 200, rng)
+	var ref [][]int32
+	for _, workers := range []int{1, 2, 7, 16} {
+		svc := NewService(g, workers)
+		out := svc.Decode(shots)
+		svc.Close()
+		if ref == nil {
+			ref = out
+			continue
+		}
+		for i := range ref {
+			if len(out[i]) != len(ref[i]) {
+				t.Fatalf("workers=%d shot %d: edge count differs", workers, i)
+			}
+			for k := range ref[i] {
+				if out[i][k] != ref[i][k] {
+					t.Fatalf("workers=%d shot %d: edge %d differs", workers, i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestServiceConcurrentSubmitters: many goroutines sharing one service
+// each get their own batch's deterministic answer (also the race-mode
+// smoke for the worker pool).
+func TestServiceConcurrentSubmitters(t *testing.T) {
+	g := torusTestGraph(6)
+	svc := NewService(g, 4)
+	defer svc.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(85, uint64(c)))
+			shots := randomShots(g, 64, rng)
+			out := svc.Decode(shots)
+			uf := NewUnionFind(g)
+			for i, shot := range shots {
+				var want []int32
+				uf.DecodeErased(shot.Defects, shot.Erased, func(e int) { want = append(want, int32(e)) })
+				if len(out[i]) != len(want) {
+					t.Errorf("submitter %d shot %d: %d edges, want %d", c, i, len(out[i]), len(want))
+					return
+				}
+				for k := range want {
+					if out[i][k] != want[k] {
+						t.Errorf("submitter %d shot %d: edge %d differs", c, i, k)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestServiceEmptyBatch: zero shots complete immediately.
+func TestServiceEmptyBatch(t *testing.T) {
+	g := torusTestGraph(4)
+	svc := NewService(g, 2)
+	defer svc.Close()
+	if out := svc.Decode(nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d results", len(out))
+	}
+	if out := svc.Decode([]Shot{{}, {}}); len(out) != 2 || out[0] != nil || out[1] != nil {
+		t.Fatalf("empty shots must decode to empty corrections, got %v", out)
+	}
+}

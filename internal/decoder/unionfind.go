@@ -18,7 +18,9 @@ type UnionFind struct {
 	// node[v] is all cluster state of node v. stamp encodes the epoch the
 	// record is valid for (2·epoch when touched, 2·epoch+1 once visited
 	// by the peeling pass). flags bit 0 is the cluster defect parity (at
-	// roots), bit 1 the node's live defect flag during peeling.
+	// roots), bit 1 the node's live defect flag during peeling, bit 2 the
+	// grounded flag (at roots): the cluster contains an open-boundary
+	// node, which absorbs its parity, so it never grows.
 	node []ufNode
 
 	// Edge growth state: epoch<<32 | support packed in one word (one load
@@ -91,11 +93,15 @@ func (u *UnionFind) GrowthSweeps() int { return u.sweeps }
 
 // touch initializes node v's cluster state for the current epoch if it
 // has not been seen yet, as a parity-0 singleton with an empty boundary.
+// Open-boundary nodes start (and stay) grounded.
 func (u *UnionFind) touch(v int32) {
 	if u.node[v].stamp>>1 == u.epoch {
 		return
 	}
 	u.node[v] = ufNode{parent: v, size: 1, stamp: u.epoch << 1}
+	if u.g.bnd != nil && u.g.bnd[v] {
+		u.node[v].flags = 4
+	}
 	u.bndHead[v] = -1
 	u.bndTail[v] = -1
 }
@@ -153,6 +159,9 @@ func (u *UnionFind) DecodeErased(defects, erased []int, emit func(edge int)) {
 	u.eraNext = u.eraNext[:0]
 	for _, d := range defects {
 		v := int32(d)
+		if u.g.bnd != nil && u.g.bnd[v] {
+			panic("decoder: boundary node cannot be a defect")
+		}
 		u.touch(v)
 		if u.node[v].flags != 0 {
 			panic("decoder: duplicate defect")
@@ -184,7 +193,9 @@ func (u *UnionFind) DecodeErased(defects, erased []int, emit func(edge int)) {
 	}
 	for {
 		// Collect odd roots (in first-touch order — deterministic) and
-		// compact the cluster list down to live roots.
+		// compact the cluster list down to live roots. Grounded clusters
+		// (those holding an open-boundary node) never count as odd: the
+		// boundary absorbs their parity, so they stop growing.
 		u.odd = u.odd[:0]
 		live := u.clusters[:0]
 		for _, r := range u.clusters {
@@ -192,7 +203,7 @@ func (u *UnionFind) DecodeErased(defects, erased []int, emit func(edge int)) {
 				continue
 			}
 			live = append(live, r)
-			if u.node[r].flags&1 == 1 {
+			if u.node[r].flags&5 == 1 {
 				u.odd = append(u.odd, r)
 			}
 		}
@@ -303,7 +314,8 @@ func (u *UnionFind) absorb(v int32) {
 }
 
 // union merges the clusters rooted at ra and rb (by size, ties to the
-// smaller id), adding parities and splicing boundary lists in O(1).
+// smaller id), adding parities (grounded flags OR) and splicing boundary
+// lists in O(1).
 func (u *UnionFind) union(ra, rb int32) {
 	if u.node[ra].size < u.node[rb].size || (u.node[ra].size == u.node[rb].size && rb < ra) {
 		ra, rb = rb, ra
@@ -311,6 +323,7 @@ func (u *UnionFind) union(ra, rb int32) {
 	u.node[rb].parent = ra
 	u.node[ra].size += u.node[rb].size
 	u.node[ra].flags ^= u.node[rb].flags & 1
+	u.node[ra].flags |= u.node[rb].flags & 4
 	if u.bndHead[rb] >= 0 {
 		if u.bndTail[ra] < 0 {
 			u.bndHead[ra] = u.bndHead[rb]
@@ -323,36 +336,23 @@ func (u *UnionFind) union(ra, rb int32) {
 
 // peel walks a spanning forest of the fully-grown (erasure) edges and
 // peels it leaf-first: a leaf carrying a defect contributes its tree edge
-// to the correction and hands its defect to the parent. Every cluster
-// has even parity, so the defects cancel pairwise inside the forest and
-// the emitted chain's syndrome is exactly the defect set.
+// to the correction and hands its defect to the parent. A closed cluster
+// has even parity, so its defects cancel pairwise inside the forest; a
+// grounded cluster roots its tree at an open-boundary node, so any
+// unpaired defect drains onto the boundary and is absorbed there.
 func (u *UnionFind) peel(defects []int, emit func(edge int)) {
 	visited := u.epoch<<1 | 1
 	u.order = u.order[:0]
+	// Boundary nodes that joined the erasure root their trees first (in
+	// ascending node order — deterministic), so every grounded cluster's
+	// DFS root is a boundary node.
+	for _, b := range u.g.bndList {
+		if u.eraSeen[b] == u.epoch {
+			u.peelRoot(b, visited)
+		}
+	}
 	for _, d := range defects {
-		root := int32(d)
-		if u.node[root].stamp == visited {
-			continue
-		}
-		u.node[root].stamp = visited
-		u.stack = append(u.stack[:0], root)
-		u.order = append(u.order, peelStep{node: root, parentEdge: -1, parentNode: -1})
-		for len(u.stack) > 0 {
-			v := u.stack[len(u.stack)-1]
-			u.stack = u.stack[:len(u.stack)-1]
-			if u.eraSeen[v] != u.epoch {
-				continue
-			}
-			for idx := u.eraHead[v]; idx >= 0; idx = u.eraNext[idx] {
-				w := u.eraNode[idx]
-				if u.node[w].stamp == visited {
-					continue
-				}
-				u.node[w].stamp = visited
-				u.order = append(u.order, peelStep{node: w, parentEdge: u.eraEdge[idx], parentNode: v})
-				u.stack = append(u.stack, w)
-			}
-		}
+		u.peelRoot(int32(d), visited)
 	}
 	for i := len(u.order) - 1; i >= 0; i-- {
 		step := u.order[i]
@@ -362,6 +362,33 @@ func (u *UnionFind) peel(defects []int, emit func(edge int)) {
 		emit(int(step.parentEdge))
 		u.node[step.node].flags &^= 2
 		u.node[step.parentNode].flags ^= 2
+	}
+}
+
+// peelRoot grows one DFS tree of the erasure forest from root (skipped
+// if the root was already claimed by an earlier tree).
+func (u *UnionFind) peelRoot(root int32, visited uint32) {
+	if u.node[root].stamp == visited {
+		return
+	}
+	u.node[root].stamp = visited
+	u.stack = append(u.stack[:0], root)
+	u.order = append(u.order, peelStep{node: root, parentEdge: -1, parentNode: -1})
+	for len(u.stack) > 0 {
+		v := u.stack[len(u.stack)-1]
+		u.stack = u.stack[:len(u.stack)-1]
+		if u.eraSeen[v] != u.epoch {
+			continue
+		}
+		for idx := u.eraHead[v]; idx >= 0; idx = u.eraNext[idx] {
+			w := u.eraNode[idx]
+			if u.node[w].stamp == visited {
+				continue
+			}
+			u.node[w].stamp = visited
+			u.order = append(u.order, peelStep{node: w, parentEdge: u.eraEdge[idx], parentNode: v})
+			u.stack = append(u.stack, w)
+		}
 	}
 }
 

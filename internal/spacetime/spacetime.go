@@ -35,7 +35,9 @@ type Volume struct {
 type volScratch struct {
 	ufX, ufZ *decoder.UnionFind
 	matcher  decoder.Matcher
+	grid     decoder.DefectGrid
 	defects  []int
+	erased   []int
 	corr     bits.Vec
 }
 
@@ -179,6 +181,14 @@ type volumeKey struct{ l, t, wh, wv int }
 // round count and physical rates (weights derived via Weights).
 func CachedVolume(l, rounds int, p, q float64) *Volume {
 	wh, wv := Weights(p, q, l, rounds)
+	return CachedVolumeWeighted(l, rounds, wh, wv)
+}
+
+// CachedVolumeWeighted is CachedVolume with explicit integer edge
+// weights — the form the streaming decoder's closing windows reuse (a
+// stream's final window height varies with rounds mod slide, and its
+// weights are fixed by the session, not re-derived per height).
+func CachedVolumeWeighted(l, rounds, wh, wv int) *Volume {
 	key := volumeKey{l, rounds, wh, wv}
 	if v, ok := volumeCache.Load(key); ok {
 		return v.(*Volume)
@@ -202,6 +212,27 @@ func (v *Volume) Decode(defects []int, kind toric.DecoderKind, dual bool) bits.V
 	return corr
 }
 
+// DecodeErased is Decode with erasure information: the listed edge ids
+// (horizontal data-leakage edges, vertical lost-measurement edges) seed
+// the union-find peeling pass at full support, so known-bad locations
+// are corrected without growth. Erasure decoding is union-find only —
+// the peeling pass is what exploits the locations.
+func (v *Volume) DecodeErased(defects, erased []int, dual bool) bits.Vec {
+	corr := bits.NewVec(v.nq)
+	scr := v.scratch.Get().(*volScratch)
+	uf := scr.ufX
+	if dual {
+		uf = scr.ufZ
+	}
+	uf.DecodeErased(defects, erased, func(e int) {
+		if e < v.horiz {
+			corr.Flip(e % v.nq)
+		}
+	})
+	v.scratch.Put(scr)
+	return corr
+}
+
 func (v *Volume) decodeInto(defects []int, kind toric.DecoderKind, dual bool, scr *volScratch, corr bits.Vec) {
 	if len(defects) == 0 {
 		return
@@ -217,7 +248,19 @@ func (v *Volume) decodeInto(defects []int, kind toric.DecoderKind, dual bool, sc
 		}
 		var pairs [][2]int32
 		if n := len(defects); n > decoder.SparseMatchMin {
-			pairs = scr.matcher.MinWeightPairsPruned(n, weight, v.matchCutoff(n))
+			// Grid-bucketed staging over the (x, y, t) coordinates: the
+			// weighted radius r bounds the spatial box at r/WH and the
+			// time box at r/WV.
+			cutoff := v.matchCutoff(n)
+			scr.grid.Reset(v.L, max(1, int(cutoff)/v.WH), 0, v.T, max(1, int(cutoff)/v.WV))
+			for _, d := range defects {
+				c := d % v.nc
+				scr.grid.Add(c%v.L, c/v.L, d/v.nc)
+			}
+			pairs = scr.matcher.MinWeightPairsIndexed(n, weight, cutoff,
+				func(i int, r int64, visit func(j int)) {
+					scr.grid.VisitWithin(i, int(r)/v.WH, int(r)/v.WV, visit)
+				})
 		} else {
 			pairs = scr.matcher.MinWeightPairs(n, weight)
 		}
@@ -260,79 +303,139 @@ func (v *Volume) matchCutoff(n int) int64 {
 	return int64(3 * mean * w)
 }
 
+// LayerSource samples a noisy-extraction history round by round for a
+// batch of lanes: fresh X and Z data errors at rate p per edge per
+// round, plaquette and star measurements flipped with probability q,
+// and the consecutive-round syndrome differences emitted as check-major
+// layer planes (one vector of `lanes` bits per check). Draw order per
+// round: X edge planes, Z edge planes, plaquette measurement masks,
+// star measurement masks — all in index order, so any experiment built
+// on a source is a pure function of the sampler stream. The whole-
+// volume batch decode and the streaming sliding-window decoder consume
+// the same source, which is what makes them statistically identical by
+// construction.
+type LayerSource struct {
+	lat    *toric.Lattice
+	p, q   float64
+	lanes  int
+	smp    frame.Sampler
+	rounds int // noisy rounds emitted so far
+
+	active, tmp              bits.Vec
+	intact, coin             bits.Vec   // erasure-path scratch, built on first use
+	cumX, cumZ               []bits.Vec // edge-major accumulated error planes
+	prevX, prevZ, curX, curZ []bits.Vec // check-major observed syndromes
+}
+
+// NewLayerSource returns a source over the L×L lattice for `lanes`
+// parallel shots drawing from smp.
+func NewLayerSource(l int, p, q float64, lanes int, smp frame.Sampler) *LayerSource {
+	lat := toric.Cached(l)
+	s := &LayerSource{
+		lat: lat, p: p, q: q, lanes: lanes, smp: smp,
+		active: bits.NewVec(lanes),
+		tmp:    bits.NewVec(lanes),
+		cumX:   bits.NewVecs(lat.Qubits(), lanes),
+		cumZ:   bits.NewVecs(lat.Qubits(), lanes),
+		prevX:  bits.NewVecs(lat.NumChecks(), lanes),
+		prevZ:  bits.NewVecs(lat.NumChecks(), lanes),
+		curX:   bits.NewVecs(lat.NumChecks(), lanes),
+		curZ:   bits.NewVecs(lat.NumChecks(), lanes),
+	}
+	s.active.SetAll()
+	return s
+}
+
+// Lanes returns the batch width.
+func (s *LayerSource) Lanes() int { return s.lanes }
+
+// Rounds returns how many noisy rounds have been emitted.
+func (s *LayerSource) Rounds() int { return s.rounds }
+
+// NextLayers advances one noisy extraction round and writes its
+// difference-syndrome layers into layerX and layerZ (check-major,
+// NumChecks vectors each).
+func (s *LayerSource) NextLayers(layerX, layerZ []bits.Vec) {
+	nq, nc := s.lat.Qubits(), s.lat.NumChecks()
+	for e := 0; e < nq; e++ {
+		s.smp.Bernoulli(s.p, s.active, s.tmp)
+		s.cumX[e].Xor(s.tmp)
+	}
+	for e := 0; e < nq; e++ {
+		s.smp.Bernoulli(s.p, s.active, s.tmp)
+		s.cumZ[e].Xor(s.tmp)
+	}
+	s.lat.PlaquetteSyndromePlanes(s.cumX, s.curX)
+	for c := 0; c < nc; c++ {
+		s.smp.Bernoulli(s.q, s.active, s.tmp)
+		s.curX[c].Xor(s.tmp)
+	}
+	s.lat.StarSyndromePlanes(s.cumZ, s.curZ)
+	for c := 0; c < nc; c++ {
+		s.smp.Bernoulli(s.q, s.active, s.tmp)
+		s.curZ[c].Xor(s.tmp)
+	}
+	s.emitDiff(layerX, layerZ)
+	s.rounds++
+}
+
+// CloseLayers writes the closing perfect round's difference layers: the
+// true syndromes of the accumulated errors, no fresh faults, no
+// measurement noise.
+func (s *LayerSource) CloseLayers(layerX, layerZ []bits.Vec) {
+	s.lat.PlaquetteSyndromePlanes(s.cumX, s.curX)
+	s.lat.StarSyndromePlanes(s.cumZ, s.curZ)
+	s.emitDiff(layerX, layerZ)
+}
+
+// emitDiff writes cur XOR prev into the layer planes and swaps the
+// generations.
+func (s *LayerSource) emitDiff(layerX, layerZ []bits.Vec) {
+	nc := s.lat.NumChecks()
+	for c := 0; c < nc; c++ {
+		lx := layerX[c]
+		lx.CopyFrom(s.curX[c])
+		lx.Xor(s.prevX[c])
+		lz := layerZ[c]
+		lz.CopyFrom(s.curZ[c])
+		lz.Xor(s.prevZ[c])
+	}
+	s.prevX, s.curX = s.curX, s.prevX
+	s.prevZ, s.curZ = s.curZ, s.prevZ
+}
+
+// Windings fills the winding parities of the accumulated error chains:
+// the primal pair for the X sector, the dual pair for the Z sector.
+func (s *LayerSource) Windings(pX1, pX2, pZ1, pZ2 bits.Vec) {
+	s.lat.WindingPlanes(s.cumX, pX1, pX2)
+	s.lat.WindingPlanesDual(s.cumZ, pZ1, pZ2)
+}
+
+// ErrorPlanes returns the live accumulated error planes of the two
+// sectors (edge-major, one vector per qubit edge). Read-only views for
+// validation harnesses — callers must not modify them.
+func (s *LayerSource) ErrorPlanes() (x, z []bits.Vec) { return s.cumX, s.cumZ }
+
 // BatchMemory runs `lanes` shots of the noisy-extraction memory
-// experiment as bit-planes: T rounds of fresh X and Z data errors at
-// rate p per edge, plaquette and star measurements flipped with
-// probability q, difference-syndrome layers closed by one perfect
-// round, both sectors decoded per lane over the weighted volume. Draw
-// order per round: X edge planes, Z edge planes, plaquette measurement
-// masks, star measurement masks — all in index order, so the experiment
-// is a pure function of the sampler stream. Returns the per-lane
-// logical failure masks of the two sectors.
+// experiment as bit-planes: a LayerSource emits T rounds of difference
+// layers plus the perfect closing layer, and both sectors decode per
+// lane over the weighted volume. Returns the per-lane logical failure
+// masks of the two sectors.
 func (v *Volume) BatchMemory(p, q float64, kind toric.DecoderKind, lanes int, smp frame.Sampler) (failX, failZ bits.Vec) {
-	nq, nc := v.nq, v.nc
-	active := bits.NewVec(lanes)
-	active.SetAll()
-	tmp := bits.NewVec(lanes)
-	cumX := bits.NewVecs(nq, lanes)
-	cumZ := bits.NewVecs(nq, lanes)
-	prevX := bits.NewVecs(nc, lanes)
-	prevZ := bits.NewVecs(nc, lanes)
-	curX := bits.NewVecs(nc, lanes)
-	curZ := bits.NewVecs(nc, lanes)
+	nc := v.nc
+	src := NewLayerSource(v.L, p, q, lanes, smp)
 	layersX := bits.NewVecs(v.nodes, lanes)
 	layersZ := bits.NewVecs(v.nodes, lanes)
-	for t := 1; t <= v.T; t++ {
-		for e := 0; e < nq; e++ {
-			smp.Bernoulli(p, active, tmp)
-			cumX[e].Xor(tmp)
-		}
-		for e := 0; e < nq; e++ {
-			smp.Bernoulli(p, active, tmp)
-			cumZ[e].Xor(tmp)
-		}
-		v.lat.PlaquetteSyndromePlanes(cumX, curX)
-		for c := 0; c < nc; c++ {
-			smp.Bernoulli(q, active, tmp)
-			curX[c].Xor(tmp)
-		}
-		v.lat.StarSyndromePlanes(cumZ, curZ)
-		for c := 0; c < nc; c++ {
-			smp.Bernoulli(q, active, tmp)
-			curZ[c].Xor(tmp)
-		}
-		off := (t - 1) * nc
-		for c := 0; c < nc; c++ {
-			lx := layersX[off+c]
-			lx.CopyFrom(curX[c])
-			lx.Xor(prevX[c])
-			lz := layersZ[off+c]
-			lz.CopyFrom(curZ[c])
-			lz.Xor(prevZ[c])
-		}
-		prevX, curX = curX, prevX
-		prevZ, curZ = curZ, prevZ
+	for t := 0; t < v.T; t++ {
+		src.NextLayers(layersX[t*nc:(t+1)*nc], layersZ[t*nc:(t+1)*nc])
 	}
-	// Perfect closing round: the true syndromes of the accumulated
-	// errors, no fresh faults.
-	v.lat.PlaquetteSyndromePlanes(cumX, curX)
-	v.lat.StarSyndromePlanes(cumZ, curZ)
-	off := v.T * nc
-	for c := 0; c < nc; c++ {
-		lx := layersX[off+c]
-		lx.CopyFrom(curX[c])
-		lx.Xor(prevX[c])
-		lz := layersZ[off+c]
-		lz.CopyFrom(curZ[c])
-		lz.Xor(prevZ[c])
-	}
+	src.CloseLayers(layersX[v.T*nc:], layersZ[v.T*nc:])
 	// Winding parities of the accumulated error chains.
 	pX1 := bits.NewVec(lanes)
 	pX2 := bits.NewVec(lanes)
-	v.lat.WindingPlanes(cumX, pX1, pX2)
 	pZ1 := bits.NewVec(lanes)
 	pZ2 := bits.NewVec(lanes)
-	v.lat.WindingPlanesDual(cumZ, pZ1, pZ2)
+	src.Windings(pX1, pX2, pZ1, pZ2)
 	// Pivot detector planes lane-major and decode each sector.
 	syn := bits.NewVecs(lanes, v.nodes)
 	bits.TransposePlanes(syn, layersX)
@@ -390,6 +493,7 @@ func (v *Volume) decodeLaneSpan(kind toric.DecoderKind, syn []bits.Vec, p1, p2, 
 type Result struct {
 	L, T     int
 	P, Q     float64
+	Pe, Qe   float64 // erasure rates (leakage, lost measurements); 0 when unused
 	Samples  int
 	FailX    int // bit-flip (plaquette-sector) logical failures
 	FailZ    int // phase-flip (star-sector) logical failures

@@ -1,0 +1,54 @@
+// Package stream decodes an endless noisy-syndrome stream through a
+// sliding window — the architecture a real fault-tolerant memory needs.
+// The whole-volume pipeline (package spacetime) materializes all T
+// rounds before decoding, so memory and latency grow linearly with T;
+// a streaming memory must instead decode as rounds arrive, in constant
+// space, forever. Gottesman (arXiv:2210.15844) calls real-time decoding
+// under a continuous syndrome stream the central systems challenge of
+// FTQC; this package is that subsystem.
+//
+// # Sliding window with a commit region
+//
+// The decoder buffers the most recent W difference-syndrome layers per
+// lane. When the buffer is full and a new round arrives, the window is
+// decoded over an open-window graph: the W layers' detectors with the
+// usual horizontal (data-error) and vertical (measurement-error)
+// weighted edges, plus one virtual boundary node joined to the newest
+// layer by vertical-weight edges — a defect near the open edge may be a
+// measurement error whose partner round has not happened yet, and the
+// boundary absorbs exactly that possibility (decoder.NewBoundaryGraph).
+//
+// The correction is then split at the commit boundary C < W:
+//
+//   - every correction edge touching a layer below C is committed —
+//     space-like edges XOR into the lane's running Pauli frame,
+//     time-like edges are measurement-error assignments and vanish;
+//   - a committed time-like edge crossing the boundary (layer C−1 to C)
+//     cuts its chain there, leaving an artificial "carry" defect at
+//     layer C that re-enters the next window;
+//   - everything above C is discarded and re-decoded on the next slide,
+//     when one more round of context has arrived.
+//
+// Because every edge incident to a sub-C detector is committed, the
+// committed chains cancel the sub-C defects exactly; the window then
+// slides forward by C rounds. Per-lane state is the layer ring, the
+// carry, and the frame: O(L²·W) bits regardless of how many rounds
+// stream past — the constant-memory property the sustained experiments
+// rely on. At stream end one perfect round closes the remaining buffer,
+// which decodes as an ordinary closed volume; with W ≥ T no slide ever
+// fires and the stream decode is bit-identical to the whole-volume
+// decode (tested).
+//
+// # Decode service
+//
+// Window decodes are fanned out through decoder.Service — a long-lived
+// worker pool bound to the window graph (batched shot submissions in,
+// corrections out, bit-identical for any worker count). One service per
+// sector is shared by every chunk of a Monte Carlo run, so the pool
+// persists across thousands of submissions, the shape a control-system
+// consumer would call at scale.
+//
+// Accuracy: a window of W ≥ 2L rounds with a C = W/2 commit region
+// reproduces whole-volume logical failure rates within statistical
+// error (tested); shorter windows trade fidelity for latency.
+package stream

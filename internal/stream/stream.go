@@ -1,0 +1,410 @@
+package stream
+
+import (
+	"ftqc/internal/bits"
+	"ftqc/internal/decoder"
+	"ftqc/internal/frame"
+	"ftqc/internal/spacetime"
+)
+
+// Session owns the long-lived machinery of one streaming configuration:
+// the window structure and one decoder.Service worker pool per sector,
+// shared by every Decoder (and every Monte Carlo chunk) created from
+// it. Close releases the pools.
+type Session struct {
+	win  *Window
+	svcX *decoder.Service
+	svcZ *decoder.Service
+}
+
+// NewSession builds the window and starts its decode services (see
+// NewWindow for the parameters; weights come from spacetime.Weights).
+func NewSession(l, window, commit, wh, wv int) *Session {
+	win := NewWindow(l, window, commit, wh, wv)
+	return &Session{
+		win:  win,
+		svcX: decoder.NewService(win.graphX, 0),
+		svcZ: decoder.NewService(win.graphZ, 0),
+	}
+}
+
+// Window returns the session's window structure.
+func (s *Session) Window() *Window { return s.win }
+
+// Close shuts the decode services down.
+func (s *Session) Close() {
+	s.svcX.Close()
+	s.svcZ.Close()
+}
+
+// Decoder consumes one batch of lanes' difference layers round by round
+// and maintains, per lane, a sliding window of the most recent layers,
+// the carry defects cut at the last commit, and the running committed
+// Pauli frame. All buffers are rings sized by the window — the resident
+// footprint is O(L²·W) bits per lane however many rounds stream past.
+type Decoder struct {
+	s     *Session
+	lanes int
+
+	base     int // absolute index of the oldest buffered layer (= rounds committed)
+	filled   int // buffered layers
+	head     int // ring slot of the oldest buffered layer
+	slides   int
+	finished bool
+
+	ringX, ringZ   []bits.Vec // W·nc check-major layer planes, ring over slots
+	carryX, carryZ []bits.Vec // per-lane cut defects at the base layer (nc bits)
+	corrX, corrZ   []bits.Vec // per-lane running committed corrections (nq bits)
+
+	// Slide scratch, persistent so steady state allocates nothing.
+	ordered          []bits.Vec // ring view in logical layer order
+	synX, synZ       []bits.Vec // per-lane window syndromes (W·nc bits)
+	shotsX, shotsZ   []decoder.Shot
+	defbufX, defbufZ [][]int
+}
+
+// NewDecoder returns a streaming decoder for `lanes` parallel shots,
+// drawing on the session's shared decode services.
+func (s *Session) NewDecoder(lanes int) *Decoder {
+	w := s.win
+	d := &Decoder{
+		s:       s,
+		lanes:   lanes,
+		ringX:   bits.NewVecs(w.W*w.nc, lanes),
+		ringZ:   bits.NewVecs(w.W*w.nc, lanes),
+		carryX:  bits.NewVecs(lanes, w.nc),
+		carryZ:  bits.NewVecs(lanes, w.nc),
+		corrX:   bits.NewVecs(lanes, w.nq),
+		corrZ:   bits.NewVecs(lanes, w.nq),
+		ordered: make([]bits.Vec, w.W*w.nc),
+		synX:    bits.NewVecs(lanes, w.W*w.nc),
+		synZ:    bits.NewVecs(lanes, w.W*w.nc),
+		shotsX:  make([]decoder.Shot, lanes),
+		shotsZ:  make([]decoder.Shot, lanes),
+		defbufX: make([][]int, lanes),
+		defbufZ: make([][]int, lanes),
+	}
+	return d
+}
+
+// Rounds returns how many noisy rounds the decoder has ingested.
+func (d *Decoder) Rounds() int { return d.base + d.filled }
+
+// Slides returns how many window slides (open-window decodes) have run.
+func (d *Decoder) Slides() int { return d.slides }
+
+// Push ingests one round's difference layers (check-major, one vector
+// of lane bits per check, as emitted by spacetime.LayerSource). When
+// the window is full the oldest Commit rounds are decoded and
+// committed first.
+func (d *Decoder) Push(layerX, layerZ []bits.Vec) {
+	w := d.s.win
+	if d.finished {
+		panic("stream: Push after Finish")
+	}
+	if len(layerX) != w.nc || len(layerZ) != w.nc {
+		panic("stream: layer plane count mismatch")
+	}
+	if d.filled == w.W {
+		d.slide()
+	}
+	slot := d.head + d.filled
+	if slot >= w.W {
+		slot -= w.W
+	}
+	for c := 0; c < w.nc; c++ {
+		d.ringX[slot*w.nc+c].CopyFrom(layerX[c])
+		d.ringZ[slot*w.nc+c].CopyFrom(layerZ[c])
+	}
+	d.filled++
+}
+
+// slide decodes the full window in both sectors over the open-window
+// graphs, commits the correction below the commit boundary into the
+// running frames, records the cut defects as the next window's carry,
+// and advances the ring by Commit layers.
+func (d *Decoder) slide() {
+	w := d.s.win
+	d.pivot(d.ringX, d.synX, d.carryX)
+	d.pivot(d.ringZ, d.synZ, d.carryZ)
+	for lane := 0; lane < d.lanes; lane++ {
+		d.defbufX[lane] = d.synX[lane].AppendSupport(d.defbufX[lane][:0])
+		d.shotsX[lane] = decoder.Shot{Defects: d.defbufX[lane]}
+		d.defbufZ[lane] = d.synZ[lane].AppendSupport(d.defbufZ[lane][:0])
+		d.shotsZ[lane] = decoder.Shot{Defects: d.defbufZ[lane]}
+	}
+	bX := d.s.svcX.Submit(d.shotsX)
+	bZ := d.s.svcZ.Submit(d.shotsZ)
+	outX := bX.Wait()
+	outZ := bZ.Wait()
+	for lane := 0; lane < d.lanes; lane++ {
+		d.commitLane(outX[lane], d.corrX[lane], d.carryX[lane])
+		d.commitLane(outZ[lane], d.corrZ[lane], d.carryZ[lane])
+	}
+	d.head += w.Commit
+	if d.head >= w.W {
+		d.head -= w.W
+	}
+	d.filled -= w.Commit
+	d.base += w.Commit
+	d.slides++
+}
+
+// orderedLayers appends views of the first `layers` buffered ring
+// layers (oldest first) to the reusable ordered slice.
+func (d *Decoder) orderedLayers(ring []bits.Vec, layers int) []bits.Vec {
+	w := d.s.win
+	ordered := d.ordered[:0]
+	for t := 0; t < layers; t++ {
+		slot := d.head + t
+		if slot >= w.W {
+			slot -= w.W
+		}
+		ordered = append(ordered, ring[slot*w.nc:(slot+1)*w.nc]...)
+	}
+	return ordered
+}
+
+// pivot transposes the full buffered window (plus the carry at the
+// base layer) into per-lane syndrome vectors.
+func (d *Decoder) pivot(ring, syn, carry []bits.Vec) {
+	w := d.s.win
+	bits.TransposePlanes(syn, d.orderedLayers(ring, w.W))
+	// The carry defects live at the base (first) layer, whose bits are
+	// word-aligned at the front of every lane vector.
+	for lane := 0; lane < d.lanes; lane++ {
+		cv := carry[lane]
+		sv := syn[lane]
+		for i := 0; i < cv.Words(); i++ {
+			sv.XorWord(i, cv.Word(i))
+		}
+	}
+}
+
+// commitLane folds one lane's open-window correction into its running
+// frame: horizontal edges below the commit boundary flip their data
+// qubit; a vertical edge crossing the boundary cuts its chain there,
+// flipping the carry defect at the boundary layer. Everything at or
+// above the boundary (including every virtual boundary edge) is
+// discarded — the next slide re-decodes it with more context.
+func (d *Decoder) commitLane(corr []int32, frameVec, carry bits.Vec) {
+	w := d.s.win
+	carry.Clear()
+	for _, id := range corr {
+		e := int(id)
+		if e < w.horiz {
+			if e/w.nq < w.Commit {
+				frameVec.Flip(e % w.nq)
+			}
+			continue
+		}
+		t := (e - w.horiz) / w.nc
+		if t == w.Commit-1 {
+			carry.Flip((e - w.horiz) % w.nc)
+		}
+	}
+}
+
+// Finish ingests the closing perfect-round difference layers and
+// decodes the remaining buffer as an ordinary closed volume (height =
+// buffered rounds), committing everything into the frames. When no
+// slide has fired — W ≥ total rounds — this is exactly the whole-volume
+// decode, bit for bit. The decoder cannot be pushed to afterwards.
+func (d *Decoder) Finish(layerX, layerZ []bits.Vec) {
+	w := d.s.win
+	if d.finished {
+		panic("stream: Finish called twice")
+	}
+	if d.filled == 0 {
+		panic("stream: Finish before any round")
+	}
+	d.finished = true
+	h := d.filled
+	vol := spacetime.CachedVolumeWeighted(w.L, h, w.WH, w.WV)
+	syn := bits.NewVecs(d.lanes, (h+1)*w.nc)
+	bits.TransposePlanes(syn, append(d.orderedLayers(d.ringX, h), layerX...))
+	d.finishSector(syn, vol.Graph(), h, d.carryX, d.corrX)
+	bits.TransposePlanes(syn, append(d.orderedLayers(d.ringZ, h), layerZ...))
+	d.finishSector(syn, vol.DualGraph(), h, d.carryZ, d.corrZ)
+}
+
+// finishSector decodes every lane's closing volume serially (chunk
+// fan-out supplies the outer parallelism) and commits the whole
+// correction.
+func (d *Decoder) finishSector(syn []bits.Vec, g *decoder.Graph, h int, carry, corr []bits.Vec) {
+	w := d.s.win
+	uf := decoder.NewUnionFind(g)
+	horiz := h * w.nq
+	var defects []int
+	for lane := 0; lane < d.lanes; lane++ {
+		cv := carry[lane]
+		sv := syn[lane]
+		for i := 0; i < cv.Words(); i++ {
+			sv.XorWord(i, cv.Word(i))
+		}
+		defects = sv.AppendSupport(defects[:0])
+		if len(defects) == 0 {
+			continue
+		}
+		cl := corr[lane]
+		uf.Decode(defects, func(e int) {
+			if e < horiz {
+				cl.Flip(e % w.nq)
+			}
+		})
+	}
+}
+
+// Corrections returns the per-lane committed correction frames of the
+// two sectors (valid any time; complete after Finish).
+func (d *Decoder) Corrections() (x, z []bits.Vec) { return d.corrX, d.corrZ }
+
+// FootprintBytes sums the decoder's resident buffers — the number that
+// must stay flat as rounds stream past (the constant-memory acceptance
+// criterion, asserted in the tests and reported by the benchmarks).
+func (d *Decoder) FootprintBytes() int {
+	vecs := func(vs []bits.Vec) int {
+		n := 0
+		for _, v := range vs {
+			n += v.Words() * 8
+		}
+		return n
+	}
+	n := vecs(d.ringX) + vecs(d.ringZ) + vecs(d.carryX) + vecs(d.carryZ) +
+		vecs(d.corrX) + vecs(d.corrZ) + vecs(d.synX) + vecs(d.synZ)
+	n += cap(d.ordered) * 24
+	for lane := 0; lane < d.lanes; lane++ {
+		n += (cap(d.defbufX[lane]) + cap(d.defbufZ[lane])) * 8
+	}
+	return n
+}
+
+// BatchMemory runs `lanes` streaming shots of the noisy-extraction
+// memory over this session's window: a spacetime.LayerSource emits
+// difference layers round by round (the same draw order as the
+// whole-volume batch), the sliding window commits as it goes, and one
+// perfect closing round settles the tail. Returns the per-lane logical
+// failure masks of the two sectors.
+func (s *Session) BatchMemory(rounds int, p, q float64, lanes int, smp frame.Sampler) (failX, failZ bits.Vec) {
+	w := s.win
+	src := spacetime.NewLayerSource(w.L, p, q, lanes, smp)
+	d := s.NewDecoder(lanes)
+	layerX := bits.NewVecs(w.nc, lanes)
+	layerZ := bits.NewVecs(w.nc, lanes)
+	for t := 0; t < rounds; t++ {
+		src.NextLayers(layerX, layerZ)
+		d.Push(layerX, layerZ)
+	}
+	src.CloseLayers(layerX, layerZ)
+	d.Finish(layerX, layerZ)
+	return s.failureMasks(src, d)
+}
+
+// failureMasks compares the winding parities of the accumulated error
+// chains against the committed correction frames. The total correction
+// cancels every defect, so the residual is always a closed cycle and
+// the parities decide failure — the same homology test as the
+// whole-volume pipeline.
+func (s *Session) failureMasks(src *spacetime.LayerSource, d *Decoder) (failX, failZ bits.Vec) {
+	lanes := d.lanes
+	lat := s.win.lat
+	pX1 := bits.NewVec(lanes)
+	pX2 := bits.NewVec(lanes)
+	pZ1 := bits.NewVec(lanes)
+	pZ2 := bits.NewVec(lanes)
+	src.Windings(pX1, pX2, pZ1, pZ2)
+	failX = bits.NewVec(lanes)
+	failZ = bits.NewVec(lanes)
+	for lane := 0; lane < lanes; lane++ {
+		c1, c2 := lat.WindingParity(d.corrX[lane])
+		if pX1.Get(lane) != c1 || pX2.Get(lane) != c2 {
+			failX.Set(lane, true)
+		}
+		c1, c2 = lat.WindingParityDual(d.corrZ[lane])
+		if pZ1.Get(lane) != c1 || pZ2.Get(lane) != c2 {
+			failZ.Set(lane, true)
+		}
+	}
+	return failX, failZ
+}
+
+// Result summarizes a streaming memory Monte Carlo run.
+type Result struct {
+	L, T           int
+	Window, Commit int
+	P, Q           float64
+	Samples        int
+	FailX          int // bit-flip (plaquette-sector) logical failures
+	FailZ          int // phase-flip (star-sector) logical failures
+	Failures       int // shots failing in either sector
+}
+
+// FailRate returns the either-sector logical failure probability.
+func (r Result) FailRate() float64 { return float64(r.Failures) / float64(r.Samples) }
+
+// FailRateX returns the bit-flip sector failure probability.
+func (r Result) FailRateX() float64 { return float64(r.FailX) / float64(r.Samples) }
+
+// FailRateZ returns the phase-flip sector failure probability.
+func (r Result) FailRateZ() float64 { return float64(r.FailZ) / float64(r.Samples) }
+
+// DefaultWindow returns the default window and commit sizes for
+// distance L: W = 2L buffered rounds (enough context that windowed
+// accuracy matches whole-volume decoding) with a half-window commit.
+func DefaultWindow(l int) (window, commit int) { return 2 * l, l }
+
+// Memory runs the streaming noisy-syndrome memory experiment: `rounds`
+// noisy extraction rounds at data rate p and measurement rate q,
+// decoded through a sliding window of `window` layers committing
+// `commit` rounds per slide (pass 0, 0 for the DefaultWindow sizes; an
+// explicit commit ≥ window panics, like NewWindow), fanned out over the
+// CPUs in deterministic seed-per-chunk batches that all share one pair
+// of long-lived decode services. The result is a pure function of
+// (samples, seed) — never of GOMAXPROCS.
+func Memory(l, rounds int, p, q float64, window, commit, samples int, seed uint64) Result {
+	if window <= 0 {
+		window, _ = DefaultWindow(l)
+	}
+	if commit <= 0 {
+		commit = window / 2
+	}
+	wh, wv := spacetime.Weights(p, q, l, rounds)
+	s := NewSession(l, window, commit, wh, wv)
+	defer s.Close()
+	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
+		return s.BatchMemory(rounds, p, q, lanes, smp)
+	})
+	return Result{L: l, T: rounds, Window: window, Commit: commit, P: p, Q: q,
+		Samples: samples, FailX: fx, FailZ: fz, Failures: fa}
+}
+
+// ThresholdPoint is one p = q grid point of a streaming sustained
+// sweep.
+type ThresholdPoint struct {
+	P            float64
+	Small, Large Result
+}
+
+// SustainedThreshold sweeps p = q with T = 4L rounds through W = 2L
+// windows (several slides per shot — genuine sustained operation) for
+// two code distances and estimates where the failure curves cross.
+// Returns NaN when the grid shows no crossing, plus the points.
+func SustainedThreshold(l1, l2 int, grid []float64, samples int, seed uint64) (float64, []ThresholdPoint) {
+	pts := make([]ThresholdPoint, len(grid))
+	small := make([]float64, len(grid))
+	large := make([]float64, len(grid))
+	run := func(l int, p float64, seed uint64) Result {
+		w, c := DefaultWindow(l)
+		return Memory(l, 4*l, p, p, w, c, samples, seed)
+	}
+	for i, p := range grid {
+		pts[i] = ThresholdPoint{
+			P:     p,
+			Small: run(l1, p, seed+uint64(2*i)),
+			Large: run(l2, p, seed+uint64(2*i+1)),
+		}
+		small[i] = pts[i].Small.FailRate()
+		large[i] = pts[i].Large.FailRate()
+	}
+	return spacetime.CrossingEstimate(grid, small, large), pts
+}

@@ -1,0 +1,302 @@
+package stream
+
+import (
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+
+	"ftqc/internal/bits"
+	"ftqc/internal/frame"
+	"ftqc/internal/spacetime"
+	"ftqc/internal/toric"
+)
+
+func TestWindowShape(t *testing.T) {
+	w := NewWindow(4, 6, 3, 2, 5)
+	nc, nq := 16, 32
+	if w.nodes != 6*nc+1 || w.Graph().Nodes() != w.nodes || w.DualGraph().Nodes() != w.nodes {
+		t.Fatalf("node count %d", w.nodes)
+	}
+	if got, want := w.Graph().Edges(), 6*nq+6*nc; got != want {
+		t.Fatalf("edge count %d, want %d", got, want)
+	}
+	if !w.Graph().IsBoundary(w.nodes - 1) {
+		t.Fatal("last node must be the open boundary")
+	}
+	for e := 0; e < w.Graph().Edges(); e++ {
+		a, b := w.Graph().Ends(e)
+		if e < w.horiz {
+			if w.Graph().Weight(e) != 2 || a/nc != b/nc || a/nc != e/nq {
+				t.Fatalf("horizontal edge %d malformed: ends %d,%d weight %d", e, a, b, w.Graph().Weight(e))
+			}
+			continue
+		}
+		if w.Graph().Weight(e) != 5 {
+			t.Fatalf("vertical edge %d weight %d", e, w.Graph().Weight(e))
+		}
+		tl := (e - w.horiz) / nc
+		if tl == w.W-1 {
+			if b != w.nodes-1 {
+				t.Fatalf("virtual edge %d must reach the boundary, got ends %d,%d", e, a, b)
+			}
+		} else if a%nc != b%nc || b/nc-a/nc != 1 {
+			t.Fatalf("vertical edge %d joins %d and %d", e, a, b)
+		}
+	}
+}
+
+// TestWindowGEVolumeBitIdentical is the satellite equivalence suite:
+// when the window holds the whole stream (W ≥ T), the streaming decoder
+// never slides and its failure masks must equal the whole-volume batch
+// decode bit for bit — same sampler, same draw order, same union-find.
+func TestWindowGEVolumeBitIdentical(t *testing.T) {
+	const lanes = 192
+	for _, cfg := range []struct {
+		l, rounds, window, commit int
+		p, q                      float64
+	}{
+		{3, 2, 2, 1, 0.05, 0.05},
+		{4, 4, 4, 2, 0.03, 0.03},
+		{4, 4, 7, 3, 0.03, 0.06}, // asymmetric weights, oversized window
+		{5, 3, 5, 1, 0.08, 0.02},
+		{4, 1, 2, 1, 0.06, 0.04},
+	} {
+		v := spacetime.CachedVolume(cfg.l, cfg.rounds, cfg.p, cfg.q)
+		wh, wv := spacetime.Weights(cfg.p, cfg.q, cfg.l, cfg.rounds)
+		fx1, fz1 := v.BatchMemory(cfg.p, cfg.q, toric.DecoderUnionFind, lanes, frame.NewAggregateSampler(901, 7))
+		s := NewSession(cfg.l, cfg.window, cfg.commit, wh, wv)
+		fx2, fz2 := s.BatchMemory(cfg.rounds, cfg.p, cfg.q, lanes, frame.NewAggregateSampler(901, 7))
+		s.Close()
+		if !fx1.Equal(fx2) || !fz1.Equal(fz2) {
+			t.Fatalf("L=%d T=%d W=%d: windowed decode differs from whole-volume (X %d vs %d fails, Z %d vs %d)",
+				cfg.l, cfg.rounds, cfg.window, fx1.Weight(), fx2.Weight(), fz1.Weight(), fz2.Weight())
+		}
+	}
+}
+
+// TestWindowedMatchesVolumeRates is the acceptance physics: a sliding
+// window of W = 2L rounds (commit L) over a longer stream reproduces
+// the whole-volume logical failure rate within statistical error.
+func TestWindowedMatchesVolumeRates(t *testing.T) {
+	const samples = 6000
+	for _, cfg := range []struct {
+		l, rounds int
+		p         float64
+	}{
+		{4, 16, 0.02},
+		{4, 12, 0.03},
+		{5, 15, 0.02},
+	} {
+		w, c := DefaultWindow(cfg.l)
+		st := Memory(cfg.l, cfg.rounds, cfg.p, cfg.p, w, c, samples, 903)
+		vol := spacetime.Memory(cfg.l, cfg.rounds, cfg.p, cfg.p, toric.DecoderUnionFind, samples, 904)
+		fs, fv := st.FailRate(), vol.FailRate()
+		sigma := math.Sqrt(fs*(1-fs)/samples + fv*(1-fv)/samples)
+		if diff := math.Abs(fs - fv); diff > 4*sigma+0.015 {
+			t.Fatalf("L=%d T=%d p=q=%v: windowed %.4f vs volume %.4f (diff %.4f > %.4f)",
+				cfg.l, cfg.rounds, cfg.p, fs, fv, diff, 4*sigma+0.015)
+		}
+	}
+}
+
+// TestCommitBoundaryQuickcheck randomizes the commit boundary, window
+// size, rates and seeds, checking on every draw that (a) repeat runs
+// are bit-identical, (b) the result is GOMAXPROCS-invariant, and
+// (c) the committed correction cancels the accumulated error's
+// syndrome exactly in both sectors — the streaming soundness property.
+func TestCommitBoundaryQuickcheck(t *testing.T) {
+	rng := rand.New(rand.NewPCG(905, 906))
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for trial := 0; trial < 12; trial++ {
+		l := 3 + rng.IntN(3)
+		rounds := 1 + rng.IntN(14)
+		window := 2 + rng.IntN(8)
+		commit := 1 + rng.IntN(window-1)
+		p := rng.Float64() * 0.06
+		q := rng.Float64() * 0.06
+		lanes := 64 + rng.IntN(130)
+		seed := rng.Uint64()
+		wh, wv := spacetime.Weights(p, q, l, rounds)
+
+		run := func() (bits.Vec, bits.Vec) {
+			s := NewSession(l, window, commit, wh, wv)
+			defer s.Close()
+			return s.BatchMemory(rounds, p, q, lanes, frame.NewAggregateSampler(seed, 3))
+		}
+		fx1, fz1 := run()
+		fx2, fz2 := run()
+		if !fx1.Equal(fx2) || !fz1.Equal(fz2) {
+			t.Fatalf("trial %d (L=%d T=%d W=%d C=%d): repeat run differs", trial, l, rounds, window, commit)
+		}
+		runtime.GOMAXPROCS(1)
+		fx3, fz3 := run()
+		runtime.GOMAXPROCS(old)
+		if !fx1.Equal(fx3) || !fz1.Equal(fz3) {
+			t.Fatalf("trial %d (L=%d T=%d W=%d C=%d): GOMAXPROCS changes the result", trial, l, rounds, window, commit)
+		}
+
+		// Soundness: drive a decoder by hand so the accumulated error is
+		// inspectable, then check the residual is syndrome-free per lane.
+		s := NewSession(l, window, commit, wh, wv)
+		src := spacetime.NewLayerSource(l, p, q, lanes, frame.NewAggregateSampler(seed, 4))
+		d := s.NewDecoder(lanes)
+		lat := toric.Cached(l)
+		layerX := bits.NewVecs(lat.NumChecks(), lanes)
+		layerZ := bits.NewVecs(lat.NumChecks(), lanes)
+		for r := 0; r < rounds; r++ {
+			src.NextLayers(layerX, layerZ)
+			d.Push(layerX, layerZ)
+		}
+		src.CloseLayers(layerX, layerZ)
+		d.Finish(layerX, layerZ)
+		cumX, cumZ := src.ErrorPlanes()
+		corrX, corrZ := d.Corrections()
+		errv := bits.NewVec(lat.Qubits())
+		for lane := 0; lane < lanes; lane += 1 + rng.IntN(7) {
+			errv.Clear()
+			for e := 0; e < lat.Qubits(); e++ {
+				if cumX[e].Get(lane) {
+					errv.Flip(e)
+				}
+			}
+			errv.Xor(corrX[lane])
+			if len(lat.Syndrome(errv)) != 0 {
+				t.Fatalf("trial %d lane %d: X residual carries syndrome", trial, lane)
+			}
+			errv.Clear()
+			for e := 0; e < lat.Qubits(); e++ {
+				if cumZ[e].Get(lane) {
+					errv.Flip(e)
+				}
+			}
+			errv.Xor(corrZ[lane])
+			if len(lat.StarSyndrome(errv)) != 0 {
+				t.Fatalf("trial %d lane %d: Z residual carries syndrome", trial, lane)
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestMemoryDeterministicAndGOMAXPROCSInvariant: the streaming Monte
+// Carlo is a pure function of (samples, seed).
+func TestMemoryDeterministicAndGOMAXPROCSInvariant(t *testing.T) {
+	run := func() Result { return Memory(4, 12, 0.03, 0.03, 8, 4, 900, 907) }
+	a := run()
+	if b := run(); a != b {
+		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
+	}
+	old := runtime.GOMAXPROCS(1)
+	serial := run()
+	runtime.GOMAXPROCS(8)
+	parallel := run()
+	runtime.GOMAXPROCS(old)
+	if serial != parallel {
+		t.Fatalf("result depends on GOMAXPROCS: 1 → %+v, 8 → %+v", serial, parallel)
+	}
+}
+
+// TestThousandRoundStreamSmoke is the CI long-run smoke (race-enabled):
+// 1,000 rounds of sustained L=4 streaming must complete, slide
+// regularly, and keep the footprint flat.
+func TestThousandRoundStreamSmoke(t *testing.T) {
+	const (
+		l      = 4
+		lanes  = 64
+		rounds = 1000
+		p      = 0.02
+	)
+	w, c := DefaultWindow(l)
+	wh, wv := spacetime.Weights(p, p, l, w)
+	s := NewSession(l, w, c, wh, wv)
+	defer s.Close()
+	src := spacetime.NewLayerSource(l, p, p, lanes, frame.NewAggregateSampler(908, 1))
+	d := s.NewDecoder(lanes)
+	lat := toric.Cached(l)
+	layerX := bits.NewVecs(lat.NumChecks(), lanes)
+	layerZ := bits.NewVecs(lat.NumChecks(), lanes)
+	warm := 0
+	for r := 0; r < rounds; r++ {
+		src.NextLayers(layerX, layerZ)
+		d.Push(layerX, layerZ)
+		if r == 99 {
+			warm = d.FootprintBytes()
+		}
+	}
+	src.CloseLayers(layerX, layerZ)
+	d.Finish(layerX, layerZ)
+	if d.Slides() < (rounds-w)/c {
+		t.Fatalf("only %d slides over %d rounds", d.Slides(), rounds)
+	}
+	if final := d.FootprintBytes(); final > warm+warm/10 {
+		t.Fatalf("footprint grew: %d bytes at 100 rounds, %d at 1000", warm, final)
+	}
+}
+
+// TestConstantMemorySustained is the sustained-operation acceptance
+// criterion: a 10,000-round L=8 streaming run completes with a resident
+// decoder footprint that stays flat in the round count.
+func TestConstantMemorySustained(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-round sustained run (the 1,000-round smoke covers short mode)")
+	}
+	const (
+		l      = 8
+		lanes  = 64
+		rounds = 10000
+		p      = 0.01
+	)
+	w, c := DefaultWindow(l)
+	wh, wv := spacetime.Weights(p, p, l, w)
+	s := NewSession(l, w, c, wh, wv)
+	defer s.Close()
+	src := spacetime.NewLayerSource(l, p, p, lanes, frame.NewAggregateSampler(909, 1))
+	d := s.NewDecoder(lanes)
+	lat := toric.Cached(l)
+	layerX := bits.NewVecs(lat.NumChecks(), lanes)
+	layerZ := bits.NewVecs(lat.NumChecks(), lanes)
+	warm := 0
+	for r := 0; r < rounds; r++ {
+		src.NextLayers(layerX, layerZ)
+		d.Push(layerX, layerZ)
+		if r == 999 {
+			warm = d.FootprintBytes()
+		}
+	}
+	src.CloseLayers(layerX, layerZ)
+	d.Finish(layerX, layerZ)
+	final := d.FootprintBytes()
+	if d.Rounds() != rounds {
+		t.Fatalf("ingested %d rounds", d.Rounds())
+	}
+	if minSlides := (rounds - w) / c; d.Slides() < minSlides {
+		t.Fatalf("only %d slides over %d rounds", d.Slides(), rounds)
+	}
+	// The footprint after 10k rounds must match the 1k-round warm state
+	// up to defect-buffer jitter (a record-defect lane can grow its
+	// support slice by a few entries, never with the round count).
+	if final > warm+warm/10 {
+		t.Fatalf("footprint grew with rounds: %d bytes at 1k rounds, %d at 10k", warm, final)
+	}
+	t.Logf("L=%d sustained run: %d rounds, %d slides, %d resident bytes", l, rounds, d.Slides(), final)
+}
+
+// TestSustainedThresholdStreaming: the streaming sustained sweep shows
+// the few-percent crossing like the whole-volume experiment.
+func TestSustainedThresholdStreaming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo sweep")
+	}
+	cross, pts := SustainedThreshold(3, 5, []float64{0.01, 0.02, 0.03, 0.04, 0.05}, 3000, 911)
+	if math.IsNaN(cross) {
+		for _, pt := range pts {
+			t.Logf("p=q=%.3f: L=3 %.4f  L=5 %.4f", pt.P, pt.Small.FailRate(), pt.Large.FailRate())
+		}
+		t.Fatal("no streaming sustained crossing on the grid")
+	}
+	if cross < 0.005 || cross > 0.06 {
+		t.Fatalf("implausible streaming sustained threshold %.4f", cross)
+	}
+}

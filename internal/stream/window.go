@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"ftqc/internal/decoder"
+	"ftqc/internal/toric"
+)
+
+// Window is the immutable decode structure of one sliding-window
+// configuration: the open-window graphs of both sectors over W
+// difference layers of an L×L toric code, with a virtual future-
+// boundary node and a commit boundary at layer C.
+//
+// Node (c, t) of a window has index t·L² + c for buffered layers
+// t = 0…W−1 (0 is the oldest); the single boundary node is W·L². Edge
+// ids: horizontal edge (e, t) = t·nq + e (a data error at buffered
+// round t), then vertical edge (c, t) = W·nq + t·nc + c joining layers
+// t and t+1 — where t = W−1 joins the newest layer to the boundary
+// node instead (the stand-in for the first vertical edge outside the
+// window). Horizontal edges weigh WH, vertical and virtual edges WV,
+// exactly like the whole-volume graphs.
+type Window struct {
+	L, W, Commit int
+	WH, WV       int
+
+	lat    *toric.Lattice
+	nq, nc int
+	nodes  int // W·nc + 1, boundary last
+	horiz  int // W·nq horizontal edges (ids below this project to data qubits)
+	graphX *decoder.Graph
+	graphZ *decoder.Graph
+}
+
+// NewWindow builds the window structure for an L×L lattice, window
+// height W ≥ 2 layers, commit region 1 ≤ commit ≤ W−1, and the given
+// integer edge weights (see spacetime.Weights).
+func NewWindow(l, w, commit, wh, wv int) *Window {
+	if w < 2 {
+		panic("stream: window must hold at least two layers")
+	}
+	if commit < 1 || commit >= w {
+		panic("stream: commit region must satisfy 1 <= commit < window")
+	}
+	if wh < 1 || wv < 1 {
+		panic("stream: edge weights must be positive")
+	}
+	lat := toric.Cached(l)
+	win := &Window{
+		L: l, W: w, Commit: commit, WH: wh, WV: wv,
+		lat:   lat,
+		nq:    lat.Qubits(),
+		nc:    lat.NumChecks(),
+		nodes: w*lat.NumChecks() + 1,
+		horiz: w * lat.Qubits(),
+	}
+	win.graphX = win.buildGraph(lat.Graph())
+	win.graphZ = win.buildGraph(lat.DualGraph())
+	return win
+}
+
+// buildGraph extrudes a 2D sector graph into the open-window graph.
+func (w *Window) buildGraph(base *decoder.Graph) *decoder.Graph {
+	boundary := w.nodes - 1
+	ends := make([][2]int32, w.horiz+w.W*w.nc)
+	weights := make([]int32, len(ends))
+	for t := 0; t < w.W; t++ {
+		off := t * w.nq
+		layer := int32(t * w.nc)
+		for e := 0; e < w.nq; e++ {
+			a, b := base.Ends(e)
+			ends[off+e] = [2]int32{layer + int32(a), layer + int32(b)}
+			weights[off+e] = int32(w.WH)
+		}
+	}
+	for t := 0; t < w.W; t++ {
+		off := w.horiz + t*w.nc
+		for c := 0; c < w.nc; c++ {
+			up := int32(boundary)
+			if t+1 < w.W {
+				up = int32((t+1)*w.nc + c)
+			}
+			ends[off+c] = [2]int32{int32(t*w.nc + c), up}
+			weights[off+c] = int32(w.WV)
+		}
+	}
+	return decoder.NewBoundaryGraph(w.nodes, ends, weights, []int{boundary})
+}
+
+// Graph returns the primal (plaquette-sector) open-window graph.
+func (w *Window) Graph() *decoder.Graph { return w.graphX }
+
+// DualGraph returns the dual (star-sector) open-window graph.
+func (w *Window) DualGraph() *decoder.Graph { return w.graphZ }
+
+// Lattice returns the underlying 2D lattice.
+func (w *Window) Lattice() *toric.Lattice { return w.lat }

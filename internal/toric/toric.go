@@ -431,6 +431,7 @@ type decodeScratch struct {
 	uf      *decoder.UnionFind
 	ufDual  *decoder.UnionFind
 	matcher decoder.Matcher
+	grid    decoder.DefectGrid
 	pairs   [][2]int
 	alive   []int
 	defects []int
@@ -557,10 +558,11 @@ func (t *Lattice) matchFour(defects []int, scr *decodeScratch) [][2]int {
 }
 
 // mwpmMatch is the polynomial exact matcher on the torus distance graph.
-// Large defect sets go through the pruned (sparse-blossom) path: only
-// locally short edges enter the engine, with dual pricing restoring any
-// cutoff casualty, so the result weight is exactly the dense optimum at
-// a fraction of the edge count.
+// Large defect sets go through the pruned (sparse-blossom) path: a grid
+// bucket index over the defect positions enumerates ~O(n·k) locally
+// short candidate edges for the engine (instead of scanning all n²
+// pairs), with dual pricing restoring any cutoff casualty, so the
+// result weight is exactly the dense optimum at a fraction of the cost.
 func (t *Lattice) mwpmMatch(defects []int, scr *decodeScratch) [][2]int {
 	n := len(defects)
 	weight := func(i, j int) int64 {
@@ -568,7 +570,15 @@ func (t *Lattice) mwpmMatch(defects []int, scr *decodeScratch) [][2]int {
 	}
 	var idx [][2]int32
 	if n > decoder.SparseMatchMin {
-		idx = scr.matcher.MinWeightPairsPruned(n, weight, matchCutoff(t.L*t.L, n))
+		cutoff := matchCutoff(t.L*t.L, n)
+		scr.grid.Reset(t.L, int(cutoff), 0, 0, 1)
+		for _, d := range defects {
+			scr.grid.Add(d%t.L, d/t.L, 0)
+		}
+		idx = scr.matcher.MinWeightPairsIndexed(n, weight, cutoff,
+			func(i int, r int64, visit func(j int)) {
+				scr.grid.VisitWithin(i, int(r), 0, visit)
+			})
 	} else {
 		idx = scr.matcher.MinWeightPairs(n, weight)
 	}

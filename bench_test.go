@@ -263,6 +263,33 @@ func spacetimeDecodeConfigs() []toricDecodeConfig {
 	return out
 }
 
+// BenchmarkCircuitExtract — circuit-level syndrome extraction end to
+// end at the near-threshold operating point ε = 0.006 with T = L
+// rounds. Each iteration runs one 64-shot batch: the full extraction
+// circuit per round on the batch frame engine (prep, scheduled CNOTs,
+// measurement, idle — faults at every location), difference layers,
+// transpose, weighted per-lane decode over the diagonal-edge volume,
+// homology test, both sectors.
+func BenchmarkCircuitExtract(b *testing.B) {
+	for _, cfg := range circuitExtractConfigs() {
+		b.Run(cfg.name, func(b *testing.B) {
+			P := noise.Uniform(0.006)
+			for i := 0; i < b.N; i++ {
+				spacetime.CircuitMemory(cfg.l, cfg.l, P, cfg.kind, 64, 7)
+			}
+		})
+	}
+}
+
+func circuitExtractConfigs() []toricDecodeConfig {
+	var out []toricDecodeConfig
+	for _, l := range []int{4, 8, 16} {
+		out = append(out, toricDecodeConfig{fmt.Sprintf("L=%d", l), l, toric.DecoderUnionFind})
+	}
+	out = append(out, toricDecodeConfig{"L=4/exact", 4, toric.DecoderExact})
+	return out
+}
+
 // BenchmarkStreamDecode — the streaming sliding-window pipeline at the
 // sustained operating point p = q = 0.025 with T = 4L rounds through
 // W = 2L windows (commit L). Each iteration streams one 64-shot batch
@@ -345,6 +372,17 @@ func TestEmitToricBenchJSON(t *testing.T) {
 		report.Entries = append(report.Entries, entry{
 			Name: "BenchmarkSpacetimeDecode/" + cfg.name, L: cfg.l, Rounds: cfg.l,
 			P: 0.025, Q: 0.025, Decoder: decoderName[cfg.kind], ShotsPerOp: stShots,
+			NsPerOp: ns, NsPerShot: ns / stShots,
+		})
+	}
+	// Circuit-level series: the full extraction circuit per round with
+	// faults at every location, decoded over the diagonal-edge volume.
+	for _, cfg := range circuitExtractConfigs() {
+		P := noise.Uniform(0.006)
+		ns := measure(func() { spacetime.CircuitMemory(cfg.l, cfg.l, P, cfg.kind, stShots, 7) })
+		report.Entries = append(report.Entries, entry{
+			Name: "BenchmarkCircuitExtract/" + cfg.name, L: cfg.l, Rounds: cfg.l,
+			P: 0.006, Q: 0.006, Decoder: "circuit-" + decoderName[cfg.kind], ShotsPerOp: stShots,
 			NsPerOp: ns, NsPerShot: ns / stShots,
 		})
 	}

@@ -50,6 +50,18 @@
 // dual-lattice indexing, and the sustained p = q threshold exposed via
 // SustainedThreshold.
 //
+// Circuit-level syndrome extraction (the regime the paper's realistic
+// threshold estimates assume) is the internal/extract subsystem: the
+// actual extraction circuit — ancilla per check, PrepZ/PrepX, four
+// CNOTs in a fixed schedule, MeasZ/MeasX — runs on the batch frame
+// engine with faults at every location. Mid-round CNOT faults produce
+// correlated diagonal space-time defect pairs and ancilla hooks
+// propagate multi-qubit errors, so the decoding volumes gain a third
+// (diagonal) edge class with circuit-derived LLR weights, priced
+// exactly by the blossom matcher through a precomputed circuit metric
+// (CircuitMemory, CircuitSustainedThreshold — the measured crossing
+// sits well below the phenomenological one).
+//
 // Sustained operation — decoding forever in constant memory — is the
 // internal/stream subsystem: difference layers decode through a
 // sliding window of W rounds with a commit region (StreamingMemory,
@@ -284,6 +296,54 @@ func SustainedThreshold(l1, l2 int, grid []float64, samples int, seed uint64) (f
 // per round, and the union-find peeling pass exploits the locations.
 func ErasedSpacetimeMemory(l, rounds int, p, q, pe, qe float64, samples int, seed uint64) SpacetimeResult {
 	return spacetime.ErasedMemory(l, rounds, p, q, pe, qe, samples, seed)
+}
+
+// Circuit-level syndrome extraction (internal/extract + the diagonal-
+// edge decoding volumes of internal/spacetime).
+type (
+	// CircuitLayerSource runs the explicit extraction circuit — one
+	// ancilla per plaquette and per star, PrepZ/PrepX, four CNOTs in a
+	// fixed schedule, MeasZ/MeasX — on the batch frame engine with
+	// faults at every location, emitting difference-syndrome layers
+	// behind the same contract as the phenomenological source.
+	CircuitLayerSource = spacetime.CircuitLayerSource
+)
+
+// CircuitMemory runs the circuit-level noisy-extraction toric memory at
+// a uniform per-location error rate ε (every preparation, CNOT,
+// measurement and idle step faults with probability ε), decoded over
+// the diagonal-edge space-time volume with the union-find production
+// decoder. CNOT faults between a data qubit's two reads produce
+// correlated diagonal defect pairs; ancilla hooks propagate multi-qubit
+// errors — the full circuit model behind realistic (sub-percent)
+// thresholds.
+func CircuitMemory(l, rounds int, eps float64, samples int, seed uint64) SpacetimeResult {
+	return spacetime.CircuitMemory(l, rounds, noise.Uniform(eps), toric.DecoderUnionFind, samples, seed)
+}
+
+// CircuitMemoryWith is CircuitMemory under an explicit per-location
+// noise model and decoder choice (DecoderExact prices pairs with the
+// circuit-metric blossom matcher). Leakage is not modeled in the
+// extraction circuit: p.Leak is ignored — use ErasedSpacetimeMemory
+// for the leakage/erasure channels.
+func CircuitMemoryWith(l, rounds int, p NoiseParams, dec ToricDecoder, samples int, seed uint64) SpacetimeResult {
+	return spacetime.CircuitMemory(l, rounds, p, dec, samples, seed)
+}
+
+// CircuitSustainedThreshold sweeps the uniform per-location rate ε with
+// rounds = L for two code distances and returns the crossing of their
+// failure curves — the circuit-level sustained threshold, well below
+// the phenomenological p = q value.
+func CircuitSustainedThreshold(l1, l2 int, grid []float64, samples int, seed uint64) (float64, []ThresholdPoint) {
+	return spacetime.CircuitSustainedThreshold(l1, l2, grid, toric.DecoderUnionFind, samples, seed)
+}
+
+// StreamingCircuitMemory runs the circuit-level memory through the
+// sliding-window streaming decoder with the default W = 2L window: the
+// extraction circuit streams round by round and the diagonal-edge
+// windows decode and commit as they go.
+func StreamingCircuitMemory(l, rounds int, eps float64, samples int, seed uint64) StreamingResult {
+	return stream.CircuitMemory(l, rounds, noise.Uniform(eps), 0, 0, samples, seed)
 }
 
 // Streaming windowed decoding (sustained operation).

@@ -130,6 +130,23 @@ func TestFacadeSpacetime(t *testing.T) {
 	}
 }
 
+func TestFacadeCircuit(t *testing.T) {
+	r := CircuitMemory(3, 3, 0.004, 400, 5)
+	if r.Samples != 400 || r.L != 3 || r.T != 3 {
+		t.Fatalf("circuit memory result malformed: %+v", r)
+	}
+	if r.FailRate() > 0.5 {
+		t.Fatalf("L=3 circuit memory at eps=0.004 implausibly noisy: %+v", r)
+	}
+	sr := StreamingCircuitMemory(3, 8, 0.004, 300, 6)
+	if sr.Samples != 300 || sr.Window != 6 || sr.Commit != 3 {
+		t.Fatalf("streaming circuit result malformed: %+v", sr)
+	}
+	if _, pts := CircuitSustainedThreshold(2, 3, []float64{0.004}, 200, 7); len(pts) != 1 {
+		t.Fatalf("threshold sweep returned %d points", len(pts))
+	}
+}
+
 func TestFacadeStreaming(t *testing.T) {
 	r := StreamingMemory(4, 16, 0.02, 0.02, 1000, 13)
 	if r.Samples != 1000 || r.L != 4 || r.T != 16 || r.Window != 8 || r.Commit != 4 {

@@ -97,9 +97,18 @@
 // All decoders are pure functions of their inputs:
 //
 //   - Graph construction lays adjacency lists in ascending (node, edge)
-//     order; 3D space-time graphs are built layer-major (all horizontal
-//     edges of layer 0 … T−1, then all vertical edges), so edge ids and
-//     traversal order are fixed by (L, T) alone.
+//     order; 3D space-time graphs are built layer-major and class-major
+//     (all horizontal edges of layer 0 … T−1, then all vertical edges,
+//     then — circuit-level graphs — all diagonal edges, each class again
+//     layer-major), so edge ids and traversal order are fixed by (L, T)
+//     and the extraction schedule alone. Diagonal edges are ordinary
+//     weighted edges to every decoder pass: growth, merge, peeling and
+//     the boundary handling treat the three classes identically, and a
+//     wd = 0 construction is bit-identical to the two-class graph.
+//   - The exact matcher on circuit-level volumes prices pairs with a
+//     precomputed offset table (Dial's algorithm over the translation-
+//     invariant move set), itself a pure function of (L, T, weights,
+//     schedule) — no randomness enters the metric.
 //   - Growth sweeps visit clusters in first-touch order and increment
 //     support by exactly one half-step per boundary visit; weighted
 //     targets (2·weight) change when an edge crosses, never the visit

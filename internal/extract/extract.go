@@ -1,0 +1,263 @@
+// Package extract implements circuit-level syndrome extraction for the
+// toric code on the batch frame engine: one ancilla per plaquette and
+// per star, prepared, coupled to its four data qubits by CNOTs in a
+// fixed global schedule, and measured — with stochastic faults at every
+// circuit location (preparation, CNOT, measurement, idle storage), the
+// error model behind realistic threshold estimates (Steane
+// quant-ph/9809054; Gottesman arXiv:2210.15844 §"noise models").
+//
+// The phenomenological model of internal/spacetime flips each data
+// qubit and each measurement independently per round. The circuit model
+// is strictly richer:
+//
+//   - A CNOT fault can damage the data qubit *between* the two adjacent
+//     checks' reads of it, so one check sees the error this round and
+//     the other only next round — a correlated "diagonal" space-time
+//     defect pair that the decoding graph must carry as its own edge
+//     class (see the Schedule's early/late reader tables).
+//   - A fault on the ancilla mid-chain propagates through the remaining
+//     CNOTs onto several data qubits at once ("hook" errors): Z hooks
+//     from plaquette extraction land in the star sector, X hooks from
+//     star extraction in the plaquette sector.
+//   - Preparation and measurement faults reproduce the phenomenological
+//     measurement-flip channel exactly (a vertical defect pair).
+//
+// A Source satisfies the same layer-source contract as
+// spacetime.LayerSource (NextLayers / CloseLayers / Windings), so the
+// whole-volume batch decode and the streaming sliding-window pipeline
+// drain it unchanged; only the decoding graph differs (diagonal edges,
+// circuit-derived weights — built by internal/spacetime from this
+// package's Schedule).
+package extract
+
+import (
+	"sync"
+
+	"ftqc/internal/bits"
+	"ftqc/internal/frame"
+	"ftqc/internal/noise"
+	"ftqc/internal/toric"
+)
+
+// Schedule is the fixed CNOT ordering of one extraction round on an L×L
+// toric lattice. Each check couples to its four data edges over four
+// global steps (every plaquette runs its k-th CNOT in step k, then every
+// star — the step-major order is conflict-free because each step's
+// check→edge map is injective). The ordering determines which of a data
+// edge's two readers sees a mid-round error first, and therefore the
+// orientation of the diagonal space-time edges:
+//
+//	plaquette (x,y): h(x,y), v(x,y), v(x+1,y), h(x,y+1)
+//	star      (x,y): h(x,y), v(x,y), v(x,y−1), h(x−1,y)
+//
+// DiagX[e] and DiagZ[e] list the {late, early} reader checks of data
+// edge e in the plaquette and star sectors: an error on e created after
+// the early read is seen by the late reader this round and by the early
+// reader next round — the diagonal edge (late, t)—(early, t+1).
+type Schedule struct {
+	L     int
+	Plaq  [][4]int   // data-edge CNOT order per plaquette
+	Star  [][4]int   // data-edge CNOT order per star
+	DiagX [][2]int32 // per data edge: {late, early} plaquette readers
+	DiagZ [][2]int32 // per data edge: {late, early} star readers
+}
+
+// schedCache memoizes schedules per lattice size (immutable after build).
+var schedCache sync.Map // int → *Schedule
+
+// Sched returns the memoized extraction schedule for an L×L lattice.
+func Sched(l int) *Schedule {
+	if v, ok := schedCache.Load(l); ok {
+		return v.(*Schedule)
+	}
+	lat := toric.Cached(l)
+	nc, nq := lat.NumChecks(), lat.Qubits()
+	s := &Schedule{
+		L:    l,
+		Plaq: make([][4]int, nc),
+		Star: make([][4]int, nc),
+	}
+	for y := 0; y < l; y++ {
+		for x := 0; x < l; x++ {
+			c := y*l + x
+			s.Plaq[c] = [4]int{lat.HEdge(x, y), lat.VEdge(x, y), lat.VEdge(x+1, y), lat.HEdge(x, y+1)}
+			s.Star[c] = [4]int{lat.HEdge(x, y), lat.VEdge(x, y), lat.VEdge(x, y-1), lat.HEdge(x-1, y)}
+		}
+	}
+	// Invert the per-check orders into per-edge (step, check) reader
+	// pairs, then sort each edge's two readers into {late, early}.
+	s.DiagX = readerPairs(s.Plaq, nq)
+	s.DiagZ = readerPairs(s.Star, nq)
+	v, _ := schedCache.LoadOrStore(l, s)
+	return v.(*Schedule)
+}
+
+// readerPairs derives, for every data edge, its {late, early} reader
+// checks from the per-check step orders.
+func readerPairs(orders [][4]int, nq int) [][2]int32 {
+	type reader struct{ check, step int }
+	first := make([]reader, nq)
+	second := make([]reader, nq)
+	for i := range first {
+		first[i].check = -1
+		second[i].check = -1
+	}
+	for c, edges := range orders {
+		for step, e := range edges {
+			if first[e].check < 0 {
+				first[e] = reader{c, step}
+			} else {
+				second[e] = reader{c, step}
+			}
+		}
+	}
+	pairs := make([][2]int32, nq)
+	for e := range pairs {
+		a, b := first[e], second[e]
+		if a.check < 0 || b.check < 0 || a.step == b.step {
+			panic("extract: schedule does not read every edge twice at distinct steps")
+		}
+		if a.step < b.step {
+			a, b = b, a // a = late, b = early
+		}
+		pairs[e] = [2]int32{int32(a.check), int32(b.check)}
+	}
+	return pairs
+}
+
+// Source runs the circuit-level extraction round by round for a batch of
+// lanes and emits difference-syndrome layers — the same contract as the
+// phenomenological spacetime.LayerSource, so either model can feed the
+// whole-volume and streaming decoders. Qubit layout on the simulator:
+// data edges 0…2L²−1 (lattice edge ids), plaquette ancilla 2L²+c, star
+// ancilla 2L²+L²+c.
+type Source struct {
+	lat    *toric.Lattice
+	sch    *Schedule
+	sim    *frame.BatchSim
+	lanes  int
+	rounds int
+	diff   *toric.SyndromeDiff // check-major observed-syndrome generations
+}
+
+// NewSource returns a circuit-level source over the L×L lattice for
+// `lanes` parallel shots under the per-location noise model P, drawing
+// from smp (leakage is not modeled in the extraction circuit: P.Leak is
+// ignored and cleared).
+func NewSource(l int, P noise.Params, lanes int, smp frame.Sampler) *Source {
+	lat := toric.Cached(l)
+	P.Leak = 0
+	nc := lat.NumChecks()
+	return &Source{
+		lat:   lat,
+		sch:   Sched(l),
+		sim:   frame.NewBatch(lat.Qubits()+2*nc, lanes, P, smp),
+		lanes: lanes,
+		diff:  toric.NewSyndromeDiff(nc, lanes),
+	}
+}
+
+// L returns the lattice size the source extracts on.
+func (s *Source) L() int { return s.lat.L }
+
+// Lanes returns the batch width.
+func (s *Source) Lanes() int { return s.lanes }
+
+// Rounds returns how many noisy rounds have been emitted.
+func (s *Source) Rounds() int { return s.rounds }
+
+// Sim exposes the underlying batch simulator for fault-injection
+// harnesses (ArmTrigger single-fault enumeration, InjectX/InjectZ).
+func (s *Source) Sim() *frame.BatchSim { return s.sim }
+
+// Schedule returns the source's (immutable) extraction schedule.
+func (s *Source) Schedule() *Schedule { return s.sch }
+
+func (s *Source) ancP(c int) int { return s.lat.Qubits() + c }
+func (s *Source) ancS(c int) int { return s.lat.Qubits() + s.lat.NumChecks() + c }
+
+// NextLayers runs one full extraction round — idle storage on the data
+// qubits, then the plaquette sector (PrepZ, four CNOT steps with data as
+// control, MeasZ), then the star sector (PrepX, four CNOT steps with the
+// ancilla as control, MeasX) — and writes the round's difference-
+// syndrome layers into layerX and layerZ (check-major, NumChecks
+// vectors each). Every gate carries its noise.Params fault channel, so
+// any experiment built on a source is a pure function of the sampler
+// stream.
+func (s *Source) NextLayers(layerX, layerZ []bits.Vec) {
+	nq, nc := s.lat.Qubits(), s.lat.NumChecks()
+	// The idle window (ancilla prep/measure time): one storage step per
+	// data qubit per round, before any read — a same-round ("horizontal")
+	// error for both sectors. Called unconditionally so the location
+	// numbering the fault-injection harnesses script against does not
+	// depend on whether P.Storage is zero.
+	for e := 0; e < nq; e++ {
+		s.sim.Storage(e)
+	}
+	// Plaquette (Z-check) sector: data X errors propagate control→target
+	// into the ancilla; MeasZ reads the accumulated X frame. A Z fault on
+	// the ancilla mid-chain hooks back onto the remaining data controls.
+	curX := s.diff.CurX()
+	for c := 0; c < nc; c++ {
+		s.sim.PrepZ(s.ancP(c))
+	}
+	for step := 0; step < 4; step++ {
+		for c := 0; c < nc; c++ {
+			s.sim.CNOT(s.sch.Plaq[c][step], s.ancP(c))
+		}
+	}
+	for c := 0; c < nc; c++ {
+		s.sim.MeasZInto(s.ancP(c), curX[c])
+	}
+	// Star (X-check) sector: data Z errors propagate target→control into
+	// the ancilla; MeasX reads the accumulated Z frame. An X fault on the
+	// ancilla mid-chain hooks forward onto the remaining data targets.
+	curZ := s.diff.CurZ()
+	for c := 0; c < nc; c++ {
+		s.sim.PrepX(s.ancS(c))
+	}
+	for step := 0; step < 4; step++ {
+		for c := 0; c < nc; c++ {
+			s.sim.CNOT(s.ancS(c), s.sch.Star[c][step])
+		}
+	}
+	for c := 0; c < nc; c++ {
+		s.sim.MeasXInto(s.ancS(c), curZ[c])
+	}
+	s.diff.Emit(layerX, layerZ)
+	s.rounds++
+}
+
+// CloseLayers writes the closing perfect round's difference layers: the
+// true syndromes of the accumulated data-qubit errors, computed directly
+// from the simulator's frame planes — no circuit, no faults.
+func (s *Source) CloseLayers(layerX, layerZ []bits.Vec) {
+	nq := s.lat.Qubits()
+	s.lat.PlaquetteSyndromePlanes(s.sim.PlanesX(nq), s.diff.CurX())
+	s.lat.StarSyndromePlanes(s.sim.PlanesZ(nq), s.diff.CurZ())
+	s.diff.Emit(layerX, layerZ)
+}
+
+// Windings fills the winding parities of the accumulated data-error
+// chains: the primal pair for the X sector, the dual pair for the Z
+// sector (residual ancilla frames are irrelevant — ancillas are
+// re-prepared every round).
+func (s *Source) Windings(pX1, pX2, pZ1, pZ2 bits.Vec) {
+	nq := s.lat.Qubits()
+	s.lat.WindingPlanes(s.sim.PlanesX(nq), pX1, pX2)
+	s.lat.WindingPlanesDual(s.sim.PlanesZ(nq), pZ1, pZ2)
+}
+
+// ErrorPlanes returns the live accumulated data-error planes of the two
+// sectors (edge-major, one vector per qubit edge). Read-only views for
+// validation harnesses — callers must not modify them.
+func (s *Source) ErrorPlanes() (x, z []bits.Vec) {
+	nq := s.lat.Qubits()
+	return s.sim.PlanesX(nq), s.sim.PlanesZ(nq)
+}
+
+// LocationsPerRound returns the number of fault locations one extraction
+// round executes (the ArmTrigger coordinate system of the single-fault
+// enumeration): 2L² storage + 2 sectors × (prep + 4 CNOTs + meas) per
+// check.
+func LocationsPerRound(l int) int { return 2*l*l + 12*l*l }

@@ -110,6 +110,14 @@ func (b *BatchSim) PlaneX(q int) bits.Vec { return b.fx[q].Clone() }
 // PlaneZ returns a copy of qubit q's Z-frame plane.
 func (b *BatchSim) PlaneZ(q int) bits.Vec { return b.fz[q].Clone() }
 
+// PlanesX returns the live X-frame planes of qubits [0, n) — read-only
+// views for syndrome computation and validation harnesses; callers must
+// not modify them.
+func (b *BatchSim) PlanesX(n int) []bits.Vec { return b.fx[:n] }
+
+// PlanesZ returns the live Z-frame planes of qubits [0, n) (read-only).
+func (b *BatchSim) PlanesZ(n int) []bits.Vec { return b.fz[:n] }
+
 // InjectX deterministically toggles an X error on one lane.
 func (b *BatchSim) InjectX(q, lane int) { b.fx[q].Flip(lane) }
 
@@ -296,17 +304,43 @@ func (b *BatchSim) PrepZ(q int) {
 	b.FaultCount += b.t2.Weight()
 }
 
+// PrepX resets active lanes of q to |+⟩; a faulty preparation leaves |−⟩
+// (a Z error).
+func (b *BatchSim) PrepX(q int) {
+	b.fx[q].AndNot(b.active)
+	b.fz[q].AndNot(b.active)
+	b.lk[q].AndNot(b.active)
+	b.point1(q)
+	b.smp.Bernoulli(b.P.Prep, b.active, b.t2)
+	b.fz[q].Or(b.t2)
+	b.FaultCount += b.t2.Weight()
+}
+
 // MeasZ measures q on every active lane and returns the plane of flip
 // bits relative to the noiseless reference (bits outside the active mask
 // are 0). Leaked lanes read a coin flip.
-func (b *BatchSim) MeasZ(q int) bits.Vec { return b.measure(q, b.fx[q]) }
+func (b *BatchSim) MeasZ(q int) bits.Vec {
+	out := bits.NewVec(b.w)
+	b.measure(q, b.fx[q], out)
+	return out
+}
 
 // MeasX measures in the Hadamard basis: the flip bit reads the Z frame.
-func (b *BatchSim) MeasX(q int) bits.Vec { return b.measure(q, b.fz[q]) }
-
-func (b *BatchSim) measure(q int, plane bits.Vec) bits.Vec {
-	b.point1(q)
+func (b *BatchSim) MeasX(q int) bits.Vec {
 	out := bits.NewVec(b.w)
+	b.measure(q, b.fz[q], out)
+	return out
+}
+
+// MeasZInto is MeasZ writing the flip plane into out (len = Lanes) — the
+// allocation-free form the syndrome-extraction hot loop uses.
+func (b *BatchSim) MeasZInto(q int, out bits.Vec) { b.measure(q, b.fx[q], out) }
+
+// MeasXInto is MeasX writing the flip plane into out.
+func (b *BatchSim) MeasXInto(q int, out bits.Vec) { b.measure(q, b.fz[q], out) }
+
+func (b *BatchSim) measure(q int, plane, out bits.Vec) {
+	b.point1(q)
 	out.CopyFrom(plane)
 	out.And(b.active)
 	lm := b.t3
@@ -320,7 +354,6 @@ func (b *BatchSim) measure(q int, plane bits.Vec) bits.Vec {
 	b.smp.Bernoulli(b.P.Meas, b.active, b.t2)
 	out.Xor(b.t2)
 	b.FaultCount += b.t2.Weight()
-	return out
 }
 
 // Storage applies one idle step of storage noise to q.

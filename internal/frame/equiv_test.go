@@ -10,6 +10,7 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"ftqc/internal/bits"
 	"ftqc/internal/circuit"
 	"ftqc/internal/noise"
 )
@@ -137,6 +138,11 @@ func TestBatchMatchesScalarGateByGate(t *testing.T) {
 		s.PrepZ(0)
 	}
 	check("PrepZ")
+	b.PrepX(3)
+	for _, s := range sims {
+		s.PrepX(3)
+	}
+	check("PrepX")
 	b.H(0)
 	for _, s := range sims {
 		s.H(0)
@@ -182,10 +188,18 @@ func TestBatchMatchesScalarGateByGate(t *testing.T) {
 		}
 	}
 	check("MeasZ")
-	mx := b.MeasX(2)
+	mx := bits.NewVec(lanes)
+	b.MeasXInto(2, mx)
 	for lane, s := range sims {
 		if got := s.MeasX(2); got != mx.Get(lane) {
-			t.Fatalf("MeasX: lane %d batch=%v scalar=%v", lane, mx.Get(lane), got)
+			t.Fatalf("MeasXInto: lane %d batch=%v scalar=%v", lane, mx.Get(lane), got)
+		}
+	}
+	check("MeasXInto")
+	mx0 := b.MeasX(0)
+	for lane, s := range sims {
+		if got := s.MeasX(0); got != mx0.Get(lane) {
+			t.Fatalf("MeasX: lane %d batch=%v scalar=%v", lane, mx0.Get(lane), got)
 		}
 	}
 	check("MeasX")

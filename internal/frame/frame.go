@@ -181,6 +181,19 @@ func (s *Sim) PrepZ(q int) {
 	}
 }
 
+// PrepX resets the qubit to |+⟩, clearing its frame and leakage; a faulty
+// preparation leaves a Z error (the state |−⟩).
+func (s *Sim) PrepX(q int) {
+	s.fx.Set(q, false)
+	s.fz.Set(q, false)
+	s.leaked.Set(q, false)
+	s.point(q)
+	if s.rng.Float64() < s.P.Prep {
+		s.fz.Set(q, true)
+		s.FaultCount++
+	}
+}
+
 // MeasZ destructively measures the qubit in the computational basis and
 // returns whether the outcome is flipped relative to the noiseless
 // reference. A leaked qubit yields a coin flip (its reading carries no

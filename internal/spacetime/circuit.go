@@ -1,0 +1,247 @@
+package spacetime
+
+// Circuit-level syndrome extraction in the space-time volume.
+//
+// internal/extract runs the actual extraction circuit (ancilla per
+// check, PrepZ/PrepX, four CNOTs in a fixed schedule, MeasZ/MeasX) on
+// the batch frame engine with faults at every location. This file wires
+// that source into the decoding subsystem: the effective per-edge-class
+// fault probabilities of the circuit model (CircuitProbs), their integer
+// LLR weights (WeightsCircuit), the diagonal-edge decoding volume's
+// exact metric (circuitMetric), and the Monte Carlo entry points
+// (CircuitMemory, CircuitSustainedThreshold).
+
+import (
+	"math"
+
+	"ftqc/internal/bits"
+	"ftqc/internal/extract"
+	"ftqc/internal/frame"
+	"ftqc/internal/noise"
+	"ftqc/internal/toric"
+)
+
+// CircuitLayerSource is the circuit-level extraction source — the
+// drop-in replacement for the phenomenological LayerSource behind the
+// shared LayerFeed contract.
+type CircuitLayerSource = extract.Source
+
+// NewCircuitLayerSource returns a circuit-level source over the L×L
+// lattice for `lanes` parallel shots under the per-location noise model
+// P, drawing from smp.
+func NewCircuitLayerSource(l int, P noise.Params, lanes int, smp frame.Sampler) *CircuitLayerSource {
+	return extract.NewSource(l, P, lanes, smp)
+}
+
+// CircuitProbs estimates the per-round effective probabilities of the
+// three space-time edge classes under the circuit-level extraction
+// model — the leading-order fault counting that replaces the
+// phenomenological (p, q) pair. A faulty two-qubit gate draws one of 15
+// nontrivial Paulis, so each qubit of the pair carries the relevant
+// component with probability 8/15·Gate2. Per data edge per round:
+//
+//   - ph (horizontal — seen by both readers the same round): the idle
+//     storage step (X or Y: 2/3·Storage), the two other-sector CNOTs
+//     touching the qubit, the late same-sector CNOT (its fault lands
+//     after both reads), and the mid-chain ancilla hooks propagated
+//     onto the qubit (~3 CNOT-equivalents): ≈ 2/3·Storage + 6·8/15·Gate2.
+//   - pd (diagonal — created between the two reads): the early
+//     same-sector CNOT's fault on the data qubit: ≈ 8/15·Gate2.
+//   - pv (vertical — a measurement flip with no data error): the
+//     ancilla's preparation and readout faults plus the ancilla
+//     component of its four CNOTs: ≈ Prep + Meas + 4·8/15·Gate2.
+//
+// The counting is symmetric between the sectors, so one triple serves
+// both graphs.
+func CircuitProbs(P noise.Params) (ph, pv, pd float64) {
+	cx := 8.0 / 15.0 * P.Gate2
+	ph = 2.0/3.0*P.Storage + 6*cx
+	pv = P.Prep + P.Meas + 4*cx
+	pd = cx
+	return ph, pv, pd
+}
+
+// WeightsCircuit converts a circuit-level noise model into the three
+// integer edge weights of the diagonal volume, the three-class
+// extension of Weights: w ∝ log((1−p)/p) per class, scaled so the
+// largest is weightScale, capped so no impossible channel beats the
+// detour that avoids it (a diagonal is one horizontal plus one vertical
+// step, and vice versa), and gcd-normalized.
+func WeightsCircuit(P noise.Params, l, rounds int) (wh, wv, wd int) {
+	ph, pv, pd := CircuitProbs(P)
+	lh := clampLLR(ph)
+	lv := clampLLR(pv)
+	ld := clampLLR(pd)
+	m := math.Max(lh, math.Max(lv, ld))
+	scale := func(x float64) int {
+		w := int(math.Round(weightScale * x / m))
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+	wh, wv, wd = scale(lh), scale(lv), scale(ld)
+	// Detour caps: beyond these a channel is indistinguishable from
+	// "never" — the cheapest path around it is always taken (a diagonal
+	// is one horizontal plus one vertical step; a vertical is a diagonal
+	// minus a horizontal; a horizontal, a diagonal minus a vertical).
+	if lim := wh + wv + 1; wd > lim {
+		wd = lim
+	}
+	if lim := min(wh*l, wd+wh) + 1; wv > lim {
+		wv = lim
+	}
+	if lim := min(wv*rounds, wd+wv) + 1; wh > lim {
+		wh = lim
+	}
+	g := gcd(gcd(wh, wv), wd)
+	return wh / g, wv / g, wd / g
+}
+
+// CachedCircuitVolumeFor returns the memoized diagonal-edge volume with
+// weights derived from the noise model via WeightsCircuit.
+func CachedCircuitVolumeFor(l, rounds int, P noise.Params) *Volume {
+	wh, wv, wd := WeightsCircuit(P, l, rounds)
+	return CachedCircuitVolume(l, rounds, wh, wv, wd)
+}
+
+// metric returns the circuit-metric tables of the two sectors, built on
+// first use: only the exact matcher reads them, so union-find volumes —
+// including every residual-height closing volume a circuit stream
+// caches — never run the Dijkstra builds or hold the tables.
+func (v *Volume) metric() (distX, distZ []int64) {
+	v.distOnce.Do(func() {
+		v.distX = circuitMetric(v.L, v.T, v.WH, v.WV, v.WD, v.diagX)
+		v.distZ = circuitMetric(v.L, v.T, v.WH, v.WV, v.WD, v.diagZ)
+	})
+	return v.distX, v.distZ
+}
+
+// circuitMetric builds the all-offsets shortest-path table of a
+// diagonal-edge space-time graph by Dial's algorithm on the offset
+// lattice: entry ((dy·L+dx)·(2T+1) + dt+T) is the weighted graph
+// distance between two detectors displaced by (dx, dy) on the torus and
+// dt rounds in time. Moves: ±x/±y cost wh, ±t cost wv, and the
+// schedule's diagonal steps (the per-edge late→early reader offsets,
+// advancing one lattice step and one round together) cost wd. Both
+// check grids are L×L tori with ±x/±y adjacency, so one builder serves
+// either sector given its diagonal table. Time is truncated at |dt| ≤ T
+// — paths through the volume never leave it.
+func circuitMetric(l, rounds, wh, wv, wd int, diag [][2]int32) []int64 {
+	nc := l * l
+	span := 2*rounds + 1
+	// The distinct spatial offsets of the diagonal moves (late → early,
+	// dt = +1): two per schedule.
+	type off struct{ dx, dy int }
+	seen := map[off]bool{}
+	var diags []off
+	for _, pr := range diag {
+		late, early := int(pr[0]), int(pr[1])
+		o := off{mod(early%l-late%l, l), mod(early/l-late/l, l)}
+		if !seen[o] {
+			seen[o] = true
+			diags = append(diags, o)
+		}
+	}
+	dist := make([]int64, nc*span)
+	for i := range dist {
+		dist[i] = -1
+	}
+	idx := func(dx, dy, dt int) int { return (dy*l+dx)*span + dt + rounds }
+	maxW := wh
+	if wv > maxW {
+		maxW = wv
+	}
+	if wd > maxW {
+		maxW = wd
+	}
+	// Every node is reachable within wh·L + wv·2T (spatial walk + time
+	// walk), so longer tentative paths can be dropped: the bucket array
+	// bounds the search.
+	buckets := make([][]int32, maxW*(l+2*rounds)+1)
+	push := func(dx, dy, dt int, d int64) {
+		if d >= int64(len(buckets)) {
+			return
+		}
+		i := idx(dx, dy, dt)
+		if dist[i] < 0 || d < dist[i] {
+			dist[i] = d
+			buckets[d] = append(buckets[d], int32(i))
+		}
+	}
+	push(0, 0, 0, 0)
+	for d := int64(0); d < int64(len(buckets)); d++ {
+		for k := 0; k < len(buckets[d]); k++ { // pushes may append to the current bucket
+			i := int(buckets[d][k])
+			if dist[i] != d {
+				continue // stale entry
+			}
+			dt := i%span - rounds
+			dx := (i / span) % l
+			dy := i / span / l
+			push(mod(dx+1, l), dy, dt, d+int64(wh))
+			push(mod(dx-1, l), dy, dt, d+int64(wh))
+			push(dx, mod(dy+1, l), dt, d+int64(wh))
+			push(dx, mod(dy-1, l), dt, d+int64(wh))
+			if dt < rounds {
+				push(dx, dy, dt+1, d+int64(wv))
+			}
+			if dt > -rounds {
+				push(dx, dy, dt-1, d+int64(wv))
+			}
+			for _, o := range diags {
+				if dt < rounds {
+					push(mod(dx+o.dx, l), mod(dy+o.dy, l), dt+1, d+int64(wd))
+				}
+				if dt > -rounds {
+					push(mod(dx-o.dx, l), mod(dy-o.dy, l), dt-1, d+int64(wd))
+				}
+			}
+		}
+		buckets[d] = nil
+	}
+	return dist
+}
+
+func mod(a, l int) int { return ((a % l) + l) % l }
+
+// CircuitMemory runs the circuit-level noisy-extraction memory Monte
+// Carlo: `rounds` full extraction circuits per shot with faults at
+// every location of the model P, decoded over the diagonal-edge volume
+// with WeightsCircuit LLR weights, fanned out over the CPUs in
+// deterministic seed-per-chunk batches. Result.P and Result.Q report
+// the representative Gate2 and Meas rates of the model.
+func CircuitMemory(l, rounds int, P noise.Params, kind toric.DecoderKind, samples int, seed uint64) Result {
+	v := CachedCircuitVolumeFor(l, rounds, P)
+	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
+		return v.BatchMemoryFrom(extract.NewSource(l, P, lanes, smp), kind)
+	})
+	return Result{L: l, T: rounds, P: P.Gate2, Q: P.Meas, Samples: samples,
+		FailX: fx, FailZ: fz, Failures: fa}
+}
+
+// CircuitSustainedThreshold sweeps the uniform per-location error rate ε
+// (noise.Uniform: every preparation, CNOT, measurement and idle step
+// faults with probability ε) with T = L extraction rounds for two code
+// distances and estimates where the failure curves cross — the
+// circuit-level sustained threshold. Because each data qubit sees ~4
+// two-qubit gates plus an idle step per round and each measurement ~6
+// fault paths, the crossing sits well below the phenomenological p = q
+// value (sub-percent ε against ≈ 0.027). Returns NaN when the grid
+// shows no crossing, plus the measured points either way.
+func CircuitSustainedThreshold(l1, l2 int, grid []float64, kind toric.DecoderKind, samples int, seed uint64) (float64, []ThresholdPoint) {
+	pts := make([]ThresholdPoint, len(grid))
+	small := make([]float64, len(grid))
+	large := make([]float64, len(grid))
+	for i, eps := range grid {
+		P := noise.Uniform(eps)
+		pts[i] = ThresholdPoint{
+			P:     eps,
+			Small: CircuitMemory(l1, l1, P, kind, samples, seed+uint64(2*i)),
+			Large: CircuitMemory(l2, l2, P, kind, samples, seed+uint64(2*i+1)),
+		}
+		small[i] = pts[i].Small.FailRate()
+		large[i] = pts[i].Large.FailRate()
+	}
+	return CrossingEstimate(grid, small, large), pts
+}

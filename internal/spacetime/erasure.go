@@ -60,10 +60,11 @@ func (s *LayerSource) NextLayersErased(pe, qe float64, layerX, layerZ, eraH, los
 		s.smp.Bernoulli(0.5, eraH[e], s.tmp)
 		s.cumZ[e].Xor(s.tmp)
 	}
-	s.lat.PlaquetteSyndromePlanes(s.cumX, s.curX)
+	curX := s.diff.CurX()
+	s.lat.PlaquetteSyndromePlanes(s.cumX, curX)
 	for c := 0; c < nc; c++ {
 		s.smp.Bernoulli(s.q, s.active, s.tmp)
-		s.curX[c].Xor(s.tmp)
+		curX[c].Xor(s.tmp)
 	}
 	for c := 0; c < nc; c++ {
 		s.smp.Bernoulli(qe, s.active, lostX[c])
@@ -71,23 +72,24 @@ func (s *LayerSource) NextLayersErased(pe, qe float64, layerX, layerZ, eraH, los
 	for c := 0; c < nc; c++ {
 		// A lost measurement reads as a fair coin, whatever the truth.
 		s.smp.Coin(lostX[c], s.coin)
-		s.curX[c].AndNot(lostX[c])
-		s.curX[c].Or(s.coin)
+		curX[c].AndNot(lostX[c])
+		curX[c].Or(s.coin)
 	}
-	s.lat.StarSyndromePlanes(s.cumZ, s.curZ)
+	curZ := s.diff.CurZ()
+	s.lat.StarSyndromePlanes(s.cumZ, curZ)
 	for c := 0; c < nc; c++ {
 		s.smp.Bernoulli(s.q, s.active, s.tmp)
-		s.curZ[c].Xor(s.tmp)
+		curZ[c].Xor(s.tmp)
 	}
 	for c := 0; c < nc; c++ {
 		s.smp.Bernoulli(qe, s.active, lostZ[c])
 	}
 	for c := 0; c < nc; c++ {
 		s.smp.Coin(lostZ[c], s.coin)
-		s.curZ[c].AndNot(lostZ[c])
-		s.curZ[c].Or(s.coin)
+		curZ[c].AndNot(lostZ[c])
+		curZ[c].Or(s.coin)
 	}
-	s.emitDiff(layerX, layerZ)
+	s.diff.Emit(layerX, layerZ)
 	s.rounds++
 }
 
@@ -167,8 +169,8 @@ func (v *Volume) decodeErasedLanes(syn, era, lost []bits.Vec, p1, p2, fails bits
 				}
 				scr.corr.Clear()
 				uf.DecodeErased(scr.defects, scr.erased, func(e int) {
-					if e < v.horiz {
-						scr.corr.Flip(e % v.nq)
+					if q, ok := v.ProjectEdge(e); ok {
+						scr.corr.Flip(q)
 					}
 				})
 				var c1, c2 bool

@@ -6,6 +6,7 @@ import (
 
 	"ftqc/internal/bits"
 	"ftqc/internal/decoder"
+	"ftqc/internal/extract"
 	"ftqc/internal/frame"
 	"ftqc/internal/toric"
 )
@@ -14,19 +15,31 @@ import (
 // T noisy syndrome-extraction rounds plus one perfect closing round:
 // (T+1)·L² detectors per sector, horizontal (space-like) edges of weight
 // WH for data errors and vertical (time-like) edges of weight WV for
-// measurement errors. It is immutable after construction and shared
-// across workers; per-worker decoder state lives in the scratch pool.
+// measurement errors. Circuit-level volumes (NewCircuitVolume) add a
+// third class: diagonal edges of weight WD joining a data edge's late
+// reader at layer t to its early reader at layer t+1 — the correlated
+// defect pair a mid-round CNOT fault produces. It is immutable after
+// construction and shared across workers; per-worker decoder state
+// lives in the scratch pool.
 type Volume struct {
-	L, T   int
-	WH, WV int
+	L, T       int
+	WH, WV, WD int // WD = 0: no diagonal edges (phenomenological volume)
 
-	lat    *toric.Lattice
-	nq     int            // data qubits, 2L²
-	nc     int            // checks per layer, L²
-	nodes  int            // (T+1)·L²
-	horiz  int            // horizontal edge count, T·2L² (ids below this project to data edges)
-	graphX *decoder.Graph // primal (plaquette) sector
-	graphZ *decoder.Graph // dual (star) sector
+	lat     *toric.Lattice
+	nq      int // data qubits, 2L²
+	nc      int // checks per layer, L²
+	nodes   int // (T+1)·L²
+	horiz   int // horizontal edge count, T·2L² (ids below this project to data edges)
+	diagOff int // first diagonal edge id, horiz + T·L² (ids at or above project to data edges)
+	// Per-sector {late, early} reader checks of each data edge (nil when
+	// WD = 0), and the circuit-metric distance tables the exact matcher
+	// prices pairs with — built lazily on first exact decode (see
+	// metric), so union-find-only workloads never pay for them.
+	diagX, diagZ [][2]int32
+	distOnce     sync.Once
+	distX, distZ []int64
+	graphX       *decoder.Graph // primal (plaquette) sector
+	graphZ       *decoder.Graph // dual (star) sector
 
 	scratch *sync.Pool
 }
@@ -45,23 +58,43 @@ type volScratch struct {
 // noisy extraction rounds and the given integer edge weights (see
 // Weights). Both sector graphs are built; node (c, t) has index t·L²+c.
 func NewVolume(l, rounds, wh, wv int) *Volume {
+	return newVolume(l, rounds, wh, wv, 0)
+}
+
+// NewCircuitVolume builds the circuit-level volume: NewVolume plus the
+// diagonal edge class of weight wd ≥ 1, oriented by the extraction
+// schedule's per-edge {late, early} reader pairs (extract.Sched), and
+// the circuit-metric distance tables the exact matcher prices with.
+func NewCircuitVolume(l, rounds, wh, wv, wd int) *Volume {
+	if wd < 1 {
+		panic("spacetime: circuit volume needs a positive diagonal weight")
+	}
+	return newVolume(l, rounds, wh, wv, wd)
+}
+
+func newVolume(l, rounds, wh, wv, wd int) *Volume {
 	if rounds < 1 {
 		panic("spacetime: need at least one measurement round")
 	}
-	if wh < 1 || wv < 1 {
+	if wh < 1 || wv < 1 || wd < 0 {
 		panic("spacetime: edge weights must be positive")
 	}
 	lat := toric.Cached(l)
 	v := &Volume{
-		L: l, T: rounds, WH: wh, WV: wv,
-		lat:   lat,
-		nq:    lat.Qubits(),
-		nc:    lat.NumChecks(),
-		nodes: (rounds + 1) * lat.NumChecks(),
-		horiz: rounds * lat.Qubits(),
+		L: l, T: rounds, WH: wh, WV: wv, WD: wd,
+		lat:     lat,
+		nq:      lat.Qubits(),
+		nc:      lat.NumChecks(),
+		nodes:   (rounds + 1) * lat.NumChecks(),
+		horiz:   rounds * lat.Qubits(),
+		diagOff: rounds * (lat.Qubits() + lat.NumChecks()),
 	}
-	v.graphX = v.buildGraph(lat.Graph())
-	v.graphZ = v.buildGraph(lat.DualGraph())
+	if wd > 0 {
+		sch := extract.Sched(l)
+		v.diagX, v.diagZ = sch.DiagX, sch.DiagZ
+	}
+	v.graphX = v.buildGraph(lat.Graph(), v.diagX)
+	v.graphZ = v.buildGraph(lat.DualGraph(), v.diagZ)
 	gx, gz, nq := v.graphX, v.graphZ, v.nq
 	v.scratch = &sync.Pool{New: func() any {
 		return &volScratch{
@@ -77,9 +110,16 @@ func NewVolume(l, rounds, wh, wv int) *Volume {
 // volume. Edge ids: horizontal edge (e, t) = t·nq + e for layers
 // t = 0…T−1 (a data error entering at round t+1), then vertical edge
 // (c, t) = T·nq + t·nc + c joining layers t and t+1 of check c (a
-// measurement error at round t+1).
-func (v *Volume) buildGraph(base *decoder.Graph) *decoder.Graph {
-	ends := make([][2]int32, v.horiz+v.T*v.nc)
+// measurement error at round t+1), then — circuit volumes only —
+// diagonal edge (e, t) = T·(nq+nc) + t·nq + e joining data edge e's
+// late reader at layer t to its early reader at layer t+1 (a data error
+// created between the two reads of round t+1).
+func (v *Volume) buildGraph(base *decoder.Graph, diag [][2]int32) *decoder.Graph {
+	n := v.horiz + v.T*v.nc
+	if v.WD > 0 {
+		n += v.T * v.nq
+	}
+	ends := make([][2]int32, n)
 	weights := make([]int32, len(ends))
 	for t := 0; t < v.T; t++ {
 		off := t * v.nq
@@ -97,7 +137,31 @@ func (v *Volume) buildGraph(base *decoder.Graph) *decoder.Graph {
 			weights[off+c] = int32(v.WV)
 		}
 	}
+	if v.WD > 0 {
+		for t := 0; t < v.T; t++ {
+			off := v.diagOff + t*v.nq
+			layer := int32(t * v.nc)
+			for e := 0; e < v.nq; e++ {
+				ends[off+e] = [2]int32{layer + diag[e][0], layer + int32(v.nc) + diag[e][1]}
+				weights[off+e] = int32(v.WD)
+			}
+		}
+	}
 	return decoder.NewWeightedGraph(v.nodes, ends, weights)
+}
+
+// ProjectEdge maps a space-time edge id to the data qubit it flips in
+// the 2D correction: horizontal and diagonal edges are data errors and
+// project to their edge; vertical edges are measurement-error
+// assignments and project away (ok = false).
+func (v *Volume) ProjectEdge(e int) (qubit int, ok bool) {
+	if e < v.horiz {
+		return e % v.nq, true
+	}
+	if e >= v.diagOff {
+		return (e - v.diagOff) % v.nq, true
+	}
+	return 0, false
 }
 
 // Graph returns the primal (plaquette-sector) space-time graph.
@@ -175,7 +239,7 @@ func gcd(a, b int) int {
 // (L, T, weights) grid point for every p in a curve.
 var volumeCache sync.Map // volumeKey → *Volume
 
-type volumeKey struct{ l, t, wh, wv int }
+type volumeKey struct{ l, t, wh, wv, wd int }
 
 // CachedVolume returns the memoized volume for the given lattice size,
 // round count and physical rates (weights derived via Weights).
@@ -189,11 +253,21 @@ func CachedVolume(l, rounds int, p, q float64) *Volume {
 // stream's final window height varies with rounds mod slide, and its
 // weights are fixed by the session, not re-derived per height).
 func CachedVolumeWeighted(l, rounds, wh, wv int) *Volume {
-	key := volumeKey{l, rounds, wh, wv}
+	return cachedVolume(l, rounds, wh, wv, 0)
+}
+
+// CachedCircuitVolume is the memoized circuit-level (diagonal-edge)
+// volume under explicit weights — wd = 0 degrades to the plain volume.
+func CachedCircuitVolume(l, rounds, wh, wv, wd int) *Volume {
+	return cachedVolume(l, rounds, wh, wv, wd)
+}
+
+func cachedVolume(l, rounds, wh, wv, wd int) *Volume {
+	key := volumeKey{l, rounds, wh, wv, wd}
 	if v, ok := volumeCache.Load(key); ok {
 		return v.(*Volume)
 	}
-	v, _ := volumeCache.LoadOrStore(key, NewVolume(l, rounds, wh, wv))
+	v, _ := volumeCache.LoadOrStore(key, newVolume(l, rounds, wh, wv, wd))
 	return v.(*Volume)
 }
 
@@ -225,8 +299,8 @@ func (v *Volume) DecodeErased(defects, erased []int, dual bool) bits.Vec {
 		uf = scr.ufZ
 	}
 	uf.DecodeErased(defects, erased, func(e int) {
-		if e < v.horiz {
-			corr.Flip(e % v.nq)
+		if q, ok := v.ProjectEdge(e); ok {
+			corr.Flip(q)
 		}
 	})
 	v.scratch.Put(scr)
@@ -238,6 +312,13 @@ func (v *Volume) decodeInto(defects []int, kind toric.DecoderKind, dual bool, sc
 		return
 	}
 	if kind == toric.DecoderExact {
+		// Pair distances: the rectilinear WH·d₂ + WV·|Δt| metric on plain
+		// volumes; the precomputed circuit-metric table (which prices the
+		// diagonal shortcuts exactly) on circuit volumes. The correction
+		// chain emitted per pair is the canonical short-way 2D path either
+		// way — on weight ties between a winding and a non-winding 3D path
+		// the canonical chain stands in for the matcher's choice, the same
+		// convention the 2D matcher uses for antipodal pairs.
 		weight := func(i, j int) int64 {
 			a, b := defects[i], defects[j]
 			dt := a/v.nc - b/v.nc
@@ -246,20 +327,47 @@ func (v *Volume) decodeInto(defects []int, kind toric.DecoderKind, dual bool, sc
 			}
 			return int64(v.WH)*int64(v.lat.TorusDist(a%v.nc, b%v.nc)) + int64(v.WV)*int64(dt)
 		}
+		if v.WD > 0 {
+			dist, distZ := v.metric()
+			if dual {
+				dist = distZ
+			}
+			span := 2*v.T + 1
+			weight = func(i, j int) int64 {
+				a, b := defects[i], defects[j]
+				ca, cb := a%v.nc, b%v.nc
+				dx := cb%v.L - ca%v.L
+				if dx < 0 {
+					dx += v.L
+				}
+				dy := cb/v.L - ca/v.L
+				if dy < 0 {
+					dy += v.L
+				}
+				return dist[(dy*v.L+dx)*span+(b/v.nc-a/v.nc)+v.T]
+			}
+		}
+		// Grid staging reach per weighted radius r: a diagonal advances one
+		// spatial and one time step at cost WD, so the cheapest spatial
+		// (resp. time) step costs min(WH, WD) (resp. min(WV, WD)).
+		sw, tw := v.WH, v.WV
+		if v.WD > 0 && v.WD < sw {
+			sw = v.WD
+		}
+		if v.WD > 0 && v.WD < tw {
+			tw = v.WD
+		}
 		var pairs [][2]int32
 		if n := len(defects); n > decoder.SparseMatchMin {
-			// Grid-bucketed staging over the (x, y, t) coordinates: the
-			// weighted radius r bounds the spatial box at r/WH and the
-			// time box at r/WV.
 			cutoff := v.matchCutoff(n)
-			scr.grid.Reset(v.L, max(1, int(cutoff)/v.WH), 0, v.T, max(1, int(cutoff)/v.WV))
+			scr.grid.Reset(v.L, max(1, int(cutoff)/sw), 0, v.T, max(1, int(cutoff)/tw))
 			for _, d := range defects {
 				c := d % v.nc
 				scr.grid.Add(c%v.L, c/v.L, d/v.nc)
 			}
 			pairs = scr.matcher.MinWeightPairsIndexed(n, weight, cutoff,
 				func(i int, r int64, visit func(j int)) {
-					scr.grid.VisitWithin(i, int(r)/v.WH, int(r)/v.WV, visit)
+					scr.grid.VisitWithin(i, int(r)/sw, int(r)/tw, visit)
 				})
 		} else {
 			pairs = scr.matcher.MinWeightPairs(n, weight)
@@ -282,15 +390,15 @@ func (v *Volume) decodeInto(defects []int, kind toric.DecoderKind, dual bool, sc
 		uf = scr.ufZ
 	}
 	uf.Decode(defects, func(e int) {
-		if e < v.horiz {
-			corr.Flip(e % v.nq)
+		if q, ok := v.ProjectEdge(e); ok {
+			corr.Flip(q)
 		}
 	})
 }
 
 // matchCutoff picks the pruning radius (in weighted units) for n defects
 // in the volume: a few mean nearest-neighbor spacings at the observed
-// defect density, times the heavier edge weight.
+// defect density, times the heaviest edge weight.
 func (v *Volume) matchCutoff(n int) int64 {
 	mean := 1
 	for mean*mean*mean*n < 4*v.nodes {
@@ -299,6 +407,9 @@ func (v *Volume) matchCutoff(n int) int64 {
 	w := v.WH
 	if v.WV > w {
 		w = v.WV
+	}
+	if v.WD > w {
+		w = v.WD
 	}
 	return int64(3 * mean * w)
 }
@@ -321,10 +432,10 @@ type LayerSource struct {
 	smp    frame.Sampler
 	rounds int // noisy rounds emitted so far
 
-	active, tmp              bits.Vec
-	intact, coin             bits.Vec   // erasure-path scratch, built on first use
-	cumX, cumZ               []bits.Vec // edge-major accumulated error planes
-	prevX, prevZ, curX, curZ []bits.Vec // check-major observed syndromes
+	active, tmp  bits.Vec
+	intact, coin bits.Vec            // erasure-path scratch, built on first use
+	cumX, cumZ   []bits.Vec          // edge-major accumulated error planes
+	diff         *toric.SyndromeDiff // check-major observed-syndrome generations
 }
 
 // NewLayerSource returns a source over the L×L lattice for `lanes`
@@ -337,14 +448,14 @@ func NewLayerSource(l int, p, q float64, lanes int, smp frame.Sampler) *LayerSou
 		tmp:    bits.NewVec(lanes),
 		cumX:   bits.NewVecs(lat.Qubits(), lanes),
 		cumZ:   bits.NewVecs(lat.Qubits(), lanes),
-		prevX:  bits.NewVecs(lat.NumChecks(), lanes),
-		prevZ:  bits.NewVecs(lat.NumChecks(), lanes),
-		curX:   bits.NewVecs(lat.NumChecks(), lanes),
-		curZ:   bits.NewVecs(lat.NumChecks(), lanes),
+		diff:   toric.NewSyndromeDiff(lat.NumChecks(), lanes),
 	}
 	s.active.SetAll()
 	return s
 }
+
+// L returns the lattice size the source samples.
+func (s *LayerSource) L() int { return s.lat.L }
 
 // Lanes returns the batch width.
 func (s *LayerSource) Lanes() int { return s.lanes }
@@ -365,17 +476,19 @@ func (s *LayerSource) NextLayers(layerX, layerZ []bits.Vec) {
 		s.smp.Bernoulli(s.p, s.active, s.tmp)
 		s.cumZ[e].Xor(s.tmp)
 	}
-	s.lat.PlaquetteSyndromePlanes(s.cumX, s.curX)
+	curX := s.diff.CurX()
+	s.lat.PlaquetteSyndromePlanes(s.cumX, curX)
 	for c := 0; c < nc; c++ {
 		s.smp.Bernoulli(s.q, s.active, s.tmp)
-		s.curX[c].Xor(s.tmp)
+		curX[c].Xor(s.tmp)
 	}
-	s.lat.StarSyndromePlanes(s.cumZ, s.curZ)
+	curZ := s.diff.CurZ()
+	s.lat.StarSyndromePlanes(s.cumZ, curZ)
 	for c := 0; c < nc; c++ {
 		s.smp.Bernoulli(s.q, s.active, s.tmp)
-		s.curZ[c].Xor(s.tmp)
+		curZ[c].Xor(s.tmp)
 	}
-	s.emitDiff(layerX, layerZ)
+	s.diff.Emit(layerX, layerZ)
 	s.rounds++
 }
 
@@ -383,25 +496,9 @@ func (s *LayerSource) NextLayers(layerX, layerZ []bits.Vec) {
 // true syndromes of the accumulated errors, no fresh faults, no
 // measurement noise.
 func (s *LayerSource) CloseLayers(layerX, layerZ []bits.Vec) {
-	s.lat.PlaquetteSyndromePlanes(s.cumX, s.curX)
-	s.lat.StarSyndromePlanes(s.cumZ, s.curZ)
-	s.emitDiff(layerX, layerZ)
-}
-
-// emitDiff writes cur XOR prev into the layer planes and swaps the
-// generations.
-func (s *LayerSource) emitDiff(layerX, layerZ []bits.Vec) {
-	nc := s.lat.NumChecks()
-	for c := 0; c < nc; c++ {
-		lx := layerX[c]
-		lx.CopyFrom(s.curX[c])
-		lx.Xor(s.prevX[c])
-		lz := layerZ[c]
-		lz.CopyFrom(s.curZ[c])
-		lz.Xor(s.prevZ[c])
-	}
-	s.prevX, s.curX = s.curX, s.prevX
-	s.prevZ, s.curZ = s.curZ, s.prevZ
+	s.lat.PlaquetteSyndromePlanes(s.cumX, s.diff.CurX())
+	s.lat.StarSyndromePlanes(s.cumZ, s.diff.CurZ())
+	s.diff.Emit(layerX, layerZ)
 }
 
 // Windings fills the winding parities of the accumulated error chains:
@@ -416,14 +513,46 @@ func (s *LayerSource) Windings(pX1, pX2, pZ1, pZ2 bits.Vec) {
 // validation harnesses — callers must not modify them.
 func (s *LayerSource) ErrorPlanes() (x, z []bits.Vec) { return s.cumX, s.cumZ }
 
+// LayerFeed is the layer-source contract between syndrome-extraction
+// models and the decoders: T calls of NextLayers emit the noisy rounds'
+// difference-syndrome layers (check-major, one vector of lane bits per
+// check), CloseLayers emits the perfect closing layer, and Windings
+// reads the accumulated error chains' homology parities. Both the
+// whole-volume batch decode (Volume.BatchMemoryFrom) and the streaming
+// sliding-window pipeline (internal/stream) drain a feed; the
+// phenomenological LayerSource and the circuit-level
+// extract.Source/CircuitLayerSource both satisfy it.
+type LayerFeed interface {
+	L() int
+	Lanes() int
+	Rounds() int
+	NextLayers(layerX, layerZ []bits.Vec)
+	CloseLayers(layerX, layerZ []bits.Vec)
+	Windings(pX1, pX2, pZ1, pZ2 bits.Vec)
+}
+
 // BatchMemory runs `lanes` shots of the noisy-extraction memory
 // experiment as bit-planes: a LayerSource emits T rounds of difference
 // layers plus the perfect closing layer, and both sectors decode per
 // lane over the weighted volume. Returns the per-lane logical failure
 // masks of the two sectors.
 func (v *Volume) BatchMemory(p, q float64, kind toric.DecoderKind, lanes int, smp frame.Sampler) (failX, failZ bits.Vec) {
+	return v.BatchMemoryFrom(NewLayerSource(v.L, p, q, lanes, smp), kind)
+}
+
+// BatchMemoryFrom is BatchMemory draining an arbitrary layer feed — the
+// entry point a circuit-level source shares with the phenomenological
+// one. The feed must be fresh (zero rounds emitted) and sized for this
+// volume's lattice.
+func (v *Volume) BatchMemoryFrom(src LayerFeed, kind toric.DecoderKind) (failX, failZ bits.Vec) {
 	nc := v.nc
-	src := NewLayerSource(v.L, p, q, lanes, smp)
+	lanes := src.Lanes()
+	if src.Rounds() != 0 {
+		panic("spacetime: layer feed already drained")
+	}
+	if src.L() != v.L {
+		panic("spacetime: layer feed lattice size does not match the volume")
+	}
 	layersX := bits.NewVecs(v.nodes, lanes)
 	layersZ := bits.NewVecs(v.nodes, lanes)
 	for t := 0; t < v.T; t++ {

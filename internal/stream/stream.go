@@ -4,6 +4,7 @@ import (
 	"ftqc/internal/bits"
 	"ftqc/internal/decoder"
 	"ftqc/internal/frame"
+	"ftqc/internal/noise"
 	"ftqc/internal/spacetime"
 )
 
@@ -20,7 +21,16 @@ type Session struct {
 // NewSession builds the window and starts its decode services (see
 // NewWindow for the parameters; weights come from spacetime.Weights).
 func NewSession(l, window, commit, wh, wv int) *Session {
-	win := NewWindow(l, window, commit, wh, wv)
+	return sessionOver(NewWindow(l, window, commit, wh, wv))
+}
+
+// NewCircuitSession is NewSession over a circuit-level (diagonal-edge)
+// window; weights come from spacetime.WeightsCircuit.
+func NewCircuitSession(l, window, commit, wh, wv, wd int) *Session {
+	return sessionOver(NewCircuitWindow(l, window, commit, wh, wv, wd))
+}
+
+func sessionOver(win *Window) *Session {
 	return &Session{
 		win:  win,
 		svcX: decoder.NewService(win.graphX, 0),
@@ -138,8 +148,8 @@ func (d *Decoder) slide() {
 	outX := bX.Wait()
 	outZ := bZ.Wait()
 	for lane := 0; lane < d.lanes; lane++ {
-		d.commitLane(outX[lane], d.corrX[lane], d.carryX[lane])
-		d.commitLane(outZ[lane], d.corrZ[lane], d.carryZ[lane])
+		d.commitLane(outX[lane], d.corrX[lane], d.carryX[lane], w.diagX)
+		d.commitLane(outZ[lane], d.corrZ[lane], d.carryZ[lane], w.diagZ)
 	}
 	d.head += w.Commit
 	if d.head >= w.W {
@@ -184,23 +194,37 @@ func (d *Decoder) pivot(ring, syn, carry []bits.Vec) {
 // commitLane folds one lane's open-window correction into its running
 // frame: horizontal edges below the commit boundary flip their data
 // qubit; a vertical edge crossing the boundary cuts its chain there,
-// flipping the carry defect at the boundary layer. Everything at or
-// above the boundary (including every virtual boundary edge) is
-// discarded — the next slide re-decodes it with more context.
-func (d *Decoder) commitLane(corr []int32, frameVec, carry bits.Vec) {
+// flipping the carry defect at the boundary layer. A diagonal edge
+// spanning the boundary (lower endpoint at layer Commit−1) is a data
+// error whose late observation is already committed: its data qubit
+// flips now and the severed upper endpoint — the early reader's check
+// at the carry layer — becomes the carry defect, exactly like a cut
+// vertical chain. Everything at or above the boundary (including every
+// virtual boundary edge) is discarded — the next slide re-decodes it
+// with more context.
+func (d *Decoder) commitLane(corr []int32, frameVec, carry bits.Vec, diag [][2]int32) {
 	w := d.s.win
 	carry.Clear()
 	for _, id := range corr {
 		e := int(id)
-		if e < w.horiz {
+		switch {
+		case e < w.horiz:
 			if e/w.nq < w.Commit {
 				frameVec.Flip(e % w.nq)
 			}
-			continue
-		}
-		t := (e - w.horiz) / w.nc
-		if t == w.Commit-1 {
-			carry.Flip((e - w.horiz) % w.nc)
+		case e < w.diagOff:
+			if t := (e - w.horiz) / w.nc; t == w.Commit-1 {
+				carry.Flip((e - w.horiz) % w.nc)
+			}
+		default:
+			de := e - w.diagOff
+			switch t := de / w.nq; {
+			case t+1 < w.Commit:
+				frameVec.Flip(de % w.nq)
+			case t == w.Commit-1:
+				frameVec.Flip(de % w.nq)
+				carry.Flip(int(diag[de%w.nq][1]))
+			}
 		}
 	}
 }
@@ -220,21 +244,19 @@ func (d *Decoder) Finish(layerX, layerZ []bits.Vec) {
 	}
 	d.finished = true
 	h := d.filled
-	vol := spacetime.CachedVolumeWeighted(w.L, h, w.WH, w.WV)
+	vol := spacetime.CachedCircuitVolume(w.L, h, w.WH, w.WV, w.WD)
 	syn := bits.NewVecs(d.lanes, (h+1)*w.nc)
 	bits.TransposePlanes(syn, append(d.orderedLayers(d.ringX, h), layerX...))
-	d.finishSector(syn, vol.Graph(), h, d.carryX, d.corrX)
+	d.finishSector(syn, vol, vol.Graph(), d.carryX, d.corrX)
 	bits.TransposePlanes(syn, append(d.orderedLayers(d.ringZ, h), layerZ...))
-	d.finishSector(syn, vol.DualGraph(), h, d.carryZ, d.corrZ)
+	d.finishSector(syn, vol, vol.DualGraph(), d.carryZ, d.corrZ)
 }
 
 // finishSector decodes every lane's closing volume serially (chunk
 // fan-out supplies the outer parallelism) and commits the whole
 // correction.
-func (d *Decoder) finishSector(syn []bits.Vec, g *decoder.Graph, h int, carry, corr []bits.Vec) {
-	w := d.s.win
+func (d *Decoder) finishSector(syn []bits.Vec, vol *spacetime.Volume, g *decoder.Graph, carry, corr []bits.Vec) {
 	uf := decoder.NewUnionFind(g)
-	horiz := h * w.nq
 	var defects []int
 	for lane := 0; lane < d.lanes; lane++ {
 		cv := carry[lane]
@@ -248,8 +270,8 @@ func (d *Decoder) finishSector(syn []bits.Vec, g *decoder.Graph, h int, carry, c
 		}
 		cl := corr[lane]
 		uf.Decode(defects, func(e int) {
-			if e < horiz {
-				cl.Flip(e % w.nq)
+			if q, ok := vol.ProjectEdge(e); ok {
+				cl.Flip(q)
 			}
 		})
 	}
@@ -286,8 +308,21 @@ func (d *Decoder) FootprintBytes() int {
 // perfect closing round settles the tail. Returns the per-lane logical
 // failure masks of the two sectors.
 func (s *Session) BatchMemory(rounds int, p, q float64, lanes int, smp frame.Sampler) (failX, failZ bits.Vec) {
+	return s.BatchMemoryFrom(spacetime.NewLayerSource(s.win.L, p, q, lanes, smp), rounds)
+}
+
+// BatchMemoryFrom is BatchMemory draining an arbitrary layer feed — the
+// phenomenological LayerSource and the circuit-level CircuitLayerSource
+// stream through the same window machinery. The feed must be fresh.
+func (s *Session) BatchMemoryFrom(src spacetime.LayerFeed, rounds int) (failX, failZ bits.Vec) {
 	w := s.win
-	src := spacetime.NewLayerSource(w.L, p, q, lanes, smp)
+	if src.Rounds() != 0 {
+		panic("stream: layer feed already drained")
+	}
+	if src.L() != w.L {
+		panic("stream: layer feed lattice size does not match the window")
+	}
+	lanes := src.Lanes()
 	d := s.NewDecoder(lanes)
 	layerX := bits.NewVecs(w.nc, lanes)
 	layerZ := bits.NewVecs(w.nc, lanes)
@@ -305,7 +340,7 @@ func (s *Session) BatchMemory(rounds int, p, q float64, lanes int, smp frame.Sam
 // cancels every defect, so the residual is always a closed cycle and
 // the parities decide failure — the same homology test as the
 // whole-volume pipeline.
-func (s *Session) failureMasks(src *spacetime.LayerSource, d *Decoder) (failX, failZ bits.Vec) {
+func (s *Session) failureMasks(src spacetime.LayerFeed, d *Decoder) (failX, failZ bits.Vec) {
 	lanes := d.lanes
 	lat := s.win.lat
 	pX1 := bits.NewVec(lanes)
@@ -375,6 +410,29 @@ func Memory(l, rounds int, p, q float64, window, commit, samples int, seed uint6
 		return s.BatchMemory(rounds, p, q, lanes, smp)
 	})
 	return Result{L: l, T: rounds, Window: window, Commit: commit, P: p, Q: q,
+		Samples: samples, FailX: fx, FailZ: fz, Failures: fa}
+}
+
+// CircuitMemory runs the circuit-level noisy-extraction memory through
+// the sliding window: extract.Source runs the full extraction circuit
+// round by round (faults at every location of the model P), the
+// diagonal-edge window decodes and commits as it goes. Pass 0, 0 for
+// the DefaultWindow sizes. Weights come from spacetime.WeightsCircuit
+// with the window as the decode horizon.
+func CircuitMemory(l, rounds int, P noise.Params, window, commit, samples int, seed uint64) Result {
+	if window <= 0 {
+		window, _ = DefaultWindow(l)
+	}
+	if commit <= 0 {
+		commit = window / 2
+	}
+	wh, wv, wd := spacetime.WeightsCircuit(P, l, window)
+	s := NewCircuitSession(l, window, commit, wh, wv, wd)
+	defer s.Close()
+	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
+		return s.BatchMemoryFrom(spacetime.NewCircuitLayerSource(l, P, lanes, smp), rounds)
+	})
+	return Result{L: l, T: rounds, Window: window, Commit: commit, P: P.Gate2, Q: P.Meas,
 		Samples: samples, FailX: fx, FailZ: fz, Failures: fa}
 }
 

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"ftqc/internal/decoder"
+	"ftqc/internal/extract"
 	"ftqc/internal/toric"
 )
 
@@ -17,23 +18,43 @@ import (
 // t and t+1 — where t = W−1 joins the newest layer to the boundary
 // node instead (the stand-in for the first vertical edge outside the
 // window). Horizontal edges weigh WH, vertical and virtual edges WV,
-// exactly like the whole-volume graphs.
+// exactly like the whole-volume graphs. Circuit-level windows
+// (NewCircuitWindow) append the diagonal class: edge
+// (e, t) = W·(nq+nc) + t·nq + e of weight WD joining data edge e's late
+// reader at layer t to its early reader at layer t+1, with the t = W−1
+// diagonals grounding on the boundary node like the virtual verticals.
 type Window struct {
 	L, W, Commit int
-	WH, WV       int
+	WH, WV, WD   int // WD = 0: phenomenological window, no diagonals
 
-	lat    *toric.Lattice
-	nq, nc int
-	nodes  int // W·nc + 1, boundary last
-	horiz  int // W·nq horizontal edges (ids below this project to data qubits)
-	graphX *decoder.Graph
-	graphZ *decoder.Graph
+	lat          *toric.Lattice
+	nq, nc       int
+	nodes        int // W·nc + 1, boundary last
+	horiz        int // W·nq horizontal edges (ids below this project to data qubits)
+	diagOff      int // first diagonal edge id, W·(nq+nc)
+	diagX, diagZ [][2]int32
+	graphX       *decoder.Graph
+	graphZ       *decoder.Graph
 }
 
 // NewWindow builds the window structure for an L×L lattice, window
 // height W ≥ 2 layers, commit region 1 ≤ commit ≤ W−1, and the given
 // integer edge weights (see spacetime.Weights).
 func NewWindow(l, w, commit, wh, wv int) *Window {
+	return newWindow(l, w, commit, wh, wv, 0)
+}
+
+// NewCircuitWindow is NewWindow plus the circuit model's diagonal edge
+// class of weight wd ≥ 1 (see spacetime.WeightsCircuit for the weight
+// derivation and extract.Sched for the diagonal orientation).
+func NewCircuitWindow(l, w, commit, wh, wv, wd int) *Window {
+	if wd < 1 {
+		panic("stream: circuit window needs a positive diagonal weight")
+	}
+	return newWindow(l, w, commit, wh, wv, wd)
+}
+
+func newWindow(l, w, commit, wh, wv, wd int) *Window {
 	if w < 2 {
 		panic("stream: window must hold at least two layers")
 	}
@@ -45,22 +66,31 @@ func NewWindow(l, w, commit, wh, wv int) *Window {
 	}
 	lat := toric.Cached(l)
 	win := &Window{
-		L: l, W: w, Commit: commit, WH: wh, WV: wv,
-		lat:   lat,
-		nq:    lat.Qubits(),
-		nc:    lat.NumChecks(),
-		nodes: w*lat.NumChecks() + 1,
-		horiz: w * lat.Qubits(),
+		L: l, W: w, Commit: commit, WH: wh, WV: wv, WD: wd,
+		lat:     lat,
+		nq:      lat.Qubits(),
+		nc:      lat.NumChecks(),
+		nodes:   w*lat.NumChecks() + 1,
+		horiz:   w * lat.Qubits(),
+		diagOff: w * (lat.Qubits() + lat.NumChecks()),
 	}
-	win.graphX = win.buildGraph(lat.Graph())
-	win.graphZ = win.buildGraph(lat.DualGraph())
+	if wd > 0 {
+		sch := extract.Sched(l)
+		win.diagX, win.diagZ = sch.DiagX, sch.DiagZ
+	}
+	win.graphX = win.buildGraph(lat.Graph(), win.diagX)
+	win.graphZ = win.buildGraph(lat.DualGraph(), win.diagZ)
 	return win
 }
 
 // buildGraph extrudes a 2D sector graph into the open-window graph.
-func (w *Window) buildGraph(base *decoder.Graph) *decoder.Graph {
+func (w *Window) buildGraph(base *decoder.Graph, diag [][2]int32) *decoder.Graph {
 	boundary := w.nodes - 1
-	ends := make([][2]int32, w.horiz+w.W*w.nc)
+	n := w.horiz + w.W*w.nc
+	if w.WD > 0 {
+		n += w.W * w.nq
+	}
+	ends := make([][2]int32, n)
 	weights := make([]int32, len(ends))
 	for t := 0; t < w.W; t++ {
 		off := t * w.nq
@@ -80,6 +110,20 @@ func (w *Window) buildGraph(base *decoder.Graph) *decoder.Graph {
 			}
 			ends[off+c] = [2]int32{int32(t*w.nc + c), up}
 			weights[off+c] = int32(w.WV)
+		}
+	}
+	if w.WD > 0 {
+		for t := 0; t < w.W; t++ {
+			off := w.diagOff + t*w.nq
+			layer := int32(t * w.nc)
+			for e := 0; e < w.nq; e++ {
+				up := int32(boundary)
+				if t+1 < w.W {
+					up = int32((t+1)*w.nc) + diag[e][1]
+				}
+				ends[off+e] = [2]int32{layer + diag[e][0], up}
+				weights[off+e] = int32(w.WD)
+			}
 		}
 	}
 	return decoder.NewBoundaryGraph(w.nodes, ends, weights, []int{boundary})

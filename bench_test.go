@@ -12,6 +12,7 @@ import (
 	"math/rand/v2"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"ftqc/internal/noise"
 	"ftqc/internal/pauli"
 	"ftqc/internal/resource"
+	"ftqc/internal/server"
 	"ftqc/internal/spacetime"
 	"ftqc/internal/statevec"
 	"ftqc/internal/stream"
@@ -301,7 +303,10 @@ func BenchmarkStreamDecode(b *testing.B) {
 		b.Run(fmt.Sprintf("L=%d", l), func(b *testing.B) {
 			w, c := stream.DefaultWindow(l)
 			wh, wv := spacetime.Weights(pq, pq, l, 4*l)
-			s := stream.NewSession(l, w, c, wh, wv)
+			s, err := stream.NewSession(l, w, c, wh, wv)
+			if err != nil {
+				b.Fatal(err)
+			}
 			defer s.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -311,10 +316,84 @@ func BenchmarkStreamDecode(b *testing.B) {
 	}
 }
 
+// serverFleetRun drives one fleet of concurrent circuit-level sessions
+// through the decode server and returns the wall time plus the
+// per-session stats (the shared workload of BenchmarkServerThroughput
+// and the bench-JSON server series).
+func serverFleetRun(sessions, l, lanes, rounds int, eps float64) (time.Duration, []server.SessionStats, error) {
+	P := noise.Uniform(eps)
+	cfg := server.CircuitLevel(l, lanes, P)
+	srv := server.New(server.Config{})
+	defer srv.Shutdown()
+	stats := make([]server.SessionStats, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := srv.Open(cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			src := spacetime.NewCircuitLayerSource(l, P, lanes, frame.NewAggregateSampler(9100+uint64(i), 5))
+			nc := l * l
+			layerX := bits.NewVecs(nc, lanes)
+			layerZ := bits.NewVecs(nc, lanes)
+			for r := 0; r < rounds; r++ {
+				src.NextLayers(layerX, layerZ)
+				if errs[i] = s.Submit(layerX, layerZ); errs[i] != nil {
+					return
+				}
+			}
+			src.CloseLayers(layerX, layerZ)
+			if errs[i] = s.CloseWith(layerX, layerZ); errs[i] != nil {
+				return
+			}
+			if _, errs[i] = s.Wait(); errs[i] != nil {
+				return
+			}
+			stats[i] = s.Stats()
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return wall, stats, err
+		}
+	}
+	return wall, stats, nil
+}
+
+// BenchmarkServerThroughput — the multi-tenant decode server under a
+// sustained fleet: 8 concurrent L=8 circuit-level sessions, 64 lanes
+// each, streaming T=32 rounds through shared workers. Each iteration
+// runs one full fleet (open, stream, drain); the reported custom metric
+// is aggregate decoded rounds per second.
+func BenchmarkServerThroughput(b *testing.B) {
+	const sessions, l, lanes, rounds = 8, 8, 64, 32
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		wall, _, err := serverFleetRun(sessions, l, lanes, rounds, 0.003)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += wall
+	}
+	if total > 0 {
+		b.ReportMetric(float64(sessions*rounds*b.N)/total.Seconds(), "rounds/s")
+	}
+}
+
 // TestEmitToricBenchJSON records the decode benchmark grid to
 // BENCH_toric.json (or the path in FTQC_BENCH_JSON) so the perf
-// trajectory is tracked across PRs. Skipped unless FTQC_BENCH_JSON is
-// set: it is a measurement tool, not a correctness test.
+// trajectory is tracked across PRs. Existing entries are merge-updated
+// by name, so emitting a subset never clobbers series recorded by an
+// earlier run. Skipped unless FTQC_BENCH_JSON is set: it is a
+// measurement tool, not a correctness test.
 func TestEmitToricBenchJSON(t *testing.T) {
 	path := os.Getenv("FTQC_BENCH_JSON")
 	if path == "" {
@@ -337,6 +416,10 @@ func TestEmitToricBenchJSON(t *testing.T) {
 		NsPerShot  float64 `json:"ns_per_shot"`
 		NsPerRound float64 `json:"ns_per_shot_round,omitempty"`     // streaming: per shot per round
 		WindowRSS  int     `json:"resident_window_bytes,omitempty"` // streaming decoder footprint
+		Sessions   int     `json:"sessions,omitempty"`              // server: concurrent sessions in the fleet
+		RoundsPS   float64 `json:"rounds_per_sec,omitempty"`        // server: aggregate decoded rounds/s
+		CommitP50  float64 `json:"commit_p50_ns,omitempty"`         // server: median commit latency
+		CommitP99  float64 `json:"commit_p99_ns,omitempty"`         // server: tail commit latency
 	}
 	decoderName := map[toric.DecoderKind]string{
 		toric.DecoderGreedy:    "greedy",
@@ -391,7 +474,10 @@ func TestEmitToricBenchJSON(t *testing.T) {
 	for _, l := range []int{4, 8, 16} {
 		w, c := stream.DefaultWindow(l)
 		wh, wv := spacetime.Weights(0.025, 0.025, l, 4*l)
-		s := stream.NewSession(l, w, c, wh, wv)
+		s, err := stream.NewSession(l, w, c, wh, wv)
+		if err != nil {
+			t.Fatal(err)
+		}
 		rounds := 4 * l
 		ns := measure(func() {
 			s.BatchMemory(rounds, 0.025, 0.025, stShots, frame.NewAggregateSampler(7, 0))
@@ -413,6 +499,52 @@ func TestEmitToricBenchJSON(t *testing.T) {
 			ShotsPerOp: stShots, NsPerOp: ns, NsPerShot: ns / stShots,
 			NsPerRound: ns / stShots / float64(rounds), WindowRSS: foot,
 		})
+	}
+	// Server series: a sustained fleet through the multi-tenant decode
+	// server, reporting aggregate throughput and commit-latency tails.
+	{
+		const sessions, l, lanes, rounds = 8, 8, 64, 32
+		wall, stats, err := serverFleetRun(sessions, l, lanes, rounds, 0.003)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p50, p99 time.Duration
+		for _, st := range stats {
+			p50 += st.Latency.P50
+			p99 += st.Latency.P99
+		}
+		report.Entries = append(report.Entries, entry{
+			Name: "BenchmarkServerThroughput", L: l, Rounds: rounds,
+			P: 0.003, Q: 0.003, Decoder: "server-union-find", ShotsPerOp: lanes,
+			NsPerOp: float64(wall.Nanoseconds()), Sessions: sessions,
+			NsPerShot: float64(wall.Nanoseconds()) / float64(sessions*rounds*lanes),
+			RoundsPS:  float64(sessions*rounds) / wall.Seconds(),
+			CommitP50: float64(p50.Nanoseconds()) / sessions,
+			CommitP99: float64(p99.Nanoseconds()) / sessions,
+		})
+	}
+	// Merge-update: entries already in the file keep their place and are
+	// replaced by name; series this run did not measure survive.
+	if prev, err := os.ReadFile(path); err == nil {
+		var old struct {
+			Entries []entry `json:"entries"`
+		}
+		if json.Unmarshal(prev, &old) == nil && len(old.Entries) > 0 {
+			idx := make(map[string]int, len(old.Entries))
+			for i, e := range old.Entries {
+				idx[e.Name] = i
+			}
+			merged := old.Entries
+			for _, e := range report.Entries {
+				if i, ok := idx[e.Name]; ok {
+					merged[i] = e
+				} else {
+					idx[e.Name] = len(merged)
+					merged = append(merged, e)
+				}
+			}
+			report.Entries = merged
+		}
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -10,8 +10,13 @@ import (
 	"math"
 	"math/rand/v2"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
+
+	"ftqc/internal/bits"
 
 	"ftqc/internal/anyon"
 	"ftqc/internal/concat"
@@ -19,6 +24,7 @@ import (
 	"ftqc/internal/ft"
 	"ftqc/internal/noise"
 	"ftqc/internal/resource"
+	"ftqc/internal/server"
 	"ftqc/internal/spacetime"
 	"ftqc/internal/stream"
 	"ftqc/internal/threshold"
@@ -50,6 +56,8 @@ func main() {
 		{"spacetime", "E22: noisy syndrome extraction — 3D space-time decoding, sustained threshold", cmdSpacetime},
 		{"stream", "E23: streaming windowed decoding — sustained operation in constant memory", cmdStream},
 		{"circuit", "E24: circuit-level extraction — faults at every location, diagonal-edge decoding", cmdCircuit},
+		{"serve", "E25: multi-tenant decode server — N concurrent sessions, commit-latency histograms", cmdServe},
+		{"sessions", "E25: decode-server observability — live session snapshots under churn", cmdSessions},
 		{"thermal", "E18: thermal anyon plasma, e^{-Δ/T} (§7.1)", cmdThermal},
 		{"interferometer", "E19: repeated interferometric measurement (Figs. 18/22)", cmdInterferometer},
 		{"anyon", "E20: A5 fluxon logic — NOT, Toffoli, pull counts (§7.3-7.4)", cmdAnyon},
@@ -508,14 +516,23 @@ func cmdStream(args []string) {
 		if *window > 0 {
 			w = *window
 			c = w / 2
+			if c < 1 {
+				c = 1
+			}
 		}
-		if *commit > 0 && *commit < w {
+		if *commit != 0 {
 			c = *commit
 		}
-		if c < 1 {
-			c = 1
-		}
 		return w, c
+	}
+	// Validate every window shape up front so a bad -window/-commit pair
+	// fails with the stream package's message, not mid-sweep.
+	for _, l := range ls {
+		w, c := winOf(l)
+		if _, err := stream.NewWindow(l, w, c, 1, 1); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
 	}
 	fmt.Println("E23: streaming windowed decoding — syndrome layers decode as they arrive through a")
 	fmt.Println("     sliding W-round window with a commit region; memory is O(L²·W), independent of T")
@@ -536,7 +553,11 @@ func cmdStream(args []string) {
 		for j, l := range ls {
 			seed++
 			w, c := winOf(l)
-			r := stream.Memory(l, roundsOf(l), p, qOf(p), w, c, *samples, seed)
+			r, err := stream.Memory(l, roundsOf(l), p, qOf(p), w, c, *samples, seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(2)
+			}
 			rates[i][j] = r.FailRate()
 			fmt.Printf(" %-16.4e", r.FailRate())
 		}
@@ -588,10 +609,16 @@ func cmdCircuit(args []string) {
 		fmt.Fprintln(os.Stderr, "circuit: the streaming pipeline decodes with union-find (-decoder uf)")
 		os.Exit(2)
 	}
-	if streaming && (*commit < 1 || *commit >= *window) {
-		*commit = *window / 2
-		if *commit < 1 {
-			*commit = 1
+	if streaming {
+		if *commit == 0 {
+			*commit = *window / 2
+			if *commit < 1 {
+				*commit = 1
+			}
+		}
+		if *commit < 1 || *commit >= *window {
+			fmt.Fprintf(os.Stderr, "circuit: -commit must stay in [1, window-1] (got -commit %d with -window %d)\n", *commit, *window)
+			os.Exit(2)
 		}
 	}
 	ls := parseIntList(*sizes)
@@ -616,8 +643,12 @@ func cmdCircuit(args []string) {
 	runPoint := func(l, rounds int, eps float64, k toric.DecoderKind, seed uint64) float64 {
 		P := noise.Uniform(eps)
 		if streaming {
-			w, c := *window, *commit
-			return stream.CircuitMemory(l, rounds, P, w, c, *samples, seed).FailRate()
+			r, err := stream.CircuitMemory(l, rounds, P, *window, *commit, *samples, seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "circuit: %v\n", err)
+				os.Exit(2)
+			}
+			return r.FailRate()
 		}
 		return spacetime.CircuitMemory(l, rounds, P, k, *samples, seed).FailRate()
 	}
@@ -665,6 +696,212 @@ func cmdCircuit(args []string) {
 			fmt.Println("well below the phenomenological p = q ≈ 0.027: every location faults, and CNOTs correlate the defects")
 		}
 	}
+}
+
+// serveSessionCfg builds the session configuration the serve/sessions
+// commands share.
+func serveSessionCfg(model string, l, lanes int, p float64) (server.SessionConfig, bool) {
+	switch model {
+	case "circuit":
+		return server.CircuitLevel(l, lanes, noise.Uniform(p)), true
+	case "phenom":
+		return server.Phenomenological(l, lanes, p, p), true
+	}
+	return server.SessionConfig{}, false
+}
+
+// serveFeed builds the matching syndrome-layer source.
+func serveFeed(cfg server.SessionConfig, p float64, seed uint64) spacetime.LayerFeed {
+	smp := frame.NewAggregateSampler(seed, 5)
+	if cfg.WD > 0 {
+		return spacetime.NewCircuitLayerSource(cfg.L, noise.Uniform(p), cfg.Lanes, smp)
+	}
+	return spacetime.NewLayerSource(cfg.L, p, p, cfg.Lanes, smp)
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	nSessions := fs.Int("sessions", 16, "concurrent logical-qubit sessions")
+	size := fs.Int("L", 8, "code distance")
+	rounds := fs.Int("T", 128, "syndrome rounds streamed per session")
+	lanes := fs.Int("lanes", 64, "Monte Carlo lanes per session (64 shots per machine word)")
+	model := fs.String("model", "circuit", "noise model: circuit (uniform per-location eps) or phenom (p = q)")
+	p := fs.Float64("p", 0.003, "error rate: per-location eps (circuit) or p = q (phenom)")
+	workers := fs.Int("workers", 0, "decode workers in the shared pool (0: GOMAXPROCS)")
+	depth := fs.Int("queue", 16, "per-session ingest queue depth in rounds")
+	adapt := fs.Bool("adapt", false, "adaptive windows: grow/shrink W with the observed defect density")
+	fs.Parse(args)
+	cfg, ok := serveSessionCfg(*model, *size, *lanes, *p)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "serve: unknown model %q (want circuit or phenom)\n", *model)
+		os.Exit(2)
+	}
+	if *nSessions < 1 || *rounds < 1 {
+		fmt.Fprintln(os.Stderr, "serve: -sessions and -T must be positive")
+		os.Exit(2)
+	}
+	if *adapt {
+		cfg.Adapt = &server.AdaptConfig{MinWindow: 4, MaxWindow: 4 * *size, GrowAt: 0.05, ShrinkAt: 0.005}
+		if cfg.Window < 4 {
+			cfg.Window = 4
+		}
+	}
+	srv := server.New(server.Config{Workers: *workers, QueueDepth: *depth})
+	fmt.Printf("E25: decode server — %d concurrent %s sessions, L=%d, %d lanes, %d rounds each\n",
+		*nSessions, *model, *size, *lanes, *rounds)
+
+	handles := make([]*server.Session, *nSessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *nSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := srv.Open(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: open session %d: %v\n", i, err)
+				os.Exit(2)
+			}
+			handles[i] = s
+			feed := serveFeed(cfg, *p, 9000+uint64(i))
+			nc := *size * *size
+			layerX := bits.NewVecs(nc, *lanes)
+			layerZ := bits.NewVecs(nc, *lanes)
+			for r := 0; r < *rounds; r++ {
+				feed.NextLayers(layerX, layerZ)
+				if err := s.Submit(layerX, layerZ); err != nil {
+					fmt.Fprintf(os.Stderr, "serve: session %d round %d: %v\n", i, r, err)
+					os.Exit(2)
+				}
+			}
+			feed.CloseLayers(layerX, layerZ)
+			if err := s.CloseWith(layerX, layerZ); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: close session %d: %v\n", i, err)
+				os.Exit(2)
+			}
+			if _, err := s.Wait(); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: session %d: %v\n", i, err)
+				os.Exit(2)
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	srv.Shutdown()
+
+	fmt.Printf("\n%-5s %-8s %-10s %-9s %-8s %-10s %-10s %-10s %-10s\n",
+		"id", "window", "committed", "defects", "density", "p50", "p90", "p99", "max")
+	var agg []server.HistSnapshot
+	for _, s := range handles {
+		st := s.Stats()
+		agg = append(agg, st.Latency)
+		fmt.Printf("%-5d %-8d %-10d %-9d %-8.4f %-10v %-10v %-10v %-10v\n",
+			st.ID, st.Window, st.Committed, st.Defects, st.DefectDensity,
+			st.Latency.P50, st.Latency.P90, st.Latency.P99, st.Latency.Max)
+	}
+	total := *nSessions * *rounds
+	fmt.Printf("\nsustained throughput: %d rounds across %d sessions in %v = %.0f rounds/s (%.2e lane-rounds/s)\n",
+		total, *nSessions, wall.Round(time.Millisecond), float64(total)/wall.Seconds(),
+		float64(total)*float64(*lanes)/wall.Seconds())
+
+	// Aggregate commit-latency histogram (enqueue → commit, all sessions).
+	merged := map[time.Duration]uint64{}
+	var grand uint64
+	for _, h := range agg {
+		for _, b := range h.Buckets {
+			merged[b.UpTo] += b.Count
+			grand += b.Count
+		}
+	}
+	ups := make([]time.Duration, 0, len(merged))
+	for up := range merged {
+		ups = append(ups, up)
+	}
+	sort.Slice(ups, func(i, j int) bool { return ups[i] < ups[j] })
+	fmt.Println("\naggregate commit-latency histogram:")
+	for _, up := range ups {
+		n := merged[up]
+		bar := strings.Repeat("#", int(1+59*n/grand))
+		fmt.Printf("  ≤ %-10v %8d  %s\n", up, n, bar)
+	}
+	fmt.Println("\ncommit latency is the real-time figure of merit: the decoder must keep")
+	fmt.Println("pace with syndrome extraction for every logical qubit simultaneously")
+}
+
+func cmdSessions(args []string) {
+	fs := flag.NewFlagSet("sessions", flag.ExitOnError)
+	churners := fs.Int("sessions", 6, "concurrent session slots churning open/stream/close")
+	workers := fs.Int("workers", 0, "decode workers in the shared pool (0: GOMAXPROCS)")
+	snaps := fs.Int("snapshots", 3, "how many live snapshots to print")
+	fs.Parse(args)
+	srv := server.New(server.Config{Workers: *workers})
+	fmt.Println("E25: decode-server observability — sessions opening, streaming, and closing")
+	fmt.Println("     while Snapshot reads their stats without disturbing the pipelines")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < *churners; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for it := 0; ; it++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				model := "phenom"
+				if (c+it)%2 == 0 {
+					model = "circuit"
+				}
+				p := 0.002 + 0.004*float64(c%3)
+				if model == "phenom" {
+					p = 0.01 + 0.01*float64(c%3)
+				}
+				cfg, _ := serveSessionCfg(model, 4+2*(c%2), 64, p)
+				s, err := srv.Open(cfg)
+				if err != nil {
+					return // draining
+				}
+				feed := serveFeed(cfg, p, 9500+uint64(16*c+it))
+				nc := cfg.L * cfg.L
+				layerX := bits.NewVecs(nc, cfg.Lanes)
+				layerZ := bits.NewVecs(nc, cfg.Lanes)
+				for r := 0; r < 40; r++ {
+					feed.NextLayers(layerX, layerZ)
+					if s.Submit(layerX, layerZ) != nil {
+						return
+					}
+					time.Sleep(2 * time.Millisecond) // a quantum clock, not a tight loop
+				}
+				feed.CloseLayers(layerX, layerZ)
+				if s.CloseWith(layerX, layerZ) != nil {
+					return
+				}
+				if _, err := s.Wait(); err != nil {
+					return
+				}
+			}
+		}(c)
+	}
+	for i := 0; i < *snaps; i++ {
+		time.Sleep(60 * time.Millisecond)
+		stats := srv.Snapshot()
+		fmt.Printf("\nsnapshot %d: %d open sessions\n", i+1, len(stats))
+		fmt.Printf("  %-4s %-8s %-4s %-8s %-8s %-10s %-9s %-10s\n",
+			"id", "model", "L", "window", "rounds", "committed", "density", "p50 lat")
+		for _, st := range stats {
+			model := "phenom"
+			if st.Circuit {
+				model = "circuit"
+			}
+			fmt.Printf("  %-4d %-8s %-4d %-8d %-8d %-10d %-9.4f %-10v\n",
+				st.ID, model, st.L, st.Window, st.Rounds, st.Committed, st.DefectDensity, st.Latency.P50)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	srv.Shutdown()
+	fmt.Printf("\nchurn stopped, server drained: %d sessions remain open\n", len(srv.Snapshot()))
 }
 
 // parseIntList parses a comma-separated list of lattice sizes.

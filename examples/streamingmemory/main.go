@@ -22,7 +22,10 @@ func main() {
 	fmt.Println("\nwindowed vs whole-volume decode (L=4, T=16, p=q=0.02):")
 	fmt.Printf("%-34s %-12s %-12s %-12s\n", "", "fail (any)", "bit-flip", "phase-flip")
 	vol := ftqc.SpacetimeMemory(4, 16, 0.02, 0.02, samples, 41)
-	str := ftqc.StreamingMemory(4, 16, 0.02, 0.02, samples, 42)
+	str, err := ftqc.StreamingMemory(4, 16, 0.02, 0.02, samples, 42)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("%-34s %-12.4e %-12.4e %-12.4e\n", "whole volume (17 layers at once)", vol.FailRate(), vol.FailRateX(), vol.FailRateZ())
 	fmt.Printf("%-34s %-12.4e %-12.4e %-12.4e\n",
 		fmt.Sprintf("window W=%d, commit %d (slides)", str.Window, str.Commit), str.FailRate(), str.FailRateX(), str.FailRateZ())
@@ -30,14 +33,20 @@ func main() {
 	fmt.Println("\nthe window height is a latency/accuracy knob (L=4, T=16, p=q=0.02):")
 	fmt.Printf("%-10s %-10s %-12s\n", "window", "commit", "fail (any)")
 	for _, w := range []int{2, 4, 8, 12} {
-		r := ftqc.StreamingMemoryWith(4, 16, 0.02, 0.02, w, w/2, samples, 43)
+		r, err := ftqc.StreamingMemoryWith(4, 16, 0.02, 0.02, w, w/2, samples, 43)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-10d %-10d %-12.4e\n", r.Window, r.Commit, r.FailRate())
 	}
 
 	fmt.Println("\nholding the memory 16× longer (L=4, p=q=0.015, W=8):")
 	fmt.Printf("%-10s %-14s %-18s\n", "rounds", "fail (any)", "fail per round")
 	for _, rounds := range []int{16, 64, 256} {
-		r := ftqc.StreamingMemoryWith(4, rounds, 0.015, 0.015, 8, 4, samples, 44)
+		r, err := ftqc.StreamingMemoryWith(4, rounds, 0.015, 0.015, 8, 4, samples, 44)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-10d %-14.4e %-18.4e\n", rounds, r.FailRate(), r.FailRate()/float64(rounds))
 	}
 	fmt.Println("(the failure rate per round is the sustained figure of merit; the")

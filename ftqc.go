@@ -89,6 +89,7 @@ import (
 	"ftqc/internal/group"
 	"ftqc/internal/noise"
 	"ftqc/internal/resource"
+	"ftqc/internal/server"
 	"ftqc/internal/spacetime"
 	"ftqc/internal/statevec"
 	"ftqc/internal/stream"
@@ -341,8 +342,9 @@ func CircuitSustainedThreshold(l1, l2 int, grid []float64, samples int, seed uin
 // StreamingCircuitMemory runs the circuit-level memory through the
 // sliding-window streaming decoder with the default W = 2L window: the
 // extraction circuit streams round by round and the diagonal-edge
-// windows decode and commit as they go.
-func StreamingCircuitMemory(l, rounds int, eps float64, samples int, seed uint64) StreamingResult {
+// windows decode and commit as they go. It errors on invalid lattice,
+// round, or window parameters instead of panicking mid-decode.
+func StreamingCircuitMemory(l, rounds int, eps float64, samples int, seed uint64) (StreamingResult, error) {
 	return stream.CircuitMemory(l, rounds, noise.Uniform(eps), 0, 0, samples, seed)
 }
 
@@ -364,15 +366,16 @@ type (
 // behind the window, and per-lane memory stays O(L²·W) no matter how
 // many rounds stream past. With W ≥ rounds it reproduces the
 // whole-volume SpacetimeMemory decode bit for bit.
-func StreamingMemory(l, rounds int, p, q float64, samples int, seed uint64) StreamingResult {
+func StreamingMemory(l, rounds int, p, q float64, samples int, seed uint64) (StreamingResult, error) {
 	w, c := stream.DefaultWindow(l)
 	return stream.Memory(l, rounds, p, q, w, c, samples, seed)
 }
 
 // StreamingMemoryWith is StreamingMemory with explicit window-size
 // knobs: `window` buffered rounds per decode, `commit` rounds finalized
-// per slide (0 picks the defaults).
-func StreamingMemoryWith(l, rounds int, p, q float64, window, commit int, samples int, seed uint64) StreamingResult {
+// per slide (0 picks the defaults). Invalid window shapes (commit not
+// in [1, window-1], window < 2, ...) are reported as errors.
+func StreamingMemoryWith(l, rounds int, p, q float64, window, commit int, samples int, seed uint64) (StreamingResult, error) {
 	return stream.Memory(l, rounds, p, q, window, commit, samples, seed)
 }
 
@@ -384,7 +387,7 @@ func StreamingMemoryWith(l, rounds int, p, q float64, window, commit int, sample
 // differ from the rounds-derived weights StreamingMemory uses; for
 // exact parity with a Memory result, build stream.NewSession with
 // explicit spacetime.Weights(p, q, l, rounds).
-func NewStreamSession(l, window, commit int, p, q float64) *StreamSession {
+func NewStreamSession(l, window, commit int, p, q float64) (*StreamSession, error) {
 	wh, wv := spacetime.Weights(p, q, l, window)
 	return stream.NewSession(l, window, commit, wh, wv)
 }
@@ -394,4 +397,42 @@ func NewStreamSession(l, window, commit int, p, q float64) *StreamSession {
 // threshold measured in genuine streaming operation.
 func StreamingSustainedThreshold(l1, l2 int, grid []float64, samples int, seed uint64) (float64, []stream.ThresholdPoint) {
 	return stream.SustainedThreshold(l1, l2, grid, samples, seed)
+}
+
+// Multi-tenant decode serving (internal/server).
+type (
+	// DecodeServer multiplexes many concurrent logical-qubit streaming
+	// sessions over one shared decode worker pool, with per-session
+	// bounded ingest queues, graceful drain, commit-latency histograms,
+	// and optional adaptive windows.
+	DecodeServer = server.Server
+	// DecodeServerConfig sizes the server: worker count, per-session
+	// queue depth, and the overflow policy.
+	DecodeServerConfig = server.Config
+	// DecodeSession is one live logical-qubit stream on a DecodeServer.
+	DecodeSession = server.Session
+	// DecodeSessionConfig describes a session's lattice, lane count, and
+	// window shape; build one with server.Phenomenological or
+	// server.CircuitLevel, or fill it by hand.
+	DecodeSessionConfig = server.SessionConfig
+	// DecodeSessionStats is a point-in-time observability snapshot of
+	// one session.
+	DecodeSessionStats = server.SessionStats
+)
+
+// NewDecodeServer starts a multi-tenant streaming decode server: a
+// shared decoder worker fleet plus interned window graphs, ready to
+// Open any number of concurrent sessions. Shut it down when done.
+func NewDecodeServer(cfg DecodeServerConfig) *DecodeServer { return server.New(cfg) }
+
+// PhenomenologicalSession describes a rate-(p, q) phenomenological
+// streaming session with the default W = 2L window.
+func PhenomenologicalSession(l, lanes int, p, q float64) DecodeSessionConfig {
+	return server.Phenomenological(l, lanes, p, q)
+}
+
+// CircuitSession describes a circuit-level streaming session (diagonal
+// detector edges) under uniform per-location rate eps.
+func CircuitSession(l, lanes int, eps float64) DecodeSessionConfig {
+	return server.CircuitLevel(l, lanes, noise.Uniform(eps))
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"ftqc/internal/bits"
 	"ftqc/internal/noise"
 )
 
@@ -138,7 +139,10 @@ func TestFacadeCircuit(t *testing.T) {
 	if r.FailRate() > 0.5 {
 		t.Fatalf("L=3 circuit memory at eps=0.004 implausibly noisy: %+v", r)
 	}
-	sr := StreamingCircuitMemory(3, 8, 0.004, 300, 6)
+	sr, err := StreamingCircuitMemory(3, 8, 0.004, 300, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sr.Samples != 300 || sr.Window != 6 || sr.Commit != 3 {
 		t.Fatalf("streaming circuit result malformed: %+v", sr)
 	}
@@ -148,22 +152,78 @@ func TestFacadeCircuit(t *testing.T) {
 }
 
 func TestFacadeStreaming(t *testing.T) {
-	r := StreamingMemory(4, 16, 0.02, 0.02, 1000, 13)
+	r, err := StreamingMemory(4, 16, 0.02, 0.02, 1000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Samples != 1000 || r.L != 4 || r.T != 16 || r.Window != 8 || r.Commit != 4 {
 		t.Fatalf("streaming memory wrong: %+v", r)
 	}
 	if r.Failures < r.FailX || r.Failures < r.FailZ {
 		t.Fatalf("sector accounting broken: %+v", r)
 	}
-	if a := StreamingMemory(4, 16, 0.02, 0.02, 1000, 13); a != r {
+	if a, _ := StreamingMemory(4, 16, 0.02, 0.02, 1000, 13); a != r {
 		t.Fatalf("streaming memory not deterministic: %+v vs %+v", a, r)
 	}
-	w := StreamingMemoryWith(4, 10, 0.02, 0.02, 5, 2, 500, 14)
+	w, err := StreamingMemoryWith(4, 10, 0.02, 0.02, 5, 2, 500, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if w.Window != 5 || w.Commit != 2 || w.Samples != 500 {
 		t.Fatalf("window knobs ignored: %+v", w)
+	}
+	if _, err := StreamingMemoryWith(4, 10, 0.02, 0.02, 5, 5, 500, 14); err == nil {
+		t.Fatal("commit == window accepted")
+	}
+	if _, err := NewStreamSession(1, 8, 4, 0.02, 0.02); err == nil {
+		t.Fatal("L=1 stream session accepted")
 	}
 	er := ErasedSpacetimeMemory(4, 3, 0.01, 0.01, 0.08, 0.08, 500, 15)
 	if er.Pe != 0.08 || er.Qe != 0.08 || er.Samples != 500 {
 		t.Fatalf("erased spacetime memory wrong: %+v", er)
+	}
+}
+
+func TestFacadeDecodeServer(t *testing.T) {
+	srv := NewDecodeServer(DecodeServerConfig{Workers: 2})
+	sessions := make([]*DecodeSession, 3)
+	for i := range sessions {
+		var cfg DecodeSessionConfig
+		if i%2 == 0 {
+			cfg = PhenomenologicalSession(3, 16, 0.02, 0.02)
+		} else {
+			cfg = CircuitSession(3, 16, 0.003)
+		}
+		s, err := srv.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+		layerX := bits.NewVecs(9, 16)
+		layerZ := bits.NewVecs(9, 16)
+		for r := 0; r < 8; r++ {
+			if err := s.Submit(layerX, layerZ); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.CloseWith(layerX, layerZ); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range sessions {
+		res, err := s.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Finished || res.Committed != 8 {
+			t.Fatalf("session %d incomplete: %+v", i, res)
+		}
+		if st := s.Stats(); st.Latency.Count == 0 || st.Rounds != 8 {
+			t.Fatalf("session %d stats empty: %+v", i, st)
+		}
+	}
+	srv.Shutdown()
+	if _, err := srv.Open(PhenomenologicalSession(3, 8, 0.02, 0.02)); err == nil {
+		t.Fatal("Open after Shutdown accepted")
 	}
 }

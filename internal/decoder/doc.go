@@ -84,13 +84,22 @@
 //
 // # Decode service
 //
-// Service wraps any decoder Graph in a long-lived worker pool: batched
+// Service wraps decoder Graphs in a long-lived worker pool: batched
 // Shot submissions (defects + optional erasure) in, per-shot correction
 // edge lists out, in submission order. Workers reuse UnionFind scratch
 // across submissions and results land in indexed slots, so a batch's
 // output is bit-identical for any worker count — the deployable shape
 // of the decode stage (the streaming window pipeline submits every
-// slide through one).
+// slide through one). NewService(g, n) binds a service to one graph;
+// NewPool(n) is the unbound form, routing each SubmitOn(g, shots) batch
+// to its graph with per-graph scratch pools — one fleet can serve every
+// window graph in the process, which is how internal/server multiplexes
+// many sessions over shared workers.
+//
+// The lifecycle is part of the contract: Close is idempotent, drains
+// in-flight submissions before releasing the workers, and any
+// Submit/SubmitOn/Decode after Close returns ErrClosed — never a panic
+// — so concurrent producers racing a shutdown fail soft.
 //
 // # Determinism contract
 //
@@ -129,6 +138,15 @@
 //     Decodes against one graph from one instance — yields the same
 //     output as a fresh instance per call. The Service's worker pool
 //     relies on exactly this to share instances across submissions.
+//   - Multi-graph scheduling is invisible too: a pool interleaving
+//     batches for many graphs (many streaming sessions) gives every
+//     batch the same corrections a dedicated single-graph service
+//     would, because each shot's output is a pure function of (graph,
+//     defects, erasure) and lands in its own indexed slot. Tenants
+//     sharing a pool cannot perturb each other's results — only their
+//     latency — which is the property the multi-session decode server
+//     (internal/server) pins with its server-vs-standalone equivalence
+//     suite.
 //
 // No map iteration, clock, or scheduling enters any decision, so a
 // decode's output depends only on (graph, defect list, erasure) — the

@@ -1,10 +1,20 @@
 package decoder
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrClosed is returned by Submit/Decode on a Service that has been
+// Closed. A closed service never panics on late submissions — the
+// lifecycle contract a long-lived multi-tenant server depends on.
+var ErrClosed = errors.New("decoder: service closed")
+
+// errNoGraph is returned when an unbound pool is submitted to without a
+// graph, or when a nil graph is passed explicitly.
+var errNoGraph = errors.New("decoder: no decoding graph for submission")
 
 // Shot is one decode request to a Service: a defect list and optional
 // known-erased edges (both in the graph's index space). The slices are
@@ -15,26 +25,35 @@ type Shot struct {
 	Erased  []int
 }
 
-// Service is a long-lived decode worker pool over a fixed Graph — the
-// shape a control-system consumer calls at scale: batched shot
-// submissions in, corrections out. Workers hold their UnionFind scratch
-// across submissions (epoch-stamped arrays make reuse free), so a
-// sustained stream of windows pays allocation only for the result
-// slices. Results are written into per-shot slots in submission order,
-// which makes every batch's output bit-identical for any worker count
-// or scheduling — the same determinism contract as the rest of the
-// package. Submit may be called from any number of goroutines.
+// Service is a long-lived decode worker pool — the shape a
+// control-system consumer calls at scale: batched shot submissions in,
+// corrections out. A service bound to one Graph (NewService) decodes
+// that graph; an unbound pool (NewPool) multiplexes submissions against
+// any number of graphs (SubmitOn), which is how one worker fleet serves
+// many concurrent sessions with different window shapes. Workers hold
+// per-graph UnionFind scratch across submissions (epoch-stamped arrays
+// make reuse free), so a sustained stream of windows pays allocation
+// only for the result slices. Results are written into per-shot slots
+// in submission order, which makes every batch's output bit-identical
+// for any worker count, scheduling, or interleaving with other
+// sessions' batches — the same determinism contract as the rest of the
+// package. Submit may be called from any number of goroutines, before
+// and after Close: post-Close submissions return ErrClosed, and Close
+// itself is idempotent.
 type Service struct {
-	g       *Graph
+	g       *Graph // default graph; nil for an unbound pool
 	workers int
 	tasks   chan serviceSpan
 	wg      sync.WaitGroup
-	scratch sync.Pool // *UnionFind, shared so idle workers' state is reused
+	mu      sync.RWMutex // guards closed vs. in-flight sends on tasks
+	closed  bool
+	scratch sync.Map // *Graph → *sync.Pool of *UnionFind, one per served graph
 }
 
 // serviceSpan is one worker-sized slice of a submitted batch.
 type serviceSpan struct {
 	b      *Batch
+	pool   *sync.Pool
 	lo, hi int
 }
 
@@ -47,19 +66,27 @@ type Batch struct {
 	done    chan struct{}
 }
 
-// NewService starts a decode pool of the given worker count over g
+// NewService starts a decode pool of the given worker count bound to g
 // (workers <= 0 means GOMAXPROCS). Close releases the workers; a
 // Service is meant to outlive many submissions.
 func NewService(g *Graph, workers int) *Service {
+	s := NewPool(workers)
+	s.g = g
+	return s
+}
+
+// NewPool starts an unbound decode pool: submissions name their graph
+// via SubmitOn/DecodeOn, and the pool keeps one scratch set per graph.
+// This is the fleet shape of a multi-tenant decode server — one worker
+// budget shared across every session's window graphs.
+func NewPool(workers int) *Service {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	s := &Service{
-		g:       g,
 		workers: workers,
 		tasks:   make(chan serviceSpan, 4*workers),
 	}
-	s.scratch.New = func() any { return NewUnionFind(g) }
 	s.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go s.worker()
@@ -67,16 +94,27 @@ func NewService(g *Graph, workers int) *Service {
 	return s
 }
 
-// Graph returns the decoding graph the service is bound to.
+// Graph returns the decoding graph the service is bound to (nil for an
+// unbound pool).
 func (s *Service) Graph() *Graph { return s.g }
 
 // Workers returns the pool size.
 func (s *Service) Workers() int { return s.workers }
 
-// Submit enqueues a batch of shots and returns immediately; call Wait
-// on the returned Batch for the corrections. An empty batch completes
-// at once.
-func (s *Service) Submit(shots []Shot) *Batch {
+// Submit enqueues a batch of shots against the bound graph and returns
+// immediately; call Wait on the returned Batch for the corrections. An
+// empty batch completes at once. After Close it returns ErrClosed.
+func (s *Service) Submit(shots []Shot) (*Batch, error) {
+	return s.SubmitOn(s.g, shots)
+}
+
+// SubmitOn is Submit against an explicit graph — the multi-graph entry
+// point of an unbound pool. Batches against different graphs share the
+// same workers; each batch's output depends only on (graph, shots).
+func (s *Service) SubmitOn(g *Graph, shots []Shot) (*Batch, error) {
+	if g == nil {
+		return nil, errNoGraph
+	}
 	b := &Batch{
 		shots: shots,
 		out:   make([][]int32, len(shots)),
@@ -84,7 +122,7 @@ func (s *Service) Submit(shots []Shot) *Batch {
 	}
 	if len(shots) == 0 {
 		close(b.done)
-		return b
+		return b, nil
 	}
 	// Span size balances queue traffic against tail latency: a few spans
 	// per worker lets fast workers steal from slow ones.
@@ -94,21 +132,51 @@ func (s *Service) Submit(shots []Shot) *Batch {
 	}
 	spans := (len(shots) + span - 1) / span
 	b.pending.Store(int64(spans))
+	pool := s.scratchFor(g)
+	// The read lock pins the lifecycle: Close takes the write lock, so
+	// the tasks channel cannot close mid-send and a post-Close submit
+	// observes `closed` and returns cleanly instead of panicking.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
 	for lo := 0; lo < len(shots); lo += span {
 		hi := lo + span
 		if hi > len(shots) {
 			hi = len(shots)
 		}
-		s.tasks <- serviceSpan{b: b, lo: lo, hi: hi}
+		s.tasks <- serviceSpan{b: b, pool: pool, lo: lo, hi: hi}
 	}
-	return b
+	return b, nil
+}
+
+// scratchFor returns the per-graph UnionFind pool, creating it on first
+// use. Sharing one pool per graph (rather than one instance per worker)
+// keeps the grown-region arrays warm even when the scheduler migrates
+// work between workers.
+func (s *Service) scratchFor(g *Graph) *sync.Pool {
+	if p, ok := s.scratch.Load(g); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := s.scratch.LoadOrStore(g, &sync.Pool{New: func() any { return NewUnionFind(g) }})
+	return p.(*sync.Pool)
 }
 
 // Decode is Submit followed by Wait: corrections for every shot, in
 // submission order. corr[i] lists shot i's correction edges in the
 // decoder's deterministic emit order.
-func (s *Service) Decode(shots []Shot) [][]int32 {
-	return s.Submit(shots).Wait()
+func (s *Service) Decode(shots []Shot) ([][]int32, error) {
+	return s.DecodeOn(s.g, shots)
+}
+
+// DecodeOn is Decode against an explicit graph.
+func (s *Service) DecodeOn(g *Graph, shots []Shot) ([][]int32, error) {
+	b, err := s.SubmitOn(g, shots)
+	if err != nil {
+		return nil, err
+	}
+	return b.Wait(), nil
 }
 
 // Wait blocks until the batch is fully decoded and returns the
@@ -118,20 +186,27 @@ func (b *Batch) Wait() [][]int32 {
 	return b.out
 }
 
-// Close shuts the pool down after all queued work drains. The Service
-// must not be used afterwards.
+// Close shuts the pool down after all queued work drains. Submissions
+// already accepted complete normally; later Submits return ErrClosed.
+// Close is idempotent — closing twice (or from several goroutines) is
+// a no-op after the first.
 func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
 	close(s.tasks)
+	s.mu.Unlock()
 	s.wg.Wait()
 }
 
-// worker drains span tasks with a pooled UnionFind. The scratch pool
-// (rather than one instance per worker) keeps the grown-region arrays
-// warm even when the scheduler migrates work between workers.
+// worker drains span tasks with the task's per-graph pooled UnionFind.
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for t := range s.tasks {
-		uf := s.scratch.Get().(*UnionFind)
+		uf := t.pool.Get().(*UnionFind)
 		for i := t.lo; i < t.hi; i++ {
 			shot := t.b.shots[i]
 			var corr []int32
@@ -140,7 +215,7 @@ func (s *Service) worker() {
 			})
 			t.b.out[i] = corr
 		}
-		s.scratch.Put(uf)
+		t.pool.Put(uf)
 		if t.b.pending.Add(-1) == 0 {
 			close(t.b.done)
 		}

@@ -1,6 +1,7 @@
 package decoder
 
 import (
+	"errors"
 	"math/rand/v2"
 	"sync"
 	"testing"
@@ -53,6 +54,17 @@ func randomShots(g *Graph, count int, rng *rand.Rand) []Shot {
 	return shots
 }
 
+// mustDecode fails the test on a submission error — for tests where the
+// service is known to be open.
+func mustDecode(t *testing.T, svc *Service, shots []Shot) [][]int32 {
+	t.Helper()
+	out, err := svc.Decode(shots)
+	if err != nil {
+		t.Fatalf("Decode on open service: %v", err)
+	}
+	return out
+}
+
 // TestServiceMatchesDirectDecode: the service must return exactly what
 // a private UnionFind emits for every shot, in order.
 func TestServiceMatchesDirectDecode(t *testing.T) {
@@ -61,7 +73,7 @@ func TestServiceMatchesDirectDecode(t *testing.T) {
 	shots := randomShots(g, 137, rng)
 	svc := NewService(g, 3)
 	defer svc.Close()
-	got := svc.Decode(shots)
+	got := mustDecode(t, svc, shots)
 	uf := NewUnionFind(g)
 	for i, shot := range shots {
 		var want []int32
@@ -86,7 +98,7 @@ func TestServiceWorkerCountInvariant(t *testing.T) {
 	var ref [][]int32
 	for _, workers := range []int{1, 2, 7, 16} {
 		svc := NewService(g, workers)
-		out := svc.Decode(shots)
+		out := mustDecode(t, svc, shots)
 		svc.Close()
 		if ref == nil {
 			ref = out
@@ -119,7 +131,11 @@ func TestServiceConcurrentSubmitters(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewPCG(85, uint64(c)))
 			shots := randomShots(g, 64, rng)
-			out := svc.Decode(shots)
+			out, err := svc.Decode(shots)
+			if err != nil {
+				t.Errorf("submitter %d: %v", c, err)
+				return
+			}
 			uf := NewUnionFind(g)
 			for i, shot := range shots {
 				var want []int32
@@ -145,10 +161,125 @@ func TestServiceEmptyBatch(t *testing.T) {
 	g := torusTestGraph(4)
 	svc := NewService(g, 2)
 	defer svc.Close()
-	if out := svc.Decode(nil); len(out) != 0 {
+	if out := mustDecode(t, svc, nil); len(out) != 0 {
 		t.Fatalf("empty batch returned %d results", len(out))
 	}
-	if out := svc.Decode([]Shot{{}, {}}); len(out) != 2 || out[0] != nil || out[1] != nil {
+	if out := mustDecode(t, svc, []Shot{{}, {}}); len(out) != 2 || out[0] != nil || out[1] != nil {
 		t.Fatalf("empty shots must decode to empty corrections, got %v", out)
 	}
+}
+
+// TestServiceLifecycle is the regression test for the closed-channel
+// panics: Submit/Decode after Close return ErrClosed (never panic),
+// and Close is idempotent from any number of goroutines.
+func TestServiceLifecycle(t *testing.T) {
+	g := torusTestGraph(4)
+	rng := rand.New(rand.NewPCG(87, 88))
+	shots := randomShots(g, 16, rng)
+
+	svc := NewService(g, 2)
+	if _, err := svc.Decode(shots); err != nil {
+		t.Fatalf("decode before close: %v", err)
+	}
+	svc.Close()
+	svc.Close() // double-Close must be a no-op
+	if _, err := svc.Submit(shots); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := svc.Decode(shots); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Decode after Close: err = %v, want ErrClosed", err)
+	}
+
+	// Concurrent closers racing each other must all return cleanly.
+	svc2 := NewService(g, 2)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); svc2.Close() }()
+	}
+	wg.Wait()
+}
+
+// TestServiceSubmitCloseChurn races submitters against Close under the
+// race detector: every Submit either completes with a full answer or
+// returns ErrClosed — no panics, no lost batches.
+func TestServiceSubmitCloseChurn(t *testing.T) {
+	g := torusTestGraph(5)
+	for trial := 0; trial < 6; trial++ {
+		svc := NewService(g, 3)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for c := 0; c < 6; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(89, uint64(16*trial+c)))
+				shots := randomShots(g, 32, rng)
+				<-start
+				for i := 0; i < 20; i++ {
+					b, err := svc.Submit(shots)
+					if err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("submitter %d: unexpected error %v", c, err)
+						}
+						return
+					}
+					out := b.Wait()
+					if len(out) != len(shots) {
+						t.Errorf("submitter %d: accepted batch returned %d/%d results", c, len(out), len(shots))
+						return
+					}
+				}
+			}(c)
+		}
+		close(start)
+		svc.Close()
+		wg.Wait()
+	}
+}
+
+// TestPoolMultiGraph: one unbound pool serves several graphs at once,
+// and every batch matches its graph's direct decode regardless of the
+// interleaving.
+func TestPoolMultiGraph(t *testing.T) {
+	graphs := []*Graph{torusTestGraph(4), torusTestGraph(5), torusTestGraph(6)}
+	pool := NewPool(4)
+	defer pool.Close()
+	if pool.Graph() != nil {
+		t.Fatalf("unbound pool must have no default graph")
+	}
+	if _, err := pool.Submit(nil); err == nil {
+		t.Fatalf("Submit on an unbound pool without a graph must error")
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 9; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			g := graphs[c%len(graphs)]
+			rng := rand.New(rand.NewPCG(91, uint64(c)))
+			shots := randomShots(g, 48, rng)
+			out, err := pool.DecodeOn(g, shots)
+			if err != nil {
+				t.Errorf("session %d: %v", c, err)
+				return
+			}
+			uf := NewUnionFind(g)
+			for i, shot := range shots {
+				var want []int32
+				uf.DecodeErased(shot.Defects, shot.Erased, func(e int) { want = append(want, int32(e)) })
+				if len(out[i]) != len(want) {
+					t.Errorf("session %d shot %d: %d edges, want %d", c, i, len(out[i]), len(want))
+					return
+				}
+				for k := range want {
+					if out[i][k] != want[k] {
+						t.Errorf("session %d shot %d: edge %d differs", c, i, k)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
 }

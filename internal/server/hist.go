@@ -1,0 +1,107 @@
+package server
+
+import (
+	mbits "math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets spans 1ns to ~2.3h in power-of-two buckets — bucket i
+// counts observations in [2^(i-1), 2^i) ns (bucket 0 is exactly zero).
+const histBuckets = 44
+
+// Hist is a lock-free latency histogram with power-of-two buckets,
+// cheap enough to sit on every commit in the hot path. Observe and
+// Snapshot may race freely; a snapshot is a consistent-enough view for
+// monitoring (counts are monotone).
+type Hist struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// Observe records one latency.
+func (h *Hist) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	b := mbits.Len64(ns)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time summary of a commit-latency
+// histogram. Quantiles are bucket upper bounds (within 2× of exact).
+type HistSnapshot struct {
+	Count              uint64
+	Mean               time.Duration
+	P50, P90, P99, Max time.Duration
+	Buckets            []HistBucket // non-empty buckets, ascending
+}
+
+// HistBucket is one non-empty power-of-two bucket: Count observations
+// at most UpTo.
+type HistBucket struct {
+	UpTo  time.Duration
+	Count uint64
+}
+
+// Snapshot summarizes the histogram.
+func (h *Hist) Snapshot() HistSnapshot {
+	var counts [histBuckets]uint64
+	total := uint64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistSnapshot{Count: total, Max: time.Duration(h.max.Load())}
+	if total == 0 {
+		return s
+	}
+	s.Mean = time.Duration(h.sum.Load() / total)
+	quantile := func(q float64) time.Duration {
+		target := uint64(q * float64(total))
+		if target >= total {
+			target = total - 1
+		}
+		cum := uint64(0)
+		for i, c := range counts {
+			cum += c
+			if cum > target {
+				up := bucketUpper(i)
+				if up > s.Max {
+					up = s.Max
+				}
+				return up
+			}
+		}
+		return s.Max
+	}
+	s.P50, s.P90, s.P99 = quantile(0.50), quantile(0.90), quantile(0.99)
+	for i, c := range counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{UpTo: bucketUpper(i), Count: c})
+		}
+	}
+	return s
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i in ns.
+func bucketUpper(i int) time.Duration {
+	if i == 0 {
+		return 0
+	}
+	return time.Duration(uint64(1) << uint(i))
+}

@@ -1,0 +1,643 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftqc/internal/bits"
+	"ftqc/internal/decoder"
+	"ftqc/internal/noise"
+	"ftqc/internal/spacetime"
+	"ftqc/internal/stream"
+)
+
+var (
+	// ErrDraining rejects new sessions and new rounds once Shutdown has
+	// begun.
+	ErrDraining = errors.New("server: draining, not accepting new work")
+	// ErrSessionClosed rejects submissions to a closed session.
+	ErrSessionClosed = errors.New("server: session closed")
+	// ErrBacklog is the OverflowReject fast-fail: the session's ingest
+	// queue is full.
+	ErrBacklog = errors.New("server: session ingest queue full")
+)
+
+// OverflowPolicy picks what Submit does when a session's bounded ingest
+// queue is full.
+type OverflowPolicy int
+
+const (
+	// OverflowBlock stalls Submit until the decode frees a slot — the
+	// lossless default (difference syndromes cannot tolerate a dropped
+	// round).
+	OverflowBlock OverflowPolicy = iota
+	// OverflowReject returns ErrBacklog immediately and counts the
+	// overflow; the producer decides how to shed load.
+	OverflowReject
+)
+
+// Config shapes a decode server.
+type Config struct {
+	// Workers is the shared decode pool size (<= 0: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds each session's ingest queue in rounds
+	// (<= 0: 16).
+	QueueDepth int
+	// Overflow is the per-session policy when the queue is full.
+	Overflow OverflowPolicy
+}
+
+// AdaptConfig turns on adaptive windows for a session: the server
+// grows/shrinks W (and the half-window commit) online from the
+// observed defect density, trading commit latency against decode
+// context.
+type AdaptConfig struct {
+	// MinWindow/MaxWindow bound W (MinWindow >= 2).
+	MinWindow, MaxWindow int
+	// GrowAt/ShrinkAt are defect-density thresholds (defects per
+	// detector per round per lane): density above GrowAt widens the
+	// window, below ShrinkAt narrows it. GrowAt >= ShrinkAt.
+	GrowAt, ShrinkAt float64
+	// Cooldown is the minimum number of slides between window moves
+	// (<= 0: 2).
+	Cooldown int
+}
+
+// SessionConfig shapes one logical-qubit session. Zero Window/Commit
+// take the stream.DefaultWindow sizes; WD > 0 selects the
+// circuit-level (diagonal-edge) window. The Phenomenological and
+// CircuitLevel helpers fill in default windows and weights.
+type SessionConfig struct {
+	L     int
+	Lanes int
+
+	Window, Commit int
+	WH, WV, WD     int
+
+	// Adapt, when non-nil, turns on adaptive windows.
+	Adapt *AdaptConfig
+
+	// gate, when non-nil, stalls the session worker before each queued
+	// round until the channel yields — a deterministic backpressure
+	// hook for the tests.
+	gate chan struct{}
+}
+
+// Phenomenological returns the standard session config for an L×L code
+// under phenomenological noise (data rate p, measurement rate q):
+// default window, weights from spacetime.Weights.
+func Phenomenological(l, lanes int, p, q float64) SessionConfig {
+	w, c := stream.DefaultWindow(l)
+	wh, wv := spacetime.Weights(p, q, l, w)
+	return SessionConfig{L: l, Lanes: lanes, Window: w, Commit: c, WH: wh, WV: wv}
+}
+
+// CircuitLevel returns the standard session config for an L×L code
+// under the circuit-level model P: default window, weights from
+// spacetime.WeightsCircuit with the window as horizon.
+func CircuitLevel(l, lanes int, P noise.Params) SessionConfig {
+	w, c := stream.DefaultWindow(l)
+	wh, wv, wd := spacetime.WeightsCircuit(P, l, w)
+	return SessionConfig{L: l, Lanes: lanes, Window: w, Commit: c, WH: wh, WV: wv, WD: wd}
+}
+
+// winKey interns shared stream.Sessions per window shape.
+type winKey struct {
+	l, w, c, wh, wv, wd int
+}
+
+// Server is the multi-tenant decode server: a shared decoder pool, a
+// cache of window structures, and the set of open sessions. See the
+// package documentation for the scheduling and backpressure contract.
+type Server struct {
+	cfg  Config
+	pool *decoder.Service
+
+	mu       sync.Mutex
+	wins     map[winKey]*stream.Session
+	sessions map[uint64]*Session
+	nextID   uint64
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// New starts a decode server.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	return &Server{
+		cfg:      cfg,
+		pool:     decoder.NewPool(cfg.Workers),
+		wins:     make(map[winKey]*stream.Session),
+		sessions: make(map[uint64]*Session),
+	}
+}
+
+// Pool returns the shared decode pool (for introspection).
+func (srv *Server) Pool() *decoder.Service { return srv.pool }
+
+// sharedSession returns the interned stream.Session for a window
+// shape, building it on first use. All validation of the window
+// parameters happens here, via the stream constructors.
+func (srv *Server) sharedSession(l, w, c, wh, wv, wd int) (*stream.Session, error) {
+	key := winKey{l, w, c, wh, wv, wd}
+	srv.mu.Lock()
+	ss, ok := srv.wins[key]
+	srv.mu.Unlock()
+	if ok {
+		return ss, nil
+	}
+	var err error
+	if wd > 0 {
+		ss, err = stream.NewCircuitSessionOn(srv.pool, l, w, c, wh, wv, wd)
+	} else {
+		ss, err = stream.NewSessionOn(srv.pool, l, w, c, wh, wv)
+	}
+	if err != nil {
+		return nil, err
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if have, ok := srv.wins[key]; ok {
+		return have, nil
+	}
+	srv.wins[key] = ss
+	return ss, nil
+}
+
+// Open starts a session. The returned Session is ready to Submit to;
+// every session runs its own ingest worker against the shared pool.
+func (srv *Server) Open(cfg SessionConfig) (*Session, error) {
+	if cfg.Lanes < 1 {
+		return nil, fmt.Errorf("server: session needs at least one lane (got %d)", cfg.Lanes)
+	}
+	if cfg.Window <= 0 || cfg.Commit <= 0 {
+		cfg.Window, cfg.Commit = stream.DefaultWindow(cfg.L)
+	}
+	if a := cfg.Adapt; a != nil {
+		ac := *a
+		if ac.Cooldown <= 0 {
+			ac.Cooldown = 2
+		}
+		if ac.MinWindow < 2 {
+			return nil, fmt.Errorf("server: adaptive MinWindow must be at least 2 (got %d)", ac.MinWindow)
+		}
+		if ac.MaxWindow < ac.MinWindow {
+			return nil, fmt.Errorf("server: adaptive MaxWindow %d below MinWindow %d", ac.MaxWindow, ac.MinWindow)
+		}
+		if cfg.Window < ac.MinWindow || cfg.Window > ac.MaxWindow {
+			return nil, fmt.Errorf("server: initial window %d outside adaptive bounds [%d, %d]", cfg.Window, ac.MinWindow, ac.MaxWindow)
+		}
+		if ac.GrowAt < ac.ShrinkAt {
+			return nil, fmt.Errorf("server: adaptive GrowAt %.4g below ShrinkAt %.4g", ac.GrowAt, ac.ShrinkAt)
+		}
+		cfg.Adapt = &ac
+	}
+	ss, err := srv.sharedSession(cfg.L, cfg.Window, cfg.Commit, cfg.WH, cfg.WV, cfg.WD)
+	if err != nil {
+		return nil, err
+	}
+
+	srv.mu.Lock()
+	if srv.draining {
+		srv.mu.Unlock()
+		return nil, ErrDraining
+	}
+	srv.nextID++
+	s := newSession(srv, srv.nextID, cfg, ss)
+	srv.sessions[s.id] = s
+	srv.wg.Add(1)
+	srv.mu.Unlock()
+	go s.run()
+	return s, nil
+}
+
+// remove drops a completed session from the registry.
+func (srv *Server) remove(id uint64) {
+	srv.mu.Lock()
+	delete(srv.sessions, id)
+	srv.mu.Unlock()
+}
+
+// Snapshot returns the stats of every open session, in id order — the
+// observability API behind `ftqc sessions`.
+func (srv *Server) Snapshot() []SessionStats {
+	srv.mu.Lock()
+	open := make([]*Session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		open = append(open, s)
+	}
+	srv.mu.Unlock()
+	sort.Slice(open, func(i, j int) bool { return open[i].id < open[j].id })
+	stats := make([]SessionStats, len(open))
+	for i, s := range open {
+		stats[i] = s.Stats()
+	}
+	return stats
+}
+
+// Shutdown drains the server: new sessions and new rounds are
+// rejected, every open session flushes its queue and delivers its
+// committed frames, then the worker pool is released. Idempotent.
+func (srv *Server) Shutdown() {
+	srv.mu.Lock()
+	already := srv.draining
+	srv.draining = true
+	open := make([]*Session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		open = append(open, s)
+	}
+	srv.mu.Unlock()
+	for _, s := range open {
+		s.Close() // ErrSessionClosed from an already-closing session is fine
+	}
+	srv.wg.Wait()
+	if !already {
+		srv.pool.Close()
+	}
+}
+
+// roundMsg is one queued ingest round (or the finish marker carrying
+// the closing layers). Buffers are preallocated and recycled through
+// the session's free list.
+type roundMsg struct {
+	x, z   []bits.Vec
+	enq    time.Time
+	finish bool
+}
+
+// SessionResult is what Wait delivers: the per-lane committed Pauli
+// frames of both sectors and how much of the stream they cover.
+// Finished sessions (CloseWith) cover every ingested round; drained
+// sessions (Close/Shutdown) cover the committed prefix.
+type SessionResult struct {
+	FramesX, FramesZ []bits.Vec
+	Rounds           int
+	Committed        int
+	Finished         bool
+}
+
+// SessionStats is one session's observability snapshot.
+type SessionStats struct {
+	ID                       uint64
+	L, Window, Commit, Lanes int
+	Circuit                  bool
+	Rounds                   uint64 // rounds ingested
+	Committed                uint64 // rounds committed into frames
+	Slides                   uint64
+	Defects                  uint64 // defects ingested (both sectors, all lanes)
+	DefectDensity            float64
+	Overflows                uint64
+	WindowMoves              uint64
+	Latency                  HistSnapshot
+	Closed                   bool
+}
+
+// Session is one live logical-qubit stream on the server.
+type Session struct {
+	id  uint64
+	srv *Server
+	cfg SessionConfig
+
+	nc, lanes int
+
+	lifeMu sync.RWMutex // guards closed vs in-flight sends on in
+	closed bool
+	in     chan roundMsg
+	free   chan roundMsg
+	done   chan struct{}
+
+	// Worker-owned pipeline state.
+	dec         *stream.Decoder
+	ss          *stream.Session
+	times       []time.Time // enqueue times by absolute round index (ring)
+	finished    bool
+	lastSlides  int
+	lastRounds  uint64 // ingest-side, matches lastDefects
+	lastDefects uint64
+
+	// Stats mirrors: written by Submit/worker, read by Snapshot.
+	ingested    atomic.Uint64
+	committedCt atomic.Uint64
+	slides      atomic.Uint64
+	defects     atomic.Uint64
+	overflows   atomic.Uint64
+	windowMoves atomic.Uint64
+	curWindow   atomic.Int64
+	curCommit   atomic.Int64
+	closedFlag  atomic.Bool
+	hist        Hist
+
+	res SessionResult
+	err error
+}
+
+func newSession(srv *Server, id uint64, cfg SessionConfig, ss *stream.Session) *Session {
+	depth := srv.cfg.QueueDepth
+	lat := ss.Window().Lattice()
+	s := &Session{
+		id:    id,
+		srv:   srv,
+		cfg:   cfg,
+		nc:    lat.NumChecks(),
+		lanes: cfg.Lanes,
+		in:    make(chan roundMsg, depth),
+		free:  make(chan roundMsg, depth+2),
+		done:  make(chan struct{}),
+		ss:    ss,
+	}
+	s.dec = ss.NewDecoder(cfg.Lanes)
+	maxW := cfg.Window
+	if cfg.Adapt != nil && cfg.Adapt.MaxWindow > maxW {
+		maxW = cfg.Adapt.MaxWindow
+	}
+	s.times = make([]time.Time, maxW+depth+4)
+	for i := 0; i < depth+2; i++ {
+		s.free <- roundMsg{x: bits.NewVecs(s.nc, cfg.Lanes), z: bits.NewVecs(s.nc, cfg.Lanes)}
+	}
+	s.curWindow.Store(int64(cfg.Window))
+	s.curCommit.Store(int64(cfg.Commit))
+	return s
+}
+
+// ID returns the server-assigned session id.
+func (s *Session) ID() uint64 { return s.id }
+
+// Config returns the (normalized) session configuration.
+func (s *Session) Config() SessionConfig { return s.cfg }
+
+// Submit ingests one round's difference layers (check-major planes of
+// lane bits, exactly as stream.Decoder.Push takes them). It copies the
+// planes into a recycled queue buffer, so the caller may reuse its
+// slices immediately. Flow control follows the server's overflow
+// policy; after Close/CloseWith it returns ErrSessionClosed.
+func (s *Session) Submit(layerX, layerZ []bits.Vec) error {
+	if len(layerX) != s.nc || len(layerZ) != s.nc {
+		return fmt.Errorf("server: round has %d/%d planes, want %d (L=%d)", len(layerX), len(layerZ), s.nc, s.cfg.L)
+	}
+	if layerX[0].Len() != s.lanes || layerZ[0].Len() != s.lanes {
+		return fmt.Errorf("server: round has %d lanes, session has %d", layerX[0].Len(), s.lanes)
+	}
+	s.lifeMu.RLock()
+	defer s.lifeMu.RUnlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	var msg roundMsg
+	if s.srv.cfg.Overflow == OverflowReject {
+		select {
+		case msg = <-s.free:
+		default:
+			s.overflows.Add(1)
+			return ErrBacklog
+		}
+	} else {
+		msg = <-s.free
+	}
+	def := 0
+	for c := 0; c < s.nc; c++ {
+		msg.x[c].CopyFrom(layerX[c])
+		msg.z[c].CopyFrom(layerZ[c])
+		def += msg.x[c].Weight() + msg.z[c].Weight()
+	}
+	msg.enq = time.Now()
+	msg.finish = false
+	if s.srv.cfg.Overflow == OverflowReject {
+		select {
+		case s.in <- msg:
+		default:
+			s.free <- msg
+			s.overflows.Add(1)
+			return ErrBacklog
+		}
+	} else {
+		s.in <- msg
+	}
+	s.ingested.Add(1)
+	s.defects.Add(uint64(def))
+	return nil
+}
+
+// CloseWith finishes the stream gracefully: the closing (perfect
+// round) layers settle the buffered tail exactly like
+// stream.Decoder.Finish, and Wait then delivers frames covering every
+// ingested round.
+func (s *Session) CloseWith(closingX, closingZ []bits.Vec) error {
+	if len(closingX) != s.nc || len(closingZ) != s.nc {
+		return fmt.Errorf("server: closing round has %d/%d planes, want %d", len(closingX), len(closingZ), s.nc)
+	}
+	s.lifeMu.Lock()
+	if s.closed {
+		s.lifeMu.Unlock()
+		return ErrSessionClosed
+	}
+	s.closed = true
+	s.closedFlag.Store(true)
+	s.lifeMu.Unlock()
+	// We are the only sender now; the finish marker is the last message.
+	msg := roundMsg{x: bits.NewVecs(s.nc, s.lanes), z: bits.NewVecs(s.nc, s.lanes), enq: time.Now(), finish: true}
+	for c := 0; c < s.nc; c++ {
+		msg.x[c].CopyFrom(closingX[c])
+		msg.z[c].CopyFrom(closingZ[c])
+	}
+	s.in <- msg
+	close(s.in)
+	return nil
+}
+
+// Close stops the session without a closing round: queued rounds still
+// decode, and Wait delivers the committed prefix — the drain path,
+// also used by Server.Shutdown.
+func (s *Session) Close() error {
+	s.lifeMu.Lock()
+	if s.closed {
+		s.lifeMu.Unlock()
+		return ErrSessionClosed
+	}
+	s.closed = true
+	s.closedFlag.Store(true)
+	s.lifeMu.Unlock()
+	close(s.in)
+	return nil
+}
+
+// Wait blocks until the session's worker has drained and returns the
+// result. The frames are live views of the decoder's committed state;
+// they are safe to read (and mutate) once Wait returns.
+func (s *Session) Wait() (SessionResult, error) {
+	<-s.done
+	return s.res, s.err
+}
+
+// Stats assembles the session's observability snapshot.
+func (s *Session) Stats() SessionStats {
+	st := SessionStats{
+		ID:          s.id,
+		L:           s.cfg.L,
+		Window:      int(s.curWindow.Load()),
+		Commit:      int(s.curCommit.Load()),
+		Lanes:       s.lanes,
+		Circuit:     s.cfg.WD > 0,
+		Rounds:      s.ingested.Load(),
+		Committed:   s.committedCt.Load(),
+		Slides:      s.slides.Load(),
+		Defects:     s.defects.Load(),
+		Overflows:   s.overflows.Load(),
+		WindowMoves: s.windowMoves.Load(),
+		Latency:     s.hist.Snapshot(),
+		Closed:      s.closedFlag.Load(),
+	}
+	if st.Rounds > 0 {
+		st.DefectDensity = float64(st.Defects) / (float64(st.Rounds) * float64(2*s.nc) * float64(s.lanes))
+	}
+	return st
+}
+
+// run is the session worker: it drains the ingest queue through the
+// streaming decoder, records commit latencies, adapts the window, and
+// publishes the result.
+func (s *Session) run() {
+	defer s.srv.wg.Done()
+	defer close(s.done)
+	defer s.srv.remove(s.id)
+	for msg := range s.in {
+		if s.cfg.gate != nil {
+			<-s.cfg.gate
+		}
+		if msg.finish {
+			s.finish(msg)
+			continue
+		}
+		s.ingest(msg)
+		s.free <- msg
+	}
+	if !s.finished {
+		s.capture(false)
+	}
+}
+
+// ingest pushes one round and accounts for everything it committed.
+func (s *Session) ingest(msg roundMsg) {
+	if s.err != nil {
+		return
+	}
+	d := s.dec
+	s.times[d.Rounds()%len(s.times)] = msg.enq
+	before := d.Committed()
+	preSlides := d.Slides()
+	d.Push(msg.x, msg.z)
+	if err := d.Err(); err != nil {
+		s.err = err
+		return
+	}
+	if d.Slides() != preSlides {
+		s.maybeAdapt()
+		d = s.dec // maybeAdapt may have rewindowed
+	}
+	s.observeCommits(before, d.Committed())
+	s.slides.Store(uint64(d.Slides()))
+}
+
+// finish settles the stream with the closing layers.
+func (s *Session) finish(msg roundMsg) {
+	s.finished = true
+	if s.err != nil {
+		s.capture(false)
+		return
+	}
+	d := s.dec
+	before := d.Committed()
+	if d.Rounds() > 0 {
+		d.Finish(msg.x, msg.z)
+	}
+	if err := d.Err(); err != nil {
+		s.err = err
+		s.capture(false)
+		return
+	}
+	s.observeCommits(before, d.Committed())
+	s.capture(true)
+}
+
+// observeCommits records commit latencies for rounds [from, to).
+func (s *Session) observeCommits(from, to int) {
+	if to <= from {
+		return
+	}
+	now := time.Now()
+	for r := from; r < to; r++ {
+		s.hist.Observe(now.Sub(s.times[r%len(s.times)]))
+	}
+	s.committedCt.Store(uint64(to))
+}
+
+// capture publishes the session result before done closes.
+func (s *Session) capture(finished bool) {
+	d := s.dec
+	s.res = SessionResult{Rounds: d.Rounds(), Committed: d.Committed(), Finished: finished}
+	s.res.FramesX, s.res.FramesZ = d.Corrections()
+}
+
+// maybeAdapt applies the adaptive-window policy at a slide boundary:
+// it measures the defect density since the last decision and moves the
+// live decoder to a wider or narrower interned window when the density
+// crosses a threshold.
+func (s *Session) maybeAdapt() {
+	a := s.cfg.Adapt
+	if a == nil {
+		return
+	}
+	d := s.dec
+	if d.Slides()-s.lastSlides < a.Cooldown {
+		return
+	}
+	// Numerator and denominator both come from the ingest-side counters
+	// (defects are counted at Submit): mixing submit-side defects with
+	// decode-side rounds would read a spurious near-zero density while
+	// the worker drains rounds the producer queued earlier.
+	rounds := s.ingested.Load() - s.lastRounds
+	if rounds == 0 {
+		return
+	}
+	defects := s.defects.Load()
+	density := float64(defects-s.lastDefects) / (float64(rounds) * float64(2*s.nc) * float64(s.lanes))
+	s.lastSlides, s.lastRounds, s.lastDefects = d.Slides(), s.ingested.Load(), defects
+	w := int(s.curWindow.Load())
+	target := w
+	switch {
+	case density > a.GrowAt && w < a.MaxWindow:
+		target = w + (w+1)/2
+		if target > a.MaxWindow {
+			target = a.MaxWindow
+		}
+	case density < a.ShrinkAt && w > a.MinWindow:
+		target = (2*w + 2) / 3
+		if target < a.MinWindow {
+			target = a.MinWindow
+		}
+	}
+	if target == w {
+		return
+	}
+	commit := target / 2
+	if commit < 1 {
+		commit = 1
+	}
+	ns, err := s.srv.sharedSession(s.cfg.L, target, commit, s.cfg.WH, s.cfg.WV, s.cfg.WD)
+	if err != nil {
+		return // keep the current window on any failure
+	}
+	nd, err := d.Rewindow(ns)
+	if err != nil {
+		return
+	}
+	s.dec, s.ss = nd, ns
+	s.windowMoves.Add(1)
+	s.curWindow.Store(int64(target))
+	s.curCommit.Store(int64(commit))
+}

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ftqc/internal/bits"
+)
+
+// Wire framing for the ingestion demo: a client streams syndrome
+// layers in over any io.ReadWriter (socket, pipe, ...) and gets the
+// committed Pauli frames back. One connection carries one session.
+//
+// Every message is a type byte followed by fixed-size little-endian
+// payload known from the open handshake:
+//
+//	'O'  open    7 × uint32: L, lanes, window, commit, wh, wv, wd
+//	'R'  round   2·nc vectors of lane bits (X planes then Z planes),
+//	             each vector ⌈lanes/64⌉ words
+//	'F'  finish  same payload as 'R' (the perfect closing round)
+//	'P'  frames  4 × uint32 (lanes, nq, rounds, committed) + 1 byte
+//	             finished flag + 2·lanes vectors of nq bits (X then Z)
+const (
+	msgOpen   = 'O'
+	msgRound  = 'R'
+	msgFinish = 'F'
+	msgFrames = 'P'
+)
+
+// Conn is the client side of the wire protocol.
+type Conn struct {
+	rw  io.ReadWriter
+	buf []byte
+}
+
+// Dial wraps a transport in a protocol client.
+func Dial(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+
+// Open sends the session handshake. Adaptive windows are a server-side
+// policy and are not carried on the wire.
+func (c *Conn) Open(cfg SessionConfig) error {
+	buf := make([]byte, 1+7*4)
+	buf[0] = msgOpen
+	for i, v := range []int{cfg.L, cfg.Lanes, cfg.Window, cfg.Commit, cfg.WH, cfg.WV, cfg.WD} {
+		binary.LittleEndian.PutUint32(buf[1+4*i:], uint32(v))
+	}
+	_, err := c.rw.Write(buf)
+	return err
+}
+
+// Round streams one round's difference layers.
+func (c *Conn) Round(layerX, layerZ []bits.Vec) error {
+	return c.writeLayers(msgRound, layerX, layerZ)
+}
+
+// Finish sends the closing round and reads back the committed frames.
+func (c *Conn) Finish(closingX, closingZ []bits.Vec) (SessionResult, error) {
+	if err := c.writeLayers(msgFinish, closingX, closingZ); err != nil {
+		return SessionResult{}, err
+	}
+	return readFrames(c.rw)
+}
+
+func (c *Conn) writeLayers(kind byte, layerX, layerZ []bits.Vec) error {
+	n := 1
+	for _, v := range layerX {
+		n += v.Words() * 8
+	}
+	for _, v := range layerZ {
+		n += v.Words() * 8
+	}
+	if cap(c.buf) < n {
+		c.buf = make([]byte, n)
+	}
+	buf := c.buf[:1]
+	buf[0] = kind
+	buf = appendVecs(buf, layerX)
+	buf = appendVecs(buf, layerZ)
+	_, err := c.rw.Write(buf)
+	return err
+}
+
+func appendVecs(buf []byte, vs []bits.Vec) []byte {
+	for _, v := range vs {
+		for i := 0; i < v.Words(); i++ {
+			buf = binary.LittleEndian.AppendUint64(buf, v.Word(i))
+		}
+	}
+	return buf
+}
+
+func readVecs(r io.Reader, buf []byte, vs []bits.Vec) error {
+	for _, v := range vs {
+		n := v.Words() * 8
+		if _, err := io.ReadFull(r, buf[:n]); err != nil {
+			return err
+		}
+		for i := 0; i < v.Words(); i++ {
+			v.SetWord(i, binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	}
+	return nil
+}
+
+// readFrames parses the 'P' message.
+func readFrames(r io.Reader) (SessionResult, error) {
+	var hdr [1 + 4*4 + 1]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return SessionResult{}, err
+	}
+	if hdr[0] != msgFrames {
+		return SessionResult{}, fmt.Errorf("server: expected frames message, got %q", hdr[0])
+	}
+	lanes := int(binary.LittleEndian.Uint32(hdr[1:]))
+	nq := int(binary.LittleEndian.Uint32(hdr[5:]))
+	res := SessionResult{
+		Rounds:    int(binary.LittleEndian.Uint32(hdr[9:])),
+		Committed: int(binary.LittleEndian.Uint32(hdr[13:])),
+		Finished:  hdr[17] != 0,
+		FramesX:   bits.NewVecs(lanes, nq),
+		FramesZ:   bits.NewVecs(lanes, nq),
+	}
+	buf := make([]byte, ((nq+63)/64)*8)
+	if err := readVecs(r, buf, res.FramesX); err != nil {
+		return SessionResult{}, err
+	}
+	if err := readVecs(r, buf, res.FramesZ); err != nil {
+		return SessionResult{}, err
+	}
+	return res, nil
+}
+
+// ServeConn runs one wire session over a transport: it reads the open
+// handshake, streams rounds into a server session, and on finish
+// writes the committed frames back. It returns when the stream ends
+// (normally after the frames are written, or with the transport error).
+func (srv *Server) ServeConn(rw io.ReadWriter) error {
+	var hdr [1 + 7*4]byte
+	if _, err := io.ReadFull(rw, hdr[:]); err != nil {
+		return err
+	}
+	if hdr[0] != msgOpen {
+		return fmt.Errorf("server: expected open message, got %q", hdr[0])
+	}
+	f := func(i int) int { return int(binary.LittleEndian.Uint32(hdr[1+4*i:])) }
+	cfg := SessionConfig{L: f(0), Lanes: f(1), Window: f(2), Commit: f(3), WH: f(4), WV: f(5), WD: f(6)}
+	s, err := srv.Open(cfg)
+	if err != nil {
+		return err
+	}
+	nc := s.nc
+	layerX := bits.NewVecs(nc, cfg.Lanes)
+	layerZ := bits.NewVecs(nc, cfg.Lanes)
+	buf := make([]byte, ((cfg.Lanes+63)/64)*8)
+	for {
+		var kind [1]byte
+		if _, err := io.ReadFull(rw, kind[:]); err != nil {
+			s.Close()
+			s.Wait()
+			return err
+		}
+		switch kind[0] {
+		case msgRound, msgFinish:
+			if err := readVecs(rw, buf, layerX); err != nil {
+				s.Close()
+				s.Wait()
+				return err
+			}
+			if err := readVecs(rw, buf, layerZ); err != nil {
+				s.Close()
+				s.Wait()
+				return err
+			}
+		default:
+			s.Close()
+			s.Wait()
+			return fmt.Errorf("server: unexpected message %q mid-stream", kind[0])
+		}
+		if kind[0] == msgRound {
+			if err := s.Submit(layerX, layerZ); err != nil {
+				s.Close()
+				s.Wait()
+				return err
+			}
+			continue
+		}
+		if err := s.CloseWith(layerX, layerZ); err != nil {
+			return err
+		}
+		res, err := s.Wait()
+		if err != nil {
+			return err
+		}
+		return writeFrames(rw, res)
+	}
+}
+
+// writeFrames encodes the 'P' message.
+func writeFrames(w io.Writer, res SessionResult) error {
+	lanes := len(res.FramesX)
+	nq := 0
+	if lanes > 0 {
+		nq = res.FramesX[0].Len()
+	}
+	n := 1 + 4*4 + 1
+	for _, v := range res.FramesX {
+		n += v.Words() * 8
+	}
+	for _, v := range res.FramesZ {
+		n += v.Words() * 8
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, msgFrames)
+	for _, v := range []int{lanes, nq, res.Rounds, res.Committed} {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	fin := byte(0)
+	if res.Finished {
+		fin = 1
+	}
+	buf = append(buf, fin)
+	buf = appendVecs(buf, res.FramesX)
+	buf = appendVecs(buf, res.FramesZ)
+	_, err := w.Write(buf)
+	return err
+}

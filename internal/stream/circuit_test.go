@@ -19,7 +19,10 @@ import (
 func TestCircuitWindowShape(t *testing.T) {
 	const l, wdw, commit = 4, 5, 2
 	const wh, wv, wd = 2, 1, 3
-	w := NewCircuitWindow(l, wdw, commit, wh, wv, wd)
+	w, err := NewCircuitWindow(l, wdw, commit, wh, wv, wd)
+	if err != nil {
+		t.Fatal(err)
+	}
 	nc, nq := l*l, 2*l*l
 	if got, want := w.Graph().Edges(), wdw*(2*nq+nc); got != want {
 		t.Fatalf("edge count %d, want %d", got, want)
@@ -68,7 +71,7 @@ func TestCircuitWindowGEVolumeBitIdentical(t *testing.T) {
 		fx1, fz1 := v.BatchMemoryFrom(
 			spacetime.NewCircuitLayerSource(cfg.l, P, lanes, frame.NewAggregateSampler(951, 7)),
 			toric.DecoderUnionFind)
-		s := NewCircuitSession(cfg.l, cfg.window, cfg.commit, wh, wv, wd)
+		s := mustCircuitSession(t, cfg.l, cfg.window, cfg.commit, wh, wv, wd)
 		fx2, fz2 := s.BatchMemoryFrom(
 			spacetime.NewCircuitLayerSource(cfg.l, P, lanes, frame.NewAggregateSampler(951, 7)),
 			cfg.rounds)
@@ -99,7 +102,7 @@ func TestCircuitCommitQuickcheck(t *testing.T) {
 		wh, wv, wd := spacetime.WeightsCircuit(P, l, window)
 
 		run := func() (bits.Vec, bits.Vec) {
-			s := NewCircuitSession(l, window, commit, wh, wv, wd)
+			s := mustCircuitSession(t, l, window, commit, wh, wv, wd)
 			defer s.Close()
 			return s.BatchMemoryFrom(spacetime.NewCircuitLayerSource(l, P, lanes, frame.NewAggregateSampler(seed, 3)), rounds)
 		}
@@ -109,7 +112,7 @@ func TestCircuitCommitQuickcheck(t *testing.T) {
 			t.Fatalf("trial %d (L=%d T=%d W=%d C=%d): repeat run differs", trial, l, rounds, window, commit)
 		}
 
-		s := NewCircuitSession(l, window, commit, wh, wv, wd)
+		s := mustCircuitSession(t, l, window, commit, wh, wv, wd)
 		src := spacetime.NewCircuitLayerSource(l, P, lanes, frame.NewAggregateSampler(seed, 4))
 		d := s.NewDecoder(lanes)
 		lat := toric.Cached(l)
@@ -156,7 +159,13 @@ func laneError(planes []bits.Vec, lane int, errv bits.Vec) {
 // particular the decoder.Service worker pool's size (set by GOMAXPROCS
 // at service start) must not leak into the result.
 func TestCircuitMemoryDeterministicAndServiceInvariant(t *testing.T) {
-	run := func() Result { return CircuitMemory(4, 10, noise.Uniform(0.006), 5, 2, 800, 957) }
+	run := func() Result {
+		r, err := CircuitMemory(4, 10, noise.Uniform(0.006), 5, 2, 800, 957)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
 	a := run()
 	if b := run(); a != b {
 		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
@@ -185,7 +194,10 @@ func TestCircuitWindowedMatchesVolumeRates(t *testing.T) {
 	} {
 		P := noise.Uniform(cfg.eps)
 		w, c := DefaultWindow(cfg.l)
-		st := CircuitMemory(cfg.l, cfg.rounds, P, w, c, samples, 959)
+		st, err := CircuitMemory(cfg.l, cfg.rounds, P, w, c, samples, 959)
+		if err != nil {
+			t.Fatal(err)
+		}
 		vol := spacetime.CircuitMemory(cfg.l, cfg.rounds, P, toric.DecoderUnionFind, samples, 960)
 		fs, fv := st.FailRate(), vol.FailRate()
 		sigma := math.Sqrt(fs*(1-fs)/samples + fv*(1-fv)/samples)

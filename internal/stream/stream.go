@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"fmt"
+
 	"ftqc/internal/bits"
 	"ftqc/internal/decoder"
 	"ftqc/internal/frame"
@@ -9,42 +11,79 @@ import (
 )
 
 // Session owns the long-lived machinery of one streaming configuration:
-// the window structure and one decoder.Service worker pool per sector,
-// shared by every Decoder (and every Monte Carlo chunk) created from
-// it. Close releases the pools.
+// the window structure and the decoder.Service pool shared by every
+// Decoder (and every Monte Carlo chunk) created from it. A session
+// built by NewSession/NewCircuitSession owns a private pool and Close
+// releases it; NewSessionOn/NewCircuitSessionOn graft the session onto
+// an external multi-graph pool (the decode-server path, where one
+// worker fleet serves many concurrent sessions) and Close leaves that
+// pool alone.
 type Session struct {
-	win  *Window
-	svcX *decoder.Service
-	svcZ *decoder.Service
+	win   *Window
+	pool  *decoder.Service
+	owned bool
 }
 
-// NewSession builds the window and starts its decode services (see
+// NewSession builds the window and starts a private decode pool (see
 // NewWindow for the parameters; weights come from spacetime.Weights).
-func NewSession(l, window, commit, wh, wv int) *Session {
-	return sessionOver(NewWindow(l, window, commit, wh, wv))
+func NewSession(l, window, commit, wh, wv int) (*Session, error) {
+	win, err := NewWindow(l, window, commit, wh, wv)
+	if err != nil {
+		return nil, err
+	}
+	return sessionOver(win, nil), nil
 }
 
 // NewCircuitSession is NewSession over a circuit-level (diagonal-edge)
 // window; weights come from spacetime.WeightsCircuit.
-func NewCircuitSession(l, window, commit, wh, wv, wd int) *Session {
-	return sessionOver(NewCircuitWindow(l, window, commit, wh, wv, wd))
+func NewCircuitSession(l, window, commit, wh, wv, wd int) (*Session, error) {
+	win, err := NewCircuitWindow(l, window, commit, wh, wv, wd)
+	if err != nil {
+		return nil, err
+	}
+	return sessionOver(win, nil), nil
 }
 
-func sessionOver(win *Window) *Session {
-	return &Session{
-		win:  win,
-		svcX: decoder.NewService(win.graphX, 0),
-		svcZ: decoder.NewService(win.graphZ, 0),
+// NewSessionOn is NewSession decoding on a shared external pool (built
+// with decoder.NewPool). The session never closes the pool.
+func NewSessionOn(pool *decoder.Service, l, window, commit, wh, wv int) (*Session, error) {
+	win, err := NewWindow(l, window, commit, wh, wv)
+	if err != nil {
+		return nil, err
 	}
+	return sessionOver(win, pool), nil
+}
+
+// NewCircuitSessionOn is NewCircuitSession on a shared external pool.
+func NewCircuitSessionOn(pool *decoder.Service, l, window, commit, wh, wv, wd int) (*Session, error) {
+	win, err := NewCircuitWindow(l, window, commit, wh, wv, wd)
+	if err != nil {
+		return nil, err
+	}
+	return sessionOver(win, pool), nil
+}
+
+func sessionOver(win *Window, pool *decoder.Service) *Session {
+	s := &Session{win: win, pool: pool}
+	if pool == nil {
+		s.pool = decoder.NewPool(0)
+		s.owned = true
+	}
+	return s
 }
 
 // Window returns the session's window structure.
 func (s *Session) Window() *Window { return s.win }
 
-// Close shuts the decode services down.
+// Pool returns the decode pool the session submits to.
+func (s *Session) Pool() *decoder.Service { return s.pool }
+
+// Close shuts the decode pool down if the session owns it; sessions on
+// a shared pool leave it running for their siblings.
 func (s *Session) Close() {
-	s.svcX.Close()
-	s.svcZ.Close()
+	if s.owned {
+		s.pool.Close()
+	}
 }
 
 // Decoder consumes one batch of lanes' difference layers round by round
@@ -60,7 +99,9 @@ type Decoder struct {
 	filled   int // buffered layers
 	head     int // ring slot of the oldest buffered layer
 	slides   int
+	defects  uint64 // defects observed across both sectors (window decodes + Finish)
 	finished bool
+	err      error // terminal submission failure (shared pool closed underneath us)
 
 	ringX, ringZ   []bits.Vec // W·nc check-major layer planes, ring over slots
 	carryX, carryZ []bits.Vec // per-lane cut defects at the base layer (nc bits)
@@ -74,7 +115,7 @@ type Decoder struct {
 }
 
 // NewDecoder returns a streaming decoder for `lanes` parallel shots,
-// drawing on the session's shared decode services.
+// drawing on the session's decode pool.
 func (s *Session) NewDecoder(lanes int) *Decoder {
 	w := s.win
 	d := &Decoder{
@@ -100,8 +141,29 @@ func (s *Session) NewDecoder(lanes int) *Decoder {
 // Rounds returns how many noisy rounds the decoder has ingested.
 func (d *Decoder) Rounds() int { return d.base + d.filled }
 
+// Committed returns how many rounds have been committed into the
+// running frames (after a successful Finish, every ingested round).
+func (d *Decoder) Committed() int { return d.base }
+
+// Filled returns how many rounds are buffered but not yet committed.
+func (d *Decoder) Filled() int { return d.filled }
+
 // Slides returns how many window slides (open-window decodes) have run.
 func (d *Decoder) Slides() int { return d.slides }
+
+// DefectsObserved returns the total defect count fed to the decoder so
+// far, summed over both sectors and all lanes — the observability
+// signal behind adaptive window control (density = defects per
+// detector per round per lane).
+func (d *Decoder) DefectsObserved() uint64 { return d.defects }
+
+// Lanes returns the decoder's lane count.
+func (d *Decoder) Lanes() int { return d.lanes }
+
+// Err reports a terminal pipeline failure: the shared decode pool was
+// closed underneath a slide. Push and Finish become no-ops once it is
+// set; the committed frames remain valid up to Committed() rounds.
+func (d *Decoder) Err() error { return d.err }
 
 // Push ingests one round's difference layers (check-major, one vector
 // of lane bits per check, as emitted by spacetime.LayerSource). When
@@ -109,6 +171,9 @@ func (d *Decoder) Slides() int { return d.slides }
 // committed first.
 func (d *Decoder) Push(layerX, layerZ []bits.Vec) {
 	w := d.s.win
+	if d.err != nil {
+		return
+	}
 	if d.finished {
 		panic("stream: Push after Finish")
 	}
@@ -116,7 +181,9 @@ func (d *Decoder) Push(layerX, layerZ []bits.Vec) {
 		panic("stream: layer plane count mismatch")
 	}
 	if d.filled == w.W {
-		d.slide()
+		if d.slide(); d.err != nil {
+			return
+		}
 	}
 	slot := d.head + d.filled
 	if slot >= w.W {
@@ -142,9 +209,19 @@ func (d *Decoder) slide() {
 		d.shotsX[lane] = decoder.Shot{Defects: d.defbufX[lane]}
 		d.defbufZ[lane] = d.synZ[lane].AppendSupport(d.defbufZ[lane][:0])
 		d.shotsZ[lane] = decoder.Shot{Defects: d.defbufZ[lane]}
+		d.defects += uint64(len(d.defbufX[lane]) + len(d.defbufZ[lane]))
 	}
-	bX := d.s.svcX.Submit(d.shotsX)
-	bZ := d.s.svcZ.Submit(d.shotsZ)
+	bX, err := d.s.pool.SubmitOn(w.graphX, d.shotsX)
+	if err != nil {
+		d.err = err
+		return
+	}
+	bZ, err := d.s.pool.SubmitOn(w.graphZ, d.shotsZ)
+	if err != nil {
+		bX.Wait()
+		d.err = err
+		return
+	}
 	outX := bX.Wait()
 	outZ := bZ.Wait()
 	for lane := 0; lane < d.lanes; lane++ {
@@ -236,6 +313,9 @@ func (d *Decoder) commitLane(corr []int32, frameVec, carry bits.Vec, diag [][2]i
 // decode, bit for bit. The decoder cannot be pushed to afterwards.
 func (d *Decoder) Finish(layerX, layerZ []bits.Vec) {
 	w := d.s.win
+	if d.err != nil {
+		return
+	}
 	if d.finished {
 		panic("stream: Finish called twice")
 	}
@@ -250,6 +330,8 @@ func (d *Decoder) Finish(layerX, layerZ []bits.Vec) {
 	d.finishSector(syn, vol, vol.Graph(), d.carryX, d.corrX)
 	bits.TransposePlanes(syn, append(d.orderedLayers(d.ringZ, h), layerZ...))
 	d.finishSector(syn, vol, vol.DualGraph(), d.carryZ, d.corrZ)
+	d.base += h
+	d.filled = 0
 }
 
 // finishSector decodes every lane's closing volume serially (chunk
@@ -265,6 +347,7 @@ func (d *Decoder) finishSector(syn []bits.Vec, vol *spacetime.Volume, g *decoder
 			sv.XorWord(i, cv.Word(i))
 		}
 		defects = sv.AppendSupport(defects[:0])
+		d.defects += uint64(len(defects))
 		if len(defects) == 0 {
 			continue
 		}
@@ -275,6 +358,54 @@ func (d *Decoder) finishSector(syn []bits.Vec, vol *spacetime.Volume, g *decoder
 			}
 		})
 	}
+}
+
+// Rewindow transplants the decoder's live state onto a session with a
+// different window shape over the same lattice — the adaptive-window
+// primitive: a server that sees the defect density move can widen the
+// window for accuracy or shrink it for latency mid-stream without
+// losing the committed frames, the carry, or the buffered rounds. The
+// receiver is dead afterwards; continue on the returned decoder, whose
+// Rounds/Committed counters carry on from the old one. Both sessions
+// must share L and the same model class (diagonal or not). The
+// buffered layers are re-pushed through the new window, so a shrink
+// may commit (slide) during the transfer.
+func (d *Decoder) Rewindow(ns *Session) (*Decoder, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.finished {
+		return nil, fmt.Errorf("stream: cannot rewindow a finished decoder")
+	}
+	w, nw := d.s.win, ns.win
+	if nw.L != w.L {
+		return nil, fmt.Errorf("stream: rewindow across lattice sizes (L=%d -> L=%d)", w.L, nw.L)
+	}
+	if (nw.WD > 0) != (w.WD > 0) {
+		return nil, fmt.Errorf("stream: rewindow across decoding models (diagonal edges %v -> %v)", w.WD > 0, nw.WD > 0)
+	}
+	nd := ns.NewDecoder(d.lanes)
+	nd.base = d.base
+	nd.slides = d.slides
+	nd.defects = d.defects
+	for lane := 0; lane < d.lanes; lane++ {
+		nd.carryX[lane].CopyFrom(d.carryX[lane])
+		nd.carryZ[lane].CopyFrom(d.carryZ[lane])
+		nd.corrX[lane].CopyFrom(d.corrX[lane])
+		nd.corrZ[lane].CopyFrom(d.corrZ[lane])
+	}
+	for t := 0; t < d.filled; t++ {
+		slot := d.head + t
+		if slot >= w.W {
+			slot -= w.W
+		}
+		nd.Push(d.ringX[slot*w.nc:(slot+1)*w.nc], d.ringZ[slot*w.nc:(slot+1)*w.nc])
+	}
+	if nd.err != nil {
+		return nil, nd.err
+	}
+	d.finished = true
+	return nd, nil
 }
 
 // Corrections returns the per-lane committed correction frames of the
@@ -332,6 +463,11 @@ func (s *Session) BatchMemoryFrom(src spacetime.LayerFeed, rounds int) (failX, f
 	}
 	src.CloseLayers(layerX, layerZ)
 	d.Finish(layerX, layerZ)
+	if err := d.Err(); err != nil {
+		// The Monte Carlo paths own their pool, so a mid-run closure is a
+		// caller bug, not an operating condition.
+		panic(err)
+	}
 	return s.failureMasks(src, d)
 }
 
@@ -391,26 +527,27 @@ func DefaultWindow(l int) (window, commit int) { return 2 * l, l }
 // Memory runs the streaming noisy-syndrome memory experiment: `rounds`
 // noisy extraction rounds at data rate p and measurement rate q,
 // decoded through a sliding window of `window` layers committing
-// `commit` rounds per slide (pass 0, 0 for the DefaultWindow sizes; an
-// explicit commit ≥ window panics, like NewWindow), fanned out over the
-// CPUs in deterministic seed-per-chunk batches that all share one pair
-// of long-lived decode services. The result is a pure function of
-// (samples, seed) — never of GOMAXPROCS.
-func Memory(l, rounds int, p, q float64, window, commit, samples int, seed uint64) Result {
-	if window <= 0 {
-		window, _ = DefaultWindow(l)
-	}
-	if commit <= 0 {
-		commit = window / 2
+// `commit` rounds per slide (pass 0, 0 for the DefaultWindow sizes),
+// fanned out over the CPUs in deterministic seed-per-chunk batches
+// that all share one long-lived decode pool. The result is a pure
+// function of (samples, seed) — never of GOMAXPROCS. Invalid window
+// shapes or horizons return a descriptive error.
+func Memory(l, rounds int, p, q float64, window, commit, samples int, seed uint64) (Result, error) {
+	window, commit = defaultedWindow(l, window, commit)
+	if rounds < 1 {
+		return Result{}, fmt.Errorf("stream: memory experiment needs at least one noisy round (got rounds=%d)", rounds)
 	}
 	wh, wv := spacetime.Weights(p, q, l, rounds)
-	s := NewSession(l, window, commit, wh, wv)
+	s, err := NewSession(l, window, commit, wh, wv)
+	if err != nil {
+		return Result{}, err
+	}
 	defer s.Close()
 	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
 		return s.BatchMemory(rounds, p, q, lanes, smp)
 	})
 	return Result{L: l, T: rounds, Window: window, Commit: commit, P: p, Q: q,
-		Samples: samples, FailX: fx, FailZ: fz, Failures: fa}
+		Samples: samples, FailX: fx, FailZ: fz, Failures: fa}, nil
 }
 
 // CircuitMemory runs the circuit-level noisy-extraction memory through
@@ -419,21 +556,36 @@ func Memory(l, rounds int, p, q float64, window, commit, samples int, seed uint6
 // diagonal-edge window decodes and commits as it goes. Pass 0, 0 for
 // the DefaultWindow sizes. Weights come from spacetime.WeightsCircuit
 // with the window as the decode horizon.
-func CircuitMemory(l, rounds int, P noise.Params, window, commit, samples int, seed uint64) Result {
-	if window <= 0 {
-		window, _ = DefaultWindow(l)
-	}
-	if commit <= 0 {
-		commit = window / 2
+func CircuitMemory(l, rounds int, P noise.Params, window, commit, samples int, seed uint64) (Result, error) {
+	window, commit = defaultedWindow(l, window, commit)
+	if rounds < 1 {
+		return Result{}, fmt.Errorf("stream: memory experiment needs at least one noisy round (got rounds=%d)", rounds)
 	}
 	wh, wv, wd := spacetime.WeightsCircuit(P, l, window)
-	s := NewCircuitSession(l, window, commit, wh, wv, wd)
+	s, err := NewCircuitSession(l, window, commit, wh, wv, wd)
+	if err != nil {
+		return Result{}, err
+	}
 	defer s.Close()
 	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
 		return s.BatchMemoryFrom(spacetime.NewCircuitLayerSource(l, P, lanes, smp), rounds)
 	})
 	return Result{L: l, T: rounds, Window: window, Commit: commit, P: P.Gate2, Q: P.Meas,
-		Samples: samples, FailX: fx, FailZ: fz, Failures: fa}
+		Samples: samples, FailX: fx, FailZ: fz, Failures: fa}, nil
+}
+
+// defaultedWindow fills in the DefaultWindow sizes for zero values.
+func defaultedWindow(l, window, commit int) (int, int) {
+	if window <= 0 {
+		window, _ = DefaultWindow(l)
+	}
+	if commit <= 0 {
+		commit = window / 2
+		if commit < 1 {
+			commit = 1
+		}
+	}
+	return window, commit
 }
 
 // ThresholdPoint is one p = q grid point of a streaming sustained
@@ -453,7 +605,12 @@ func SustainedThreshold(l1, l2 int, grid []float64, samples int, seed uint64) (f
 	large := make([]float64, len(grid))
 	run := func(l int, p float64, seed uint64) Result {
 		w, c := DefaultWindow(l)
-		return Memory(l, 4*l, p, p, w, c, samples, seed)
+		r, err := Memory(l, 4*l, p, p, w, c, samples, seed)
+		if err != nil {
+			// The sweep derives its own parameters; they cannot be invalid.
+			panic(err)
+		}
+		return r
 	}
 	for i, p := range grid {
 		pts[i] = ThresholdPoint{

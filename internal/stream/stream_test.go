@@ -7,13 +7,48 @@ import (
 	"testing"
 
 	"ftqc/internal/bits"
+	"ftqc/internal/decoder"
 	"ftqc/internal/frame"
+	"ftqc/internal/noise"
 	"ftqc/internal/spacetime"
 	"ftqc/internal/toric"
 )
 
+// mustSession / mustCircuitSession / mustMemory fail the test on a
+// construction error — for the many tests whose parameters are valid by
+// construction.
+func mustSession(t *testing.T, l, window, commit, wh, wv int) *Session {
+	t.Helper()
+	s, err := NewSession(l, window, commit, wh, wv)
+	if err != nil {
+		t.Fatalf("NewSession(%d,%d,%d,%d,%d): %v", l, window, commit, wh, wv, err)
+	}
+	return s
+}
+
+func mustCircuitSession(t *testing.T, l, window, commit, wh, wv, wd int) *Session {
+	t.Helper()
+	s, err := NewCircuitSession(l, window, commit, wh, wv, wd)
+	if err != nil {
+		t.Fatalf("NewCircuitSession(%d,%d,%d,%d,%d,%d): %v", l, window, commit, wh, wv, wd, err)
+	}
+	return s
+}
+
+func mustMemory(t *testing.T, l, rounds int, p, q float64, window, commit, samples int, seed uint64) Result {
+	t.Helper()
+	r, err := Memory(l, rounds, p, q, window, commit, samples, seed)
+	if err != nil {
+		t.Fatalf("Memory: %v", err)
+	}
+	return r
+}
+
 func TestWindowShape(t *testing.T) {
-	w := NewWindow(4, 6, 3, 2, 5)
+	w, err := NewWindow(4, 6, 3, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	nc, nq := 16, 32
 	if w.nodes != 6*nc+1 || w.Graph().Nodes() != w.nodes || w.DualGraph().Nodes() != w.nodes {
 		t.Fatalf("node count %d", w.nodes)
@@ -65,7 +100,7 @@ func TestWindowGEVolumeBitIdentical(t *testing.T) {
 		v := spacetime.CachedVolume(cfg.l, cfg.rounds, cfg.p, cfg.q)
 		wh, wv := spacetime.Weights(cfg.p, cfg.q, cfg.l, cfg.rounds)
 		fx1, fz1 := v.BatchMemory(cfg.p, cfg.q, toric.DecoderUnionFind, lanes, frame.NewAggregateSampler(901, 7))
-		s := NewSession(cfg.l, cfg.window, cfg.commit, wh, wv)
+		s := mustSession(t, cfg.l, cfg.window, cfg.commit, wh, wv)
 		fx2, fz2 := s.BatchMemory(cfg.rounds, cfg.p, cfg.q, lanes, frame.NewAggregateSampler(901, 7))
 		s.Close()
 		if !fx1.Equal(fx2) || !fz1.Equal(fz2) {
@@ -89,7 +124,7 @@ func TestWindowedMatchesVolumeRates(t *testing.T) {
 		{5, 15, 0.02},
 	} {
 		w, c := DefaultWindow(cfg.l)
-		st := Memory(cfg.l, cfg.rounds, cfg.p, cfg.p, w, c, samples, 903)
+		st := mustMemory(t, cfg.l, cfg.rounds, cfg.p, cfg.p, w, c, samples, 903)
 		vol := spacetime.Memory(cfg.l, cfg.rounds, cfg.p, cfg.p, toric.DecoderUnionFind, samples, 904)
 		fs, fv := st.FailRate(), vol.FailRate()
 		sigma := math.Sqrt(fs*(1-fs)/samples + fv*(1-fv)/samples)
@@ -121,7 +156,7 @@ func TestCommitBoundaryQuickcheck(t *testing.T) {
 		wh, wv := spacetime.Weights(p, q, l, rounds)
 
 		run := func() (bits.Vec, bits.Vec) {
-			s := NewSession(l, window, commit, wh, wv)
+			s := mustSession(t, l, window, commit, wh, wv)
 			defer s.Close()
 			return s.BatchMemory(rounds, p, q, lanes, frame.NewAggregateSampler(seed, 3))
 		}
@@ -139,7 +174,7 @@ func TestCommitBoundaryQuickcheck(t *testing.T) {
 
 		// Soundness: drive a decoder by hand so the accumulated error is
 		// inspectable, then check the residual is syndrome-free per lane.
-		s := NewSession(l, window, commit, wh, wv)
+		s := mustSession(t, l, window, commit, wh, wv)
 		src := spacetime.NewLayerSource(l, p, q, lanes, frame.NewAggregateSampler(seed, 4))
 		d := s.NewDecoder(lanes)
 		lat := toric.Cached(l)
@@ -183,7 +218,7 @@ func TestCommitBoundaryQuickcheck(t *testing.T) {
 // TestMemoryDeterministicAndGOMAXPROCSInvariant: the streaming Monte
 // Carlo is a pure function of (samples, seed).
 func TestMemoryDeterministicAndGOMAXPROCSInvariant(t *testing.T) {
-	run := func() Result { return Memory(4, 12, 0.03, 0.03, 8, 4, 900, 907) }
+	run := func() Result { return mustMemory(t, 4, 12, 0.03, 0.03, 8, 4, 900, 907) }
 	a := run()
 	if b := run(); a != b {
 		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
@@ -210,7 +245,7 @@ func TestThousandRoundStreamSmoke(t *testing.T) {
 	)
 	w, c := DefaultWindow(l)
 	wh, wv := spacetime.Weights(p, p, l, w)
-	s := NewSession(l, w, c, wh, wv)
+	s := mustSession(t, l, w, c, wh, wv)
 	defer s.Close()
 	src := spacetime.NewLayerSource(l, p, p, lanes, frame.NewAggregateSampler(908, 1))
 	d := s.NewDecoder(lanes)
@@ -250,7 +285,7 @@ func TestConstantMemorySustained(t *testing.T) {
 	)
 	w, c := DefaultWindow(l)
 	wh, wv := spacetime.Weights(p, p, l, w)
-	s := NewSession(l, w, c, wh, wv)
+	s := mustSession(t, l, w, c, wh, wv)
 	defer s.Close()
 	src := spacetime.NewLayerSource(l, p, p, lanes, frame.NewAggregateSampler(909, 1))
 	d := s.NewDecoder(lanes)
@@ -298,5 +333,197 @@ func TestSustainedThresholdStreaming(t *testing.T) {
 	}
 	if cross < 0.005 || cross > 0.06 {
 		t.Fatalf("implausible streaming sustained threshold %.4f", cross)
+	}
+}
+
+// TestWindowValidation: bad window parameters are descriptive
+// construction errors (the satellite bugfix for mid-decode panics), and
+// the errors name the offending values.
+func TestWindowValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name                 string
+		l, w, commit, wh, wv int
+	}{
+		{"tiny lattice", 1, 4, 2, 1, 1},
+		{"one-layer window", 4, 1, 1, 1, 1},
+		{"zero window", 4, 0, 0, 1, 1},
+		{"zero commit", 4, 4, 0, 1, 1},
+		{"commit == window", 4, 4, 4, 1, 1},
+		{"commit > window", 4, 4, 9, 1, 1},
+		{"negative commit", 4, 4, -2, 1, 1},
+		{"zero horizontal weight", 4, 4, 2, 0, 1},
+		{"negative vertical weight", 4, 4, 2, 1, -3},
+	} {
+		if _, err := NewWindow(tc.l, tc.w, tc.commit, tc.wh, tc.wv); err == nil {
+			t.Errorf("%s: NewWindow(%d,%d,%d,%d,%d) accepted", tc.name, tc.l, tc.w, tc.commit, tc.wh, tc.wv)
+		}
+		if _, err := NewSession(tc.l, tc.w, tc.commit, tc.wh, tc.wv); err == nil {
+			t.Errorf("%s: NewSession accepted", tc.name)
+		}
+	}
+	if _, err := NewCircuitWindow(4, 4, 2, 1, 1, 0); err == nil {
+		t.Error("circuit window with wd=0 accepted")
+	}
+	if _, err := Memory(4, 0, 0.01, 0.01, 4, 2, 100, 1); err == nil {
+		t.Error("Memory with zero rounds accepted")
+	}
+	if _, err := CircuitMemory(4, 5, noise.Uniform(0.004), 4, 4, 100, 1); err == nil {
+		t.Error("CircuitMemory with commit == window accepted")
+	}
+	// An oversized window over a short stream stays valid — it decodes
+	// whole-volume at Finish.
+	if _, err := Memory(3, 2, 0.02, 0.02, 9, 3, 100, 2); err != nil {
+		t.Errorf("oversized window rejected: %v", err)
+	}
+}
+
+// TestSharedPoolSessions: sessions grafted onto one external
+// decoder.NewPool produce bit-identical results to sessions owning
+// private pools — multi-graph scheduling does not leak into decode
+// output — and closing a shared-pool session leaves the pool alive.
+func TestSharedPoolSessions(t *testing.T) {
+	pool := decoder.NewPool(3)
+	defer pool.Close()
+	type cfg struct {
+		l, rounds, window, commit int
+		p                         float64
+	}
+	cfgs := []cfg{{3, 9, 4, 2, 0.03}, {4, 11, 6, 3, 0.02}, {5, 8, 5, 1, 0.04}}
+	for i, c := range cfgs {
+		wh, wv := spacetime.Weights(c.p, c.p, c.l, c.window)
+		own := mustSession(t, c.l, c.window, c.commit, wh, wv)
+		fx1, fz1 := own.BatchMemory(c.rounds, c.p, c.p, 96, frame.NewAggregateSampler(913, uint64(i)))
+		own.Close()
+		shared, err := NewSessionOn(pool, c.l, c.window, c.commit, wh, wv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx2, fz2 := shared.BatchMemory(c.rounds, c.p, c.p, 96, frame.NewAggregateSampler(913, uint64(i)))
+		shared.Close() // must not close the shared pool
+		if !fx1.Equal(fx2) || !fz1.Equal(fz2) {
+			t.Fatalf("cfg %d: shared-pool session differs from private-pool session", i)
+		}
+	}
+	// The pool must still be live after the sessions closed.
+	if _, err := pool.DecodeOn(toric.Cached(3).Graph(), nil); err != nil {
+		t.Fatalf("shared pool died with its sessions: %v", err)
+	}
+}
+
+// TestDecoderErrAfterPoolClose: a decoder whose shared pool is closed
+// underneath it reports Err instead of panicking, and keeps the frames
+// committed so far.
+func TestDecoderErrAfterPoolClose(t *testing.T) {
+	pool := decoder.NewPool(2)
+	const l, window, commit, lanes = 3, 3, 1, 32
+	s, err := NewSessionOn(pool, l, window, commit, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := spacetime.NewLayerSource(l, 0.05, 0.05, lanes, frame.NewAggregateSampler(915, 1))
+	d := s.NewDecoder(lanes)
+	lat := toric.Cached(l)
+	layerX := bits.NewVecs(lat.NumChecks(), lanes)
+	layerZ := bits.NewVecs(lat.NumChecks(), lanes)
+	for r := 0; r < 2*window; r++ {
+		src.NextLayers(layerX, layerZ)
+		d.Push(layerX, layerZ)
+	}
+	committed := d.Committed()
+	if committed == 0 {
+		t.Fatal("no slides before the pool closed — test misconfigured")
+	}
+	pool.Close()
+	for r := 0; r < 2*window; r++ {
+		src.NextLayers(layerX, layerZ)
+		d.Push(layerX, layerZ) // must not panic
+	}
+	if d.Err() == nil {
+		t.Fatal("decoder did not surface the closed pool")
+	}
+	if d.Committed() != committed {
+		t.Fatalf("committed count moved after the pool closed: %d -> %d", committed, d.Committed())
+	}
+	src.CloseLayers(layerX, layerZ)
+	d.Finish(layerX, layerZ) // no-op under Err, must not panic
+}
+
+// TestRewindowSoundness: transplanting a live decoder onto different
+// window shapes mid-stream (grow and shrink, the adaptive-window
+// primitive) keeps the pipeline sound — the final committed correction
+// cancels the accumulated error's syndrome — and deterministic.
+func TestRewindowSoundness(t *testing.T) {
+	rng := rand.New(rand.NewPCG(917, 918))
+	for trial := 0; trial < 6; trial++ {
+		l := 3 + rng.IntN(3)
+		lanes := 48 + rng.IntN(80)
+		p := 0.01 + rng.Float64()*0.04
+		w1 := 2 + rng.IntN(5)
+		w2 := 2 + rng.IntN(7)
+		c1 := 1 + rng.IntN(w1-1)
+		c2 := 1 + rng.IntN(w2-1)
+		pre := 1 + rng.IntN(3*w1)
+		post := 1 + rng.IntN(3*w2)
+		seed := rng.Uint64()
+		wh, wv := spacetime.Weights(p, p, l, w1+w2)
+
+		run := func() (bits.Vec, bits.Vec, []bits.Vec, []bits.Vec, []bits.Vec) {
+			s1 := mustSession(t, l, w1, c1, wh, wv)
+			defer s1.Close()
+			s2 := mustSession(t, l, w2, c2, wh, wv)
+			defer s2.Close()
+			src := spacetime.NewLayerSource(l, p, p, lanes, frame.NewAggregateSampler(seed, 2))
+			lat := toric.Cached(l)
+			layerX := bits.NewVecs(lat.NumChecks(), lanes)
+			layerZ := bits.NewVecs(lat.NumChecks(), lanes)
+			d := s1.NewDecoder(lanes)
+			for r := 0; r < pre; r++ {
+				src.NextLayers(layerX, layerZ)
+				d.Push(layerX, layerZ)
+			}
+			rounds := d.Rounds()
+			nd, err := d.Rewindow(s2)
+			if err != nil {
+				t.Fatalf("trial %d: rewindow: %v", trial, err)
+			}
+			if nd.Rounds() != rounds {
+				t.Fatalf("trial %d: rewindow lost rounds: %d -> %d", trial, rounds, nd.Rounds())
+			}
+			for r := 0; r < post; r++ {
+				src.NextLayers(layerX, layerZ)
+				nd.Push(layerX, layerZ)
+			}
+			src.CloseLayers(layerX, layerZ)
+			nd.Finish(layerX, layerZ)
+			if nd.Committed() != pre+post {
+				t.Fatalf("trial %d: committed %d of %d rounds", trial, nd.Committed(), pre+post)
+			}
+			cx, cz := src.ErrorPlanes()
+			corrX, corrZ := nd.Corrections()
+			return bits.Vec{}, bits.Vec{}, corrX, corrZ, append(append([]bits.Vec{}, cx...), cz...)
+		}
+		_, _, corrX, corrZ, planes := run()
+		cumX, cumZ := planes[:len(planes)/2], planes[len(planes)/2:]
+		lat := toric.Cached(l)
+		errv := bits.NewVec(lat.Qubits())
+		for lane := 0; lane < lanes; lane += 1 + rng.IntN(5) {
+			laneError(cumX, lane, errv)
+			errv.Xor(corrX[lane])
+			if len(lat.Syndrome(errv)) != 0 {
+				t.Fatalf("trial %d lane %d: X residual carries syndrome after rewindow", trial, lane)
+			}
+			laneError(cumZ, lane, errv)
+			errv.Xor(corrZ[lane])
+			if len(lat.StarSyndrome(errv)) != 0 {
+				t.Fatalf("trial %d lane %d: Z residual carries syndrome after rewindow", trial, lane)
+			}
+		}
+		// Determinism across repeats.
+		_, _, corrX2, corrZ2, _ := run()
+		for lane := 0; lane < lanes; lane++ {
+			if !corrX[lane].Equal(corrX2[lane]) || !corrZ[lane].Equal(corrZ2[lane]) {
+				t.Fatalf("trial %d: rewindowed stream not deterministic", trial)
+			}
+		}
 	}
 }

@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"fmt"
+
 	"ftqc/internal/decoder"
 	"ftqc/internal/extract"
 	"ftqc/internal/toric"
@@ -39,30 +41,38 @@ type Window struct {
 
 // NewWindow builds the window structure for an L×L lattice, window
 // height W ≥ 2 layers, commit region 1 ≤ commit ≤ W−1, and the given
-// integer edge weights (see spacetime.Weights).
-func NewWindow(l, w, commit, wh, wv int) *Window {
+// integer edge weights (see spacetime.Weights). Invalid parameters
+// return a descriptive error at construction instead of surfacing as a
+// panic deep inside a later decode — a window that constructs cleanly
+// streams cleanly. A window taller than the stream it eventually
+// decodes is valid: it simply never slides and Finish runs the
+// whole-volume decode.
+func NewWindow(l, w, commit, wh, wv int) (*Window, error) {
 	return newWindow(l, w, commit, wh, wv, 0)
 }
 
 // NewCircuitWindow is NewWindow plus the circuit model's diagonal edge
 // class of weight wd ≥ 1 (see spacetime.WeightsCircuit for the weight
 // derivation and extract.Sched for the diagonal orientation).
-func NewCircuitWindow(l, w, commit, wh, wv, wd int) *Window {
+func NewCircuitWindow(l, w, commit, wh, wv, wd int) (*Window, error) {
 	if wd < 1 {
-		panic("stream: circuit window needs a positive diagonal weight")
+		return nil, fmt.Errorf("stream: circuit window needs a positive diagonal weight (got wd=%d)", wd)
 	}
 	return newWindow(l, w, commit, wh, wv, wd)
 }
 
-func newWindow(l, w, commit, wh, wv, wd int) *Window {
+func newWindow(l, w, commit, wh, wv, wd int) (*Window, error) {
+	if l < 2 {
+		return nil, fmt.Errorf("stream: lattice distance must be at least 2 (got L=%d)", l)
+	}
 	if w < 2 {
-		panic("stream: window must hold at least two layers")
+		return nil, fmt.Errorf("stream: window must hold at least two layers (got window=%d)", w)
 	}
 	if commit < 1 || commit >= w {
-		panic("stream: commit region must satisfy 1 <= commit < window")
+		return nil, fmt.Errorf("stream: commit region must satisfy 1 <= commit < window (got commit=%d, window=%d); the commit lag window-commit must stay in [1, window-1]", commit, w)
 	}
 	if wh < 1 || wv < 1 {
-		panic("stream: edge weights must be positive")
+		return nil, fmt.Errorf("stream: edge weights must be positive (got wh=%d, wv=%d)", wh, wv)
 	}
 	lat := toric.Cached(l)
 	win := &Window{
@@ -80,7 +90,7 @@ func newWindow(l, w, commit, wh, wv, wd int) *Window {
 	}
 	win.graphX = win.buildGraph(lat.Graph(), win.diagX)
 	win.graphZ = win.buildGraph(lat.DualGraph(), win.diagZ)
-	return win
+	return win, nil
 }
 
 // buildGraph extrudes a 2D sector graph into the open-window graph.

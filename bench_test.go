@@ -12,6 +12,7 @@ import (
 	"math/rand/v2"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -296,7 +297,12 @@ func circuitExtractConfigs() []toricDecodeConfig {
 // sustained operating point p = q = 0.025 with T = 4L rounds through
 // W = 2L windows (commit L). Each iteration streams one 64-shot batch
 // end to end: round-by-round sampling, window slides through the
-// long-lived decode services, closing decode, homology test.
+// long-lived decode services, closing decode, homology test. The
+// circuit/ sub-series streams the full extraction circuit through the
+// diagonal-edge windows at a sustained circuit-level operating point,
+// and the quiet/ sub-series measures the same L=16 window well below
+// threshold, where the incremental slide and the sparse skip carry the
+// load instead of raw decode throughput.
 func BenchmarkStreamDecode(b *testing.B) {
 	const pq = 0.025
 	for _, l := range []int{4, 8, 16} {
@@ -311,6 +317,40 @@ func BenchmarkStreamDecode(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.BatchMemory(4*l, pq, pq, 64, frame.NewAggregateSampler(7, uint64(i)))
+			}
+		})
+	}
+	for _, l := range []int{8, 16} {
+		b.Run(fmt.Sprintf("circuit/L=%d", l), func(b *testing.B) {
+			const eps = 0.003
+			P := noise.Uniform(eps)
+			w, c := stream.DefaultWindow(l)
+			wh, wv, wd := spacetime.WeightsCircuit(P, l, w)
+			s, err := stream.NewCircuitSession(l, w, c, wh, wv, wd)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := spacetime.NewCircuitLayerSource(l, P, 64, frame.NewAggregateSampler(7, uint64(i)))
+				s.BatchMemoryFrom(src, 4*l)
+			}
+		})
+	}
+	for _, p := range []float64{0.008, 0.002, 0.0005} {
+		b.Run(fmt.Sprintf("quiet/L=16/p=%g", p), func(b *testing.B) {
+			const l = 16
+			w, c := stream.DefaultWindow(l)
+			wh, wv := spacetime.Weights(p, p, l, 4*l)
+			s, err := stream.NewSession(l, w, c, wh, wv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.BatchMemory(4*l, p, p, 64, frame.NewAggregateSampler(7, uint64(i)))
 			}
 		})
 	}
@@ -420,6 +460,7 @@ func TestEmitToricBenchJSON(t *testing.T) {
 		RoundsPS   float64 `json:"rounds_per_sec,omitempty"`        // server: aggregate decoded rounds/s
 		CommitP50  float64 `json:"commit_p50_ns,omitempty"`         // server: median commit latency
 		CommitP99  float64 `json:"commit_p99_ns,omitempty"`         // server: tail commit latency
+		GoMaxProcs int     `json:"gomaxprocs"`                      // parallelism when this entry was measured
 	}
 	decoderName := map[toric.DecoderKind]string{
 		toric.DecoderGreedy:    "greedy",
@@ -500,6 +541,52 @@ func TestEmitToricBenchJSON(t *testing.T) {
 			NsPerRound: ns / stShots / float64(rounds), WindowRSS: foot,
 		})
 	}
+	// Circuit-level streaming series: the extraction circuit streamed
+	// round by round through the diagonal-edge windows.
+	for _, l := range []int{8, 16} {
+		const eps = 0.003
+		P := noise.Uniform(eps)
+		w, c := stream.DefaultWindow(l)
+		wh, wv, wd := spacetime.WeightsCircuit(P, l, w)
+		s, err := stream.NewCircuitSession(l, w, c, wh, wv, wd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds := 4 * l
+		ns := measure(func() {
+			src := spacetime.NewCircuitLayerSource(l, P, stShots, frame.NewAggregateSampler(7, 0))
+			s.BatchMemoryFrom(src, rounds)
+		})
+		s.Close()
+		report.Entries = append(report.Entries, entry{
+			Name: fmt.Sprintf("BenchmarkStreamDecode/circuit/L=%d", l), L: l, Rounds: rounds,
+			Window: w, Commit: c, P: eps, Q: eps, Decoder: "window-circuit-" + decoderName[toric.DecoderUnionFind],
+			ShotsPerOp: stShots, NsPerOp: ns, NsPerShot: ns / stShots,
+			NsPerRound: ns / stShots / float64(rounds),
+		})
+	}
+	// Quiet-region sweep: the L=16 stream well below threshold, where
+	// the persistent-forest slide and sparse skip dominate the cost.
+	for _, p := range []float64{0.008, 0.002, 0.0005} {
+		const l = 16
+		w, c := stream.DefaultWindow(l)
+		wh, wv := spacetime.Weights(p, p, l, 4*l)
+		s, err := stream.NewSession(l, w, c, wh, wv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds := 4 * l
+		ns := measure(func() {
+			s.BatchMemory(rounds, p, p, stShots, frame.NewAggregateSampler(7, 0))
+		})
+		s.Close()
+		report.Entries = append(report.Entries, entry{
+			Name: fmt.Sprintf("BenchmarkStreamDecode/quiet/L=%d/p=%g", l, p), L: l, Rounds: rounds,
+			Window: w, Commit: c, P: p, Q: p, Decoder: "window-" + decoderName[toric.DecoderUnionFind],
+			ShotsPerOp: stShots, NsPerOp: ns, NsPerShot: ns / stShots,
+			NsPerRound: ns / stShots / float64(rounds),
+		})
+	}
 	// Server series: a sustained fleet through the multi-tenant decode
 	// server, reporting aggregate throughput and commit-latency tails.
 	{
@@ -522,6 +609,17 @@ func TestEmitToricBenchJSON(t *testing.T) {
 			CommitP50: float64(p50.Nanoseconds()) / sessions,
 			CommitP99: float64(p99.Nanoseconds()) / sessions,
 		})
+	}
+	for i := range report.Entries {
+		report.Entries[i].GoMaxProcs = runtime.GOMAXPROCS(0)
+	}
+	// Every streaming series must carry the per-shot·round figure — the
+	// number the perf trajectory tracks — and the CI smoke re-checks the
+	// committed file for the same invariant.
+	for _, e := range report.Entries {
+		if strings.HasPrefix(e.Name, "BenchmarkStreamDecode") && e.NsPerRound <= 0 {
+			t.Errorf("streaming series %s missing ns_per_shot_round", e.Name)
+		}
 	}
 	// Merge-update: entries already in the file keep their place and are
 	// replaced by name; series this run did not measure survive.

@@ -10,6 +10,8 @@ import (
 	"math"
 	"math/rand/v2"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -96,6 +98,50 @@ func usage() {
 	fmt.Println("commands:")
 	for _, c := range commands {
 		fmt.Printf("  %-15s %s\n", c.name, c.about)
+	}
+}
+
+// profileFlags registers -cpuprofile/-memprofile on the long-running
+// decode subcommands. After fs.Parse, call the returned start function;
+// defer the stop function it returns — it finishes the CPU profile and
+// writes the heap profile (after a GC, so it shows the resident state,
+// not collectable garbage).
+func profileFlags(fs *flag.FlagSet) func() func() {
+	cpu := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	mem := fs.String("memprofile", "", "write a heap profile to this file when the run ends")
+	return func() func() {
+		var cpuF *os.File
+		if *cpu != "" {
+			f, err := os.Create(*cpu)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", fs.Name(), err)
+				os.Exit(2)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", fs.Name(), err)
+				os.Exit(2)
+			}
+			cpuF = f
+		}
+		return func() {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			if *mem != "" {
+				f, err := os.Create(*mem)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", fs.Name(), err)
+					os.Exit(2)
+				}
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", fs.Name(), err)
+					os.Exit(2)
+				}
+				f.Close()
+			}
+		}
 	}
 }
 
@@ -487,7 +533,9 @@ func cmdStream(args []string) {
 	grid := fs.String("p", "0.01,0.015,0.02,0.025,0.03,0.04,0.05", "comma-separated data error probabilities")
 	samples := fs.Int("samples", 4000, "Monte Carlo samples per point")
 	volume := fs.Bool("volume", true, "cross-check the smallest distance against the whole-volume decode")
+	startProf := profileFlags(fs)
 	fs.Parse(args)
+	defer startProf()()
 	if *q > 1 || (*q < 0 && *q != -1) {
 		fmt.Fprintf(os.Stderr, "stream: bad -q %v (want a probability, or -1 to track p)\n", *q)
 		os.Exit(2)
@@ -594,7 +642,9 @@ func cmdCircuit(args []string) {
 	samples := fs.Int("samples", 4000, "Monte Carlo samples per point")
 	dec := fs.String("decoder", "uf", "decoder: uf (weighted union-find) or exact (circuit-metric blossom MWPM)")
 	compare := fs.Bool("compare", true, "cross-check union-find against exact MWPM at the smallest distance")
+	startProf := profileFlags(fs)
 	fs.Parse(args)
+	defer startProf()()
 	kind, ok := toricDecoder(*dec)
 	if !ok || kind == toric.DecoderGreedy {
 		fmt.Fprintf(os.Stderr, "circuit: unknown decoder %q (want uf or exact)\n", *dec)
@@ -730,7 +780,9 @@ func cmdServe(args []string) {
 	workers := fs.Int("workers", 0, "decode workers in the shared pool (0: GOMAXPROCS)")
 	depth := fs.Int("queue", 16, "per-session ingest queue depth in rounds")
 	adapt := fs.Bool("adapt", false, "adaptive windows: grow/shrink W with the observed defect density")
+	startProf := profileFlags(fs)
 	fs.Parse(args)
+	defer startProf()()
 	cfg, ok := serveSessionCfg(*model, *size, *lanes, *p)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "serve: unknown model %q (want circuit or phenom)\n", *model)

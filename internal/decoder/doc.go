@@ -82,6 +82,24 @@
 // variables, so each vertex prices only the candidates inside that
 // radius. The optimality certificate is unchanged.
 //
+// # Guarded decode and cluster extraction
+//
+// DecodeGuarded is the incremental-window entry point. It decodes like
+// DecodeErased with two extensions. A guard set marks nodes the caller
+// has excised from the syndrome (a retained cluster's footprint from
+// the previous window): if any growing cluster touches a guarded node,
+// the decode aborts with a conflict — the caller must fall back to a
+// full re-decode of the lane, which is what keeps the incremental path
+// bit-identical to from-scratch decoding by construction. A Components
+// sink, when supplied, extracts every unguarded cluster that lies
+// entirely inside a retention band [Lo, Hi) of the time axis: its
+// nodes, defects and correction edges, CSR-packed in deterministic
+// order (clusters in root-creation order). The caller re-seeds those
+// clusters as erasures after the window slides, so quiet regions of
+// the stream never pay for re-growing the same forest. Extraction is
+// O(roots) on top of the decode: each root tracks its [minT, maxT]
+// layer extent through unions, so the band filter never walks members.
+//
 // # Decode service
 //
 // Service wraps decoder Graphs in a long-lived worker pool: batched
@@ -138,6 +156,16 @@
 //     Decodes against one graph from one instance — yields the same
 //     output as a fresh instance per call. The Service's worker pool
 //     relies on exactly this to share instances across submissions.
+//   - The guarded decode adds nothing impure: conflict detection is a
+//     pure predicate of (defects, guard) — the first boundary edge that
+//     would touch a guarded node aborts the run at a deterministic
+//     sweep — and extraction orders clusters by root creation, members
+//     by first-touch, defects and corrections by input order. A stream
+//     decoder that retains clusters, re-seeds them as erasures, and
+//     falls back on conflicts therefore commits frames bit-identical
+//     to one that re-decodes every window from scratch (pinned by the
+//     cross-implementation lockstep tests in internal/stream), no
+//     matter which lanes its retention policy chooses to cache.
 //   - Multi-graph scheduling is invisible too: a pool interleaving
 //     batches for many graphs (many streaming sessions) gives every
 //     batch the same corrections a dedicated single-graph service

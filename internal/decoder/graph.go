@@ -10,7 +10,8 @@ type Graph struct {
 	nodes  int
 	endU   []int32 // edge e runs endU[e] — endV[e]
 	endV   []int32
-	weight []int32 // per-edge growth weight, >= 1
+	weight []int32  // per-edge growth weight, >= 1
+	grow   []uint32 // per-edge full-support target, 2·weight (the growth loop's unit)
 	maxW   int32
 	off    []int32 // CSR offsets into adjEdge/adjNode, len nodes+1
 	adjE   []int32 // incident edge ids, grouped by node
@@ -45,6 +46,7 @@ func NewWeightedGraph(nodes int, ends [][2]int32, weights []int32) *Graph {
 		endU:   make([]int32, len(ends)),
 		endV:   make([]int32, len(ends)),
 		weight: make([]int32, len(ends)),
+		grow:   make([]uint32, len(ends)),
 		maxW:   1,
 		off:    make([]int32, nodes+1),
 	}
@@ -64,6 +66,7 @@ func NewWeightedGraph(nodes int, ends [][2]int32, weights []int32) *Graph {
 		}
 		g.endU[e], g.endV[e] = uv[0], uv[1]
 		g.weight[e] = w
+		g.grow[e] = uint32(2 * w)
 		g.off[uv[0]+1]++
 		g.off[uv[1]+1]++
 	}

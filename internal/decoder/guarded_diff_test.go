@@ -1,0 +1,55 @@
+package decoder
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// TestDecodeGuardedMatchesDecode: with a nil guard, DecodeGuarded (with
+// and without extraction) must produce exactly Decode's edge set.
+func TestDecodeGuardedMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 78))
+	g := torusGraph(20)
+	uf1 := NewUnionFind(g)
+	uf2 := NewUnionFind(g)
+	uf3 := NewUnionFind(g)
+	var comps Components
+	for trial := 0; trial < 500; trial++ {
+		n := 2 * (1 + rng.IntN(12))
+		seen := map[int]bool{}
+		var defs []int
+		for len(defs) < n {
+			v := rng.IntN(400)
+			if !seen[v] {
+				seen[v] = true
+				defs = append(defs, v)
+			}
+		}
+		sort.Ints(defs)
+		var plain []int32
+		uf1.Decode(defs, func(e int) { plain = append(plain, int32(e)) })
+		guarded, ok := uf2.DecodeGuarded(defs, nil, nil, nil, &comps)
+		if !ok {
+			t.Fatalf("trial %d: guarded decode conflicted with nil guard", trial)
+		}
+		bare, ok := uf3.DecodeGuarded(defs, nil, nil, nil, nil)
+		if !ok {
+			t.Fatalf("trial %d: bare guarded decode conflicted", trial)
+		}
+		for name, got := range map[string][]int32{"with-comps": guarded, "no-comps": bare} {
+			a := append([]int32(nil), plain...)
+			b := append([]int32(nil), got...)
+			sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+			sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+			if len(a) != len(b) {
+				t.Fatalf("trial %d %s: edge count %d vs %d (defs=%v)\nplain=%v\ngot=%v", trial, name, len(a), len(b), defs, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("trial %d %s: edge sets differ (defs=%v)\nplain=%v\ngot=%v", trial, name, defs, a, b)
+				}
+			}
+		}
+	}
+}

@@ -17,12 +17,23 @@ var ErrClosed = errors.New("decoder: service closed")
 var errNoGraph = errors.New("decoder: no decoding graph for submission")
 
 // Shot is one decode request to a Service: a defect list and optional
-// known-erased edges (both in the graph's index space). The slices are
-// read, never written; they must stay untouched until the batch that
-// carries them completes.
+// known-erased edges (both in the graph's index space). Defects and
+// Erased are read, never written; they must stay untouched until the
+// batch that carries them completes.
+//
+// The remaining fields serve the incremental streaming path. Guard is a
+// node set barred from growth contact (see UnionFind.DecodeGuarded); a
+// shot with a Guard must also carry Comps, whose Conflict flag is the
+// only way the abort is reported. Comps, when non-nil, receives the
+// post-decode cluster extraction. CorrBuf, when non-nil, is the caller-
+// owned backing array the correction is appended into — resubmitting
+// with the returned slice makes the steady state allocation-free.
 type Shot struct {
 	Defects []int
 	Erased  []int
+	Guard   []int32
+	Comps   *Components
+	CorrBuf []int32
 }
 
 // Service is a long-lived decode worker pool — the shape a
@@ -58,12 +69,35 @@ type serviceSpan struct {
 }
 
 // Batch is an in-flight submission. Wait blocks until every shot is
-// decoded and returns the corrections.
+// decoded and returns the corrections. Batches made by Submit/SubmitOn
+// are single-use; NewBatch builds a reusable one for the streaming hot
+// path.
 type Batch struct {
 	shots   []Shot
 	out     [][]int32
 	pending atomic.Int64
 	done    chan struct{}
+	reuse   bool
+}
+
+// NewBatch preallocates a reusable batch sized for n shots. Submit it
+// with Service.ResubmitOn, Wait for the results, and submit it again:
+// the output slots and completion signal are recycled, so a warmed-up
+// resubmit loop allocates nothing. A reusable batch must not be
+// resubmitted while still in flight.
+func NewBatch(n int) *Batch {
+	return &Batch{out: make([][]int32, n), done: make(chan struct{}, 1), reuse: true}
+}
+
+// complete signals the batch's consumer: reusable batches hand over a
+// token (the channel survives for the next round trip), single-use
+// batches close.
+func (b *Batch) complete() {
+	if b.reuse {
+		b.done <- struct{}{}
+	} else {
+		close(b.done)
+	}
 }
 
 // NewService starts a decode pool of the given worker count bound to g
@@ -112,17 +146,40 @@ func (s *Service) Submit(shots []Shot) (*Batch, error) {
 // point of an unbound pool. Batches against different graphs share the
 // same workers; each batch's output depends only on (graph, shots).
 func (s *Service) SubmitOn(g *Graph, shots []Shot) (*Batch, error) {
-	if g == nil {
-		return nil, errNoGraph
-	}
 	b := &Batch{
 		shots: shots,
 		out:   make([][]int32, len(shots)),
 		done:  make(chan struct{}),
 	}
+	if err := s.submit(g, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ResubmitOn submits a reusable batch (NewBatch) against g — the
+// allocation-free form of SubmitOn the streaming slide runs on. The
+// batch must be idle (freshly built or Waited on); its output slots are
+// regrown only if the shot count exceeds the batch's capacity.
+func (s *Service) ResubmitOn(g *Graph, b *Batch, shots []Shot) error {
+	b.shots = shots
+	if cap(b.out) < len(shots) {
+		b.out = make([][]int32, len(shots))
+	} else {
+		b.out = b.out[:len(shots)]
+	}
+	return s.submit(g, b)
+}
+
+// submit fans a prepared batch out into worker spans.
+func (s *Service) submit(g *Graph, b *Batch) error {
+	if g == nil {
+		return errNoGraph
+	}
+	shots := b.shots
 	if len(shots) == 0 {
-		close(b.done)
-		return b, nil
+		b.complete()
+		return nil
 	}
 	// Span size balances queue traffic against tail latency: a few spans
 	// per worker lets fast workers steal from slow ones.
@@ -139,7 +196,7 @@ func (s *Service) SubmitOn(g *Graph, shots []Shot) (*Batch, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return nil, ErrClosed
+		return ErrClosed
 	}
 	for lo := 0; lo < len(shots); lo += span {
 		hi := lo + span
@@ -148,7 +205,7 @@ func (s *Service) SubmitOn(g *Graph, shots []Shot) (*Batch, error) {
 		}
 		s.tasks <- serviceSpan{b: b, pool: pool, lo: lo, hi: hi}
 	}
-	return b, nil
+	return nil
 }
 
 // scratchFor returns the per-graph UnionFind pool, creating it on first
@@ -208,16 +265,13 @@ func (s *Service) worker() {
 	for t := range s.tasks {
 		uf := t.pool.Get().(*UnionFind)
 		for i := t.lo; i < t.hi; i++ {
-			shot := t.b.shots[i]
-			var corr []int32
-			uf.DecodeErased(shot.Defects, shot.Erased, func(e int) {
-				corr = append(corr, int32(e))
-			})
+			shot := &t.b.shots[i]
+			corr, _ := uf.DecodeGuarded(shot.Defects, shot.Erased, shot.Guard, shot.CorrBuf[:0], shot.Comps)
 			t.b.out[i] = corr
 		}
 		t.pool.Put(uf)
 		if t.b.pending.Add(-1) == 0 {
-			close(t.b.done)
+			t.b.complete()
 		}
 	}
 }

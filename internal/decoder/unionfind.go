@@ -23,12 +23,22 @@ type UnionFind struct {
 	// node, which absorbs its parity, so it never grows.
 	node []ufNode
 
-	// Edge growth state: epoch<<32 | support packed in one word (one load
-	// on the growth hot path). support counts half-steps of growth: an
-	// edge of weight w is fully grown (in the erasure) at support 2w, so
+	// Edge growth state: support counts half-steps of growth; an edge of
+	// weight w is fully grown (in the erasure) at support 2w, so
 	// unit-weight graphs keep the classic 0→1→2 progression and heavier
-	// edges take proportionally more sweeps to cross.
-	edgeState []uint64
+	// edges take proportionally more sweeps to cross. Kept deliberately
+	// narrow — two bytes per edge — so the random-access loads of the
+	// growth hot loop stay cache-resident; edges that gained support are
+	// listed in dirty and zeroed at the start of the next decode instead
+	// of being epoch-stamped.
+	sup   []uint16
+	dirty []int32
+
+	// uni is the shared full-support target when every edge of the graph
+	// has the same weight (the common case: p = q collapses to a
+	// unit-weight graph), letting the growth loop skip the per-edge
+	// target load. Zero on mixed-weight graphs.
+	uni uint16
 
 	// sweeps counts the growth sweeps of the last Decode; a pure-erasure
 	// syndrome (every defect inside an even-parity erased component)
@@ -43,14 +53,53 @@ type UnionFind struct {
 	bndNode []int32
 	bndNext []int32
 
-	// Erasure adjacency, built as edges reach full support: a per-node
-	// linked list over an arena, so peeling walks exactly the grown
-	// region and never rescans graph adjacency.
-	eraHead []int32
-	eraSeen []uint32
-	eraEdge []int32
-	eraNode []int32
-	eraNext []int32
+	// Erasure adjacency, in CSR form rebuilt at peel time: allGrown
+	// collects every fully-grown edge in completion order, eraDeg counts
+	// per-node incidences as they complete (valid when eraSeen holds the
+	// epoch), and two scatter passes lay the adjacency out contiguously
+	// in csrEdge/csrNode — so peeling walks exactly the grown region in
+	// cache order and never rescans graph adjacency.
+	eraSeen  []uint32
+	eraDeg   []int32
+	eraStart []int32
+	allGrown []int32
+	csrEdge  []int32
+	csrNode  []int32
+
+	// Per-root extent of the grown region (valid at roots, merged by
+	// union): the smallest and largest node id the cluster has touched.
+	// Extraction's band filter is an O(1) test per root against these,
+	// so a decode with nothing retainable pays nothing per node.
+	minT []int32
+	maxT []int32
+
+	// Guard support (incremental window decoding): nodes stamped with the
+	// current epoch are barred from growth contact. The first touch of a
+	// guarded node — or the first half-step of support on an edge whose
+	// far endpoint is guarded — flags a conflict and aborts the decode,
+	// which is the caller's signal that its cached cluster forest would
+	// have interacted with the new syndrome and must be rebuilt.
+	guardSeen []uint32
+	guardOn   bool
+	conflict  bool
+
+	// First-touch log of every node reached this decode; doubles as the
+	// node iteration order for the CSR build and the extraction scatter.
+	touched []int32
+
+	// Component-extraction scratch: candidate roots, comp index per
+	// root, and per-candidate counts / selection state of the band
+	// filter.
+	compSeen []uint32
+	compOf   []int32
+	cands    []int32
+	cNode    []int32
+	cDef     []int32
+	cCorr    []int32
+	cSel     []int32
+
+	// Correction edges of the last decode, in peel emit order.
+	corrBuf []int32
 
 	epoch uint32
 
@@ -75,21 +124,109 @@ type peelStep struct {
 
 // NewUnionFind returns a decoder instance over g.
 func NewUnionFind(g *Graph) *UnionFind {
-	return &UnionFind{
-		g:         g,
-		node:      make([]ufNode, g.nodes),
-		edgeState: make([]uint64, g.Edges()),
-		bndHead:   make([]int32, g.nodes),
-		bndTail:   make([]int32, g.nodes),
-		eraHead:   make([]int32, g.nodes),
-		eraSeen:   make([]uint32, g.nodes),
+	u := &UnionFind{
+		g:        g,
+		node:     make([]ufNode, g.nodes),
+		sup:      make([]uint16, g.Edges()),
+		bndHead:  make([]int32, g.nodes),
+		bndTail:  make([]int32, g.nodes),
+		eraSeen:  make([]uint32, g.nodes),
+		eraDeg:   make([]int32, g.nodes),
+		eraStart: make([]int32, g.nodes),
+		minT:     make([]int32, g.nodes),
+		maxT:     make([]int32, g.nodes),
 	}
+	if len(g.grow) > 0 {
+		u.uni = uint16(g.grow[0])
+		for _, t := range g.grow {
+			if t > 65535 {
+				panic("decoder: edge weight too large for growth state")
+			}
+			if uint16(t) != u.uni {
+				u.uni = 0
+			}
+		}
+	}
+	return u
 }
 
 // GrowthSweeps returns the number of growth sweeps the last Decode (or
 // DecodeErased) ran. Zero means the peeling-only fast path: every defect
 // was already inside an even-parity erased cluster.
 func (u *UnionFind) GrowthSweeps() int { return u.sweeps }
+
+// Components is the post-decode cluster extraction of a DecodeGuarded
+// call: the retainable clusters of the final forest, each with its
+// touched nodes, its defects, and its correction edges — everything a
+// sliding-window caller needs to carry a cluster across a slide
+// (persistent-forest mode). A cluster is retainable when it is not
+// grounded and every touched node lies inside the caller's band
+// [Lo, Hi); the filter is an O(1) extent test per cluster inside the
+// extraction, so a decode with nothing retainable costs O(clusters),
+// not O(grown region).
+//
+// Extraction is capacity-bounded: the capacities of NodeOff, Node, Def
+// and Corr (set once with Init) are the budget, and a cluster that
+// would overflow any of them is skipped — later, smaller clusters may
+// still fit. The skip rule is a pure function of the decode, so two
+// decoders with the same budgets extract identical sets. A zero-value
+// Components has zero budget and extracts nothing (Conflict still
+// reports). The flat CSR layout (Off slices index the value slices)
+// and the fixed budgets make extraction allocation-free and keep a
+// resident Components at a constant footprint.
+//
+// Clusters appear in root-creation order (the order the surviving
+// roots were first touched), members in first-touch order, defects in
+// defect-list order, corrections in emit order — all deterministic
+// functions of (graph, defects, erasure).
+type Components struct {
+	// Conflict reports that the decode aborted on guard contact; every
+	// other field is empty and the shot's correction is invalid.
+	Conflict bool
+
+	// Lo, Hi is the retention band: a cluster touching any node outside
+	// [Lo, Hi) is not extracted. Set by the caller before the decode.
+	Lo, Hi int32
+
+	NodeOff []int32 // len N+1; cluster i's touched nodes are Node[NodeOff[i]:NodeOff[i+1]]
+	Node    []int32
+	DefOff  []int32
+	Def     []int32
+	CorrOff []int32
+	Corr    []int32
+}
+
+// Init sets the retention band and allocates the extraction arrays at
+// their fixed budgets: at most `clusters` clusters, `nodes` touched
+// nodes, `defs` defects and `corrs` correction edges in total.
+func (c *Components) Init(lo, hi int32, clusters, nodes, defs, corrs int) {
+	c.Lo, c.Hi = lo, hi
+	c.NodeOff = make([]int32, 0, clusters+1)
+	c.DefOff = make([]int32, 0, clusters+1)
+	c.CorrOff = make([]int32, 0, clusters+1)
+	c.Node = make([]int32, 0, nodes)
+	c.Def = make([]int32, 0, defs)
+	c.Corr = make([]int32, 0, corrs)
+}
+
+// N returns the cluster count of the extraction.
+func (c *Components) N() int {
+	if len(c.NodeOff) == 0 {
+		return 0
+	}
+	return len(c.NodeOff) - 1
+}
+
+// reset empties the extraction, keeping the band and the budgets.
+func (c *Components) reset() {
+	c.Conflict = false
+	c.NodeOff = c.NodeOff[:0]
+	c.Node = c.Node[:0]
+	c.DefOff = c.DefOff[:0]
+	c.Def = c.Def[:0]
+	c.CorrOff = c.CorrOff[:0]
+	c.Corr = c.Corr[:0]
+}
 
 // touch initializes node v's cluster state for the current epoch if it
 // has not been seen yet, as a parity-0 singleton with an empty boundary.
@@ -104,6 +241,9 @@ func (u *UnionFind) touch(v int32) {
 	}
 	u.bndHead[v] = -1
 	u.bndTail[v] = -1
+	u.minT[v] = v
+	u.maxT[v] = v
+	u.touched = append(u.touched, v)
 }
 
 // find returns the root of v's cluster with path compression.
@@ -145,22 +285,82 @@ func (u *UnionFind) Decode(defects []int, emit func(edge int)) {
 // odd remainder grows. Erased edges may be emitted in the correction
 // even when no cluster grows.
 func (u *UnionFind) DecodeErased(defects, erased []int, emit func(edge int)) {
+	u.run(defects, erased, nil)
+	for _, e := range u.corrBuf {
+		emit(int(e))
+	}
+}
+
+// DecodeGuarded is the incremental-window entry point: DecodeErased with
+// the correction appended to corr (returned re-sliced, so a caller-owned
+// buffer makes the steady state allocation-free), an optional guard node
+// set, and an optional post-decode cluster extraction into comps.
+//
+// Guard nodes are the touched region of clusters a caller cached from an
+// earlier, disjoint decode. If growth touches a guarded node — or puts
+// the first half-step of support on an edge one of whose endpoints is
+// guarded — the cached clusters would have interacted with this
+// syndrome: the decode aborts, comps.Conflict is set, and ok is false
+// (the returned corr is empty). Callers recover by re-decoding the full
+// defect set without a guard. Defects themselves must not be guarded.
+//
+// When comps is non-nil and the decode completes, comps receives the
+// cluster extraction (see Components).
+func (u *UnionFind) DecodeGuarded(defects, erased []int, guard []int32, corr []int32, comps *Components) ([]int32, bool) {
+	if comps != nil {
+		comps.reset()
+	}
+	if !u.run(defects, erased, guard) {
+		if comps != nil {
+			comps.Conflict = true
+		}
+		return corr[:0], false
+	}
+	if comps != nil {
+		u.extract(defects, comps)
+	}
+	return append(corr, u.corrBuf...), true
+}
+
+// run is the shared decode core: seeds, grows, merges and peels into
+// u.corrBuf. It returns false when the guard flags a conflict (the
+// scratch is left mid-decode; the next epoch bump invalidates it all).
+func (u *UnionFind) run(defects, erased []int, guard []int32) bool {
 	u.sweeps = 0
+	u.conflict = false
+	u.corrBuf = u.corrBuf[:0]
+	u.touched = u.touched[:0]
+	u.clusters = u.clusters[:0]
+	// Zero the support the previous decode (including an aborted guarded
+	// one) left behind — touching only the edges it actually grew.
+	for _, e := range u.dirty {
+		u.sup[e] = 0
+	}
+	u.dirty = u.dirty[:0]
 	if len(defects) == 0 {
-		return
+		return true
 	}
 	u.bumpEpoch()
-	u.clusters = u.clusters[:0]
+	u.guardOn = len(guard) > 0
+	if u.guardOn {
+		if u.guardSeen == nil {
+			u.guardSeen = make([]uint32, u.g.nodes)
+		}
+		for _, v := range guard {
+			u.guardSeen[v] = u.epoch
+		}
+	}
 	u.grown = u.grown[:0]
+	u.allGrown = u.allGrown[:0]
 	u.bndNode = u.bndNode[:0]
 	u.bndNext = u.bndNext[:0]
-	u.eraEdge = u.eraEdge[:0]
-	u.eraNode = u.eraNode[:0]
-	u.eraNext = u.eraNext[:0]
 	for _, d := range defects {
 		v := int32(d)
 		if u.g.bnd != nil && u.g.bnd[v] {
 			panic("decoder: boundary node cannot be a defect")
+		}
+		if u.guardOn && u.guardSeen[v] == u.epoch {
+			panic("decoder: guarded node cannot be a defect")
 		}
 		u.touch(v)
 		if u.node[v].flags != 0 {
@@ -171,19 +371,23 @@ func (u *UnionFind) DecodeErased(defects, erased []int, emit func(edge int)) {
 		u.clusters = append(u.clusters, v)
 	}
 	g := u.g
-	epochBits := uint64(u.epoch) << 32
 	// Seed the erasure: every erased edge is fully grown from the start,
 	// its endpoints absorbed and united, exactly as if growth had crossed
 	// it — so the growth loop and the peeling pass need no special cases.
 	for _, e := range erased {
 		ee := int32(e)
-		target := uint64(2 * g.weight[ee])
-		if st := u.edgeState[ee]; st>>32 == uint64(u.epoch) && st&0xffffffff >= target {
+		target := uint16(g.grow[ee])
+		if u.sup[ee] >= target {
 			continue // duplicate erased edge
 		}
-		u.edgeState[ee] = epochBits | target
+		u.sup[ee] = target
+		u.dirty = append(u.dirty, ee)
 		a, b := g.endU[ee], g.endV[ee]
-		u.eraLink(ee, a, b)
+		if u.guardOn && (u.guardSeen[a] == u.epoch || u.guardSeen[b] == u.epoch) {
+			u.conflict = true
+			return false
+		}
+		u.eraAdd(ee, a, b)
 		u.absorb(a)
 		u.absorb(b)
 		ra, rb := u.find(a), u.find(b)
@@ -191,26 +395,27 @@ func (u *UnionFind) DecodeErased(defects, erased []int, emit func(edge int)) {
 			u.union(ra, rb)
 		}
 	}
-	for {
-		// Collect odd roots (in first-touch order — deterministic) and
-		// compact the cluster list down to live roots. Grounded clusters
-		// (those holding an open-boundary node) never count as odd: the
-		// boundary absorbs their parity, so they stop growing.
-		u.odd = u.odd[:0]
-		live := u.clusters[:0]
-		for _, r := range u.clusters {
-			if u.find(r) != r {
-				continue
-			}
-			live = append(live, r)
-			if u.node[r].flags&5 == 1 {
-				u.odd = append(u.odd, r)
-			}
+	off, adjE, adjN, growA := g.off, g.adjE, g.adjN, g.grow
+	sup := u.sup
+	uni := u.uni
+	guardOn := u.guardOn
+	// Collect the initially-odd roots (in first-touch order —
+	// deterministic). Grounded clusters (those holding an open-boundary
+	// node) never count as odd: the boundary absorbs their parity, so
+	// they stop growing. Across sweeps the odd list is maintained
+	// incrementally: a cluster can only be odd after a merge sweep if it
+	// swallowed a previously-odd cluster (odd+odd cancels, even clusters
+	// neither grow nor change parity on their own), so re-deriving the
+	// next sweep's odd roots from the previous list — instead of
+	// rescanning every cluster ever created — keeps the collect cost
+	// proportional to the live frontier.
+	u.odd = u.odd[:0]
+	for _, r := range u.clusters {
+		if u.find(r) == r && u.node[r].flags&5 == 1 {
+			u.odd = append(u.odd, r)
 		}
-		u.clusters = live
-		if len(u.odd) == 0 {
-			break
-		}
+	}
+	for len(u.odd) > 0 {
 		// Growth sweep: every ungrown edge incident to an odd cluster's
 		// boundary nodes gains one half-step of support. Edges reaching
 		// full support (2·weight) queue a merge; a node whose incident
@@ -219,24 +424,33 @@ func (u *UnionFind) DecodeErased(defects, erased []int, emit func(edge int)) {
 		u.grown = u.grown[:0]
 		advanced := false
 		for _, r := range u.odd {
+			u.node[r].flags &^= 8
 			var keptHead, keptTail int32 = -1, -1
 			for idx := u.bndHead[r]; idx >= 0; {
 				v := u.bndNode[idx]
 				next := u.bndNext[idx]
 				open := false
-				for k := g.off[v]; k < g.off[v+1]; k++ {
-					e := g.adjE[k]
-					target := uint64(2 * g.weight[e])
-					st := u.edgeState[e]
-					if st>>32 != uint64(u.epoch) {
-						st = 0
-					} else {
-						st &= 0xffffffff
+				ae := adjE[off[v]:off[v+1]]
+				for i, e := range ae {
+					target := uni
+					if target == 0 {
+						target = uint16(growA[e])
 					}
+					st := sup[e]
 					if st >= target {
 						continue
 					}
-					u.edgeState[e] = epochBits | (st + 1)
+					if st == 0 {
+						if guardOn && u.guardSeen[adjN[off[v]+int32(i)]] == u.epoch {
+							// First support on an edge into the guarded
+							// region: the cached cluster on the far side
+							// would have contributed support of its own.
+							u.conflict = true
+							return false
+						}
+						u.dirty = append(u.dirty, e)
+					}
+					sup[e] = st + 1
 					advanced = true
 					if st+1 == target {
 						u.grown = append(u.grown, e)
@@ -267,55 +481,70 @@ func (u *UnionFind) DecodeErased(defects, erased []int, emit func(edge int)) {
 		// unite the endpoint clusters.
 		for _, e := range u.grown {
 			a, b := g.endU[e], g.endV[e]
-			u.eraLink(e, a, b)
-			u.absorb(a)
-			u.absorb(b)
+			u.eraAdd(e, a, b)
+			if u.absorb(a) || u.absorb(b) {
+				return false
+			}
 			ra, rb := u.find(a), u.find(b)
 			if ra == rb {
 				continue
 			}
 			u.union(ra, rb)
 		}
+		// Re-derive the odd roots from the previous list (see above),
+		// deduplicating merged roots with flag bit 3 — set while a root
+		// is queued, cleared as the growth sweep picks it up.
+		next := u.odd[:0]
+		for _, r := range u.odd {
+			rr := u.find(r)
+			if u.node[rr].flags&13 == 1 {
+				u.node[rr].flags |= 8
+				next = append(next, rr)
+			}
+		}
+		u.odd = next
 	}
-	u.peel(defects, emit)
+	u.peel(defects)
+	return true
 }
 
-// eraLink records fully-grown edge e in both endpoints' erasure
-// adjacency lists.
-func (u *UnionFind) eraLink(e, a, b int32) {
-	for _, v := range [2]int32{a, b} {
-		head := int32(-1)
-		if u.eraSeen[v] == u.epoch {
-			head = u.eraHead[v]
-		} else {
-			u.eraSeen[v] = u.epoch
-		}
-		w := b
-		if v == b {
-			w = a
-		}
-		u.eraEdge = append(u.eraEdge, e)
-		u.eraNode = append(u.eraNode, w)
-		u.eraNext = append(u.eraNext, head)
-		u.eraHead[v] = int32(len(u.eraEdge)) - 1
+// eraAdd records fully-grown edge e: its endpoints' erasure degrees for
+// the CSR build at peel time, and the edge itself in completion order.
+func (u *UnionFind) eraAdd(e, a, b int32) {
+	if u.eraSeen[a] != u.epoch {
+		u.eraSeen[a] = u.epoch
+		u.eraDeg[a] = 0
 	}
+	u.eraDeg[a]++
+	if u.eraSeen[b] != u.epoch {
+		u.eraSeen[b] = u.epoch
+		u.eraDeg[b] = 0
+	}
+	u.eraDeg[b]++
+	u.allGrown = append(u.allGrown, e)
 }
 
 // absorb makes sure node v belongs to some cluster: a node first reached
 // by cluster growth becomes a parity-0 singleton boundary node, and the
-// following union folds it into the grower.
-func (u *UnionFind) absorb(v int32) {
+// following union folds it into the grower. It reports a guard conflict
+// on the first contact with a guarded node.
+func (u *UnionFind) absorb(v int32) bool {
 	if u.node[v].stamp>>1 == u.epoch {
-		return
+		return false
+	}
+	if u.guardOn && u.guardSeen[v] == u.epoch {
+		u.conflict = true
+		return true
 	}
 	u.touch(v)
 	u.pushBoundary(v, v)
 	u.clusters = append(u.clusters, v)
+	return false
 }
 
 // union merges the clusters rooted at ra and rb (by size, ties to the
-// smaller id), adding parities (grounded flags OR) and splicing boundary
-// lists in O(1).
+// smaller id), adding parities (grounded flags OR), merging grown-region
+// extents, and splicing boundary lists in O(1).
 func (u *UnionFind) union(ra, rb int32) {
 	if u.node[ra].size < u.node[rb].size || (u.node[ra].size == u.node[rb].size && rb < ra) {
 		ra, rb = rb, ra
@@ -324,6 +553,8 @@ func (u *UnionFind) union(ra, rb int32) {
 	u.node[ra].size += u.node[rb].size
 	u.node[ra].flags ^= u.node[rb].flags & 1
 	u.node[ra].flags |= u.node[rb].flags & 4
+	u.minT[ra] = min(u.minT[ra], u.minT[rb])
+	u.maxT[ra] = max(u.maxT[ra], u.maxT[rb])
 	if u.bndHead[rb] >= 0 {
 		if u.bndTail[ra] < 0 {
 			u.bndHead[ra] = u.bndHead[rb]
@@ -334,13 +565,40 @@ func (u *UnionFind) union(ra, rb int32) {
 	}
 }
 
-// peel walks a spanning forest of the fully-grown (erasure) edges and
-// peels it leaf-first: a leaf carrying a defect contributes its tree edge
-// to the correction and hands its defect to the parent. A closed cluster
-// has even parity, so its defects cancel pairwise inside the forest; a
-// grounded cluster roots its tree at an open-boundary node, so any
-// unpaired defect drains onto the boundary and is absorbed there.
-func (u *UnionFind) peel(defects []int, emit func(edge int)) {
+// peel lays the grown (erasure) adjacency out in CSR form, walks a
+// spanning forest of it and peels it leaf-first: a leaf carrying a
+// defect contributes its tree edge to the correction and hands its
+// defect to the parent. A closed cluster has even parity, so its defects
+// cancel pairwise inside the forest; a grounded cluster roots its tree
+// at an open-boundary node, so any unpaired defect drains onto the
+// boundary and is absorbed there. Correction edges land in u.corrBuf.
+func (u *UnionFind) peel(defects []int) {
+	g := u.g
+	// CSR build: offsets in first-touch node order, then one scatter
+	// pass over the grown edges (eraStart ends one past each node's
+	// block; the block start is eraStart[v]-eraDeg[v]).
+	pos := int32(0)
+	for _, v := range u.touched {
+		if u.eraSeen[v] == u.epoch {
+			u.eraStart[v] = pos
+			pos += u.eraDeg[v]
+		}
+	}
+	n := int(pos)
+	if cap(u.csrEdge) < n {
+		u.csrEdge = make([]int32, n)
+		u.csrNode = make([]int32, n)
+	} else {
+		u.csrEdge = u.csrEdge[:n]
+		u.csrNode = u.csrNode[:n]
+	}
+	for _, e := range u.allGrown {
+		a, b := g.endU[e], g.endV[e]
+		u.csrEdge[u.eraStart[a]], u.csrNode[u.eraStart[a]] = e, b
+		u.eraStart[a]++
+		u.csrEdge[u.eraStart[b]], u.csrNode[u.eraStart[b]] = e, a
+		u.eraStart[b]++
+	}
 	visited := u.epoch<<1 | 1
 	u.order = u.order[:0]
 	// Boundary nodes that joined the erasure root their trees first (in
@@ -359,7 +617,7 @@ func (u *UnionFind) peel(defects []int, emit func(edge int)) {
 		if step.parentEdge < 0 || u.node[step.node].flags&2 == 0 {
 			continue
 		}
-		emit(int(step.parentEdge))
+		u.corrBuf = append(u.corrBuf, step.parentEdge)
 		u.node[step.node].flags &^= 2
 		u.node[step.parentNode].flags ^= 2
 	}
@@ -380,14 +638,143 @@ func (u *UnionFind) peelRoot(root int32, visited uint32) {
 		if u.eraSeen[v] != u.epoch {
 			continue
 		}
-		for idx := u.eraHead[v]; idx >= 0; idx = u.eraNext[idx] {
-			w := u.eraNode[idx]
+		end := u.eraStart[v]
+		for i := end - u.eraDeg[v]; i < end; i++ {
+			w := u.csrNode[i]
 			if u.node[w].stamp == visited {
 				continue
 			}
 			u.node[w].stamp = visited
-			u.order = append(u.order, peelStep{node: w, parentEdge: u.eraEdge[idx], parentNode: v})
+			u.order = append(u.order, peelStep{node: w, parentEdge: u.csrEdge[i], parentNode: v})
 			u.stack = append(u.stack, w)
+		}
+	}
+}
+
+// extract materializes the retainable clusters (see Components): not
+// grounded, grown region inside [c.Lo, c.Hi), and fitting the remaining
+// array budgets. The candidate test runs over the live roots using the
+// extents tracked through union — O(clusters) — and only when some
+// candidate survives the budget do the scatter passes walk the touched
+// region. The peel pass leaves parent links and flags intact, so find()
+// still recovers the final partition.
+func (u *UnionFind) extract(defects []int, c *Components) {
+	u.cands = u.cands[:0]
+	for _, r := range u.clusters {
+		if u.find(r) != r {
+			continue
+		}
+		if u.node[r].flags&4 == 0 && u.minT[r] >= c.Lo && u.maxT[r] < c.Hi {
+			u.cands = append(u.cands, r)
+		}
+	}
+	if len(u.cands) == 0 {
+		return
+	}
+	if u.compSeen == nil {
+		u.compSeen = make([]uint32, u.g.nodes)
+		u.compOf = make([]int32, u.g.nodes)
+	}
+	n := len(u.cands)
+	if cap(u.cDef) < n {
+		u.cNode = make([]int32, n)
+		u.cDef = make([]int32, n)
+		u.cCorr = make([]int32, n)
+		u.cSel = make([]int32, n)
+	} else {
+		u.cNode = u.cNode[:n]
+		u.cDef = u.cDef[:n]
+		u.cCorr = u.cCorr[:n]
+		u.cSel = u.cSel[:n]
+	}
+	for i, r := range u.cands {
+		u.compSeen[r] = u.epoch
+		u.compOf[r] = int32(i)
+		u.cDef[i] = 0
+		u.cCorr[i] = 0
+	}
+	for _, d := range defects {
+		if r := u.find(int32(d)); u.compSeen[r] == u.epoch {
+			u.cDef[u.compOf[r]]++
+		}
+	}
+	for _, e := range u.corrBuf {
+		if r := u.find(u.g.endU[e]); u.compSeen[r] == u.epoch {
+			u.cCorr[u.compOf[r]]++
+		}
+	}
+	// Select in candidate order under the capacity budgets; a cluster
+	// that would overflow is skipped and later, smaller ones may still
+	// fit (deterministically — a pure function of the decode). cSel
+	// becomes the selected index, or -1.
+	var nodes, defs, corrs int32
+	m := 0
+	for i, r := range u.cands {
+		sz := u.node[r].size
+		if m+2 > cap(c.NodeOff) ||
+			int(nodes+sz) > cap(c.Node) ||
+			int(defs+u.cDef[i]) > cap(c.Def) ||
+			int(corrs+u.cCorr[i]) > cap(c.Corr) {
+			u.cSel[i] = -1
+			continue
+		}
+		nodes += sz
+		defs += u.cDef[i]
+		corrs += u.cCorr[i]
+		u.cSel[i] = int32(m)
+		m++
+	}
+	if m == 0 {
+		return
+	}
+	// CSR offsets of the selected clusters, then scatter passes with
+	// the count arrays recycled as write cursors.
+	c.NodeOff = append(c.NodeOff, 0)
+	c.DefOff = append(c.DefOff, 0)
+	c.CorrOff = append(c.CorrOff, 0)
+	for i, r := range u.cands {
+		s := u.cSel[i]
+		if s < 0 {
+			continue
+		}
+		c.NodeOff = append(c.NodeOff, c.NodeOff[s]+u.node[r].size)
+		c.DefOff = append(c.DefOff, c.DefOff[s]+u.cDef[i])
+		c.CorrOff = append(c.CorrOff, c.CorrOff[s]+u.cCorr[i])
+		u.cNode[i] = c.NodeOff[s]
+		u.cDef[i] = c.DefOff[s]
+		u.cCorr[i] = c.CorrOff[s]
+	}
+	c.Node = c.Node[:nodes]
+	c.Def = c.Def[:defs]
+	c.Corr = c.Corr[:corrs]
+	for _, v := range u.touched {
+		r := u.find(v)
+		if u.compSeen[r] != u.epoch {
+			continue
+		}
+		if i := u.compOf[r]; u.cSel[i] >= 0 {
+			c.Node[u.cNode[i]] = v
+			u.cNode[i]++
+		}
+	}
+	for _, d := range defects {
+		r := u.find(int32(d))
+		if u.compSeen[r] != u.epoch {
+			continue
+		}
+		if i := u.compOf[r]; u.cSel[i] >= 0 {
+			c.Def[u.cDef[i]] = int32(d)
+			u.cDef[i]++
+		}
+	}
+	for _, e := range u.corrBuf {
+		r := u.find(u.g.endU[e])
+		if u.compSeen[r] != u.epoch {
+			continue
+		}
+		if i := u.compOf[r]; u.cSel[i] >= 0 {
+			c.Corr[u.cCorr[i]] = e
+			u.cCorr[i]++
 		}
 	}
 }
@@ -400,8 +787,13 @@ func (u *UnionFind) bumpEpoch() {
 		for i := range u.node {
 			u.node[i].stamp = 0
 		}
-		clear(u.edgeState)
 		clear(u.eraSeen)
+		if u.guardSeen != nil {
+			clear(u.guardSeen)
+		}
+		if u.compSeen != nil {
+			clear(u.compSeen)
+		}
 		u.epoch = 1
 	}
 }

@@ -1,0 +1,77 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"ftqc/internal/decoder"
+)
+
+// installIncrementalCheck wires the white-box cross-check: every
+// incremental lane's (active ∪ cached) correction is diffed against a
+// from-scratch decode of the identical window syndrome.
+func installIncrementalCheck(t *testing.T) {
+	t.Helper()
+	ufs := map[*decoder.Graph]*decoder.UnionFind{}
+	debugCheckIncremental = func(d *Decoder, sec *sectorState, lane int, active, cached []int32) {
+		w := d.s.win
+		sv := sec.syn[lane]
+		defs := sv.AppendSupport(nil)
+		for _, v := range sec.cdefs[lane] {
+			// A fallback lane restored its cached defects into syn; only
+			// add the ones still stripped.
+			if !sv.Get(int(v)) {
+				defs = append(defs, int(v))
+			}
+		}
+		sort.Ints(defs)
+		uf := ufs[sec.graph]
+		if uf == nil {
+			uf = decoder.NewUnionFind(sec.graph)
+			ufs[sec.graph] = uf
+		}
+		var full []int32
+		uf.Decode(defs, func(e int) { full = append(full, int32(e)) })
+		diff := map[int32]int{}
+		for _, e := range active {
+			diff[e]++
+		}
+		for _, e := range cached {
+			diff[e]++
+		}
+		for _, e := range full {
+			diff[e]--
+		}
+		var bad []int32
+		for e, n := range diff {
+			if n%2 != 0 {
+				bad = append(bad, e)
+			}
+		}
+		if len(bad) == 0 {
+			return
+		}
+		sort.Slice(bad, func(i, j int) bool { return bad[i] < bad[j] })
+		desc := func(e int32) string {
+			switch {
+			case int(e) < w.horiz:
+				return fmt.Sprintf("horiz(e=%d,t=%d)", int(e)%w.nq, int(e)/w.nq)
+			case int(e) < w.diagOff:
+				v := int(e) - w.horiz
+				return fmt.Sprintf("vert(c=%d,t=%d)", v%w.nc, v/w.nc)
+			default:
+				v := int(e) - w.diagOff
+				return fmt.Sprintf("diag(e=%d,t=%d)", v%w.nq, v/w.nq)
+			}
+		}
+		var out []string
+		for _, e := range bad {
+			out = append(out, desc(e))
+		}
+		t.Errorf("slide %d lane %d sector(graph=%p): conflict=%v cache(defs=%d corr=%d guard=%d)\n  divergent edges: %v\n  active=%d cached=%d full=%d",
+			d.slides+1, lane, sec.graph, sec.comps[lane].Conflict,
+			len(sec.cdefs[lane]), len(cached), len(sec.cguard[lane]), out, len(active), len(cached), len(full))
+	}
+	t.Cleanup(func() { debugCheckIncremental = nil })
+}

@@ -39,6 +39,29 @@
 // fires and the stream decode is bit-identical to the whole-volume
 // decode (tested).
 //
+// # Incremental slide
+//
+// Successive windows share W − C layers, so a naive slide re-decodes
+// mostly old syndrome. Three escapes recover that cost, none of which
+// may change a committed bit. A per-lane defect count maintained at
+// Push lets a silent window skip its decode outright (the sparse fast
+// path — a quiet stream costs ring bookkeeping only). A lane that
+// stays sparse retains its decoded cluster forest across the slide:
+// the guarded decode (decoder.DecodeGuarded) extracts every cluster
+// confined to the retention band, the next decode strips those defects
+// and re-seeds the clusters as erasures, and a guard set over their
+// footprint aborts to a full from-scratch re-decode of the lane the
+// moment any new cluster touches a retained one. The fallback makes
+// the committed frames bit-identical to a from-scratch decoder fed the
+// same layers for ANY deterministic retention policy (the lockstep and
+// white-box suites pin this); the shipped policy caches a lane only
+// below a density threshold and backs off exponentially after a
+// conflict, so the machinery is free at threshold-point densities and
+// dominant in the quiet regime. SetIncremental(false) disables both
+// paths. Rewindow drops the cache — its cluster ids live in the old
+// window's coordinate system — and the replayed layers rebuild it.
+// Warm Push (slides included) runs at zero heap allocations.
+//
 // # Decode service
 //
 // Window decodes are fanned out through decoder.Service — a long-lived

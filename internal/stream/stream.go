@@ -19,10 +19,15 @@ import (
 // worker fleet serves many concurrent sessions) and Close leaves that
 // pool alone.
 type Session struct {
-	win   *Window
-	pool  *decoder.Service
-	owned bool
+	win         *Window
+	pool        *decoder.Service
+	owned       bool
+	fromScratch bool
 }
+
+// SetIncremental sets the slide mode every future NewDecoder of this
+// session starts in (incremental by default; see Decoder.SetIncremental).
+func (s *Session) SetIncremental(on bool) { s.fromScratch = !on }
 
 // NewSession builds the window and starts a private decode pool (see
 // NewWindow for the parameters; weights come from spacetime.Weights).
@@ -86,11 +91,60 @@ func (s *Session) Close() {
 	}
 }
 
+// sectorState is one sector's half of a streaming Decoder: the layer
+// ring, the per-lane carries and committed frames, the slide scratch,
+// and the incremental-slide cluster cache (the retained forest of the
+// previous slide, already translated into the next window's
+// coordinates). Everything here is persistent so the steady state
+// allocates nothing.
+type sectorState struct {
+	ring  []bits.Vec // W·nc check-major layer planes, ring over slots
+	carry []bits.Vec // per-lane cut defects at the base layer (nc bits)
+	corr  []bits.Vec // per-lane running committed corrections (nq bits)
+	syn   []bits.Vec // per-lane window syndromes (W·nc bits)
+	quiet []bool     // per ring slot: every check plane empty across all lanes
+
+	shots   []decoder.Shot
+	defbuf  [][]int
+	corrbuf [][]int32 // per-lane reusable decode output buffers
+	bat     *decoder.Batch
+
+	// Persistent cluster forest, per lane: the clusters of the previous
+	// slide that survive the commit (see harvest) — their defects,
+	// corrections and touched region, shifted into this window's ids.
+	comps  []decoder.Components
+	cdefs  [][]int32
+	ccorr  [][]int32
+	cguard [][]int32
+
+	// Retention policy, per lane: skip counts slides left before the
+	// lane may start a new cache (exponential backoff after a guard
+	// conflict, doubling in bkoff); a clean guarded slide resets it.
+	skip  []uint8
+	bkoff []uint8
+
+	// Fallback wave scratch (guard conflicts).
+	fshots []decoder.Shot
+	flanes []int
+
+	graph *decoder.Graph
+	diag  [][2]int32
+}
+
 // Decoder consumes one batch of lanes' difference layers round by round
 // and maintains, per lane, a sliding window of the most recent layers,
 // the carry defects cut at the last commit, and the running committed
 // Pauli frame. All buffers are rings sized by the window — the resident
 // footprint is O(L²·W) bits per lane however many rounds stream past.
+//
+// Slides are incremental by default: clusters of the previous decode
+// that live strictly between the commit boundary and the window's open
+// edge are carried across the slide (defects stripped, corrections
+// replayed, growth guarded off their region), so a slide only decodes
+// what the freshly pushed layers and the carry actually changed — and a
+// window whose new region is silent skips the decode entirely.
+// SetIncremental(false) restores the plain from-scratch slide; both
+// modes commit bit-identical frames.
 type Decoder struct {
 	s     *Session
 	lanes int
@@ -103,39 +157,90 @@ type Decoder struct {
 	finished bool
 	err      error // terminal submission failure (shared pool closed underneath us)
 
-	ringX, ringZ   []bits.Vec // W·nc check-major layer planes, ring over slots
-	carryX, carryZ []bits.Vec // per-lane cut defects at the base layer (nc bits)
-	corrX, corrZ   []bits.Vec // per-lane running committed corrections (nq bits)
+	fromScratch bool // disable the incremental slide and the sparse skip
+	retain      bool // window shape admits a non-empty retention band
 
-	// Slide scratch, persistent so steady state allocates nothing.
-	ordered          []bits.Vec // ring view in logical layer order
-	synX, synZ       []bits.Vec // per-lane window syndromes (W·nc bits)
-	shotsX, shotsZ   []decoder.Shot
-	defbufX, defbufZ [][]int
+	sx, sz sectorState
+
+	ordered []bits.Vec // ring view in logical layer order
 }
 
 // NewDecoder returns a streaming decoder for `lanes` parallel shots,
 // drawing on the session's decode pool.
 func (s *Session) NewDecoder(lanes int) *Decoder {
 	w := s.win
+	// Retention band of the persistent forest, in window node ids: a
+	// cluster is carried across a slide only if its grown region lies
+	// strictly above the commit boundary (so none of it commits this
+	// slide) and low enough that after the shift every correction edge
+	// commits on the next slide and nothing can reach the carry layer —
+	// a one-slide lifetime with no cross-slide bookkeeping. Short or
+	// deep-commit windows have an empty band and fall back to plain
+	// from-scratch slides.
+	loBand := int32((w.Commit + 1) * w.nc)
+	hiBand := int32(min(2*w.Commit-1, w.W-1) * w.nc)
+	retain := hiBand > loBand
+	// Extraction budgets, per lane: generous for the small interior
+	// clusters retention targets, fixed so the resident footprint stays
+	// flat however many rounds stream past (oversized clusters are
+	// simply not retained).
+	bClusters, bNodes, bDefs, bCorrs := w.nc/2+2, w.nc, w.nc/2+2, w.nc
 	d := &Decoder{
-		s:       s,
-		lanes:   lanes,
-		ringX:   bits.NewVecs(w.W*w.nc, lanes),
-		ringZ:   bits.NewVecs(w.W*w.nc, lanes),
-		carryX:  bits.NewVecs(lanes, w.nc),
-		carryZ:  bits.NewVecs(lanes, w.nc),
-		corrX:   bits.NewVecs(lanes, w.nq),
-		corrZ:   bits.NewVecs(lanes, w.nq),
-		ordered: make([]bits.Vec, w.W*w.nc),
-		synX:    bits.NewVecs(lanes, w.W*w.nc),
-		synZ:    bits.NewVecs(lanes, w.W*w.nc),
-		shotsX:  make([]decoder.Shot, lanes),
-		shotsZ:  make([]decoder.Shot, lanes),
-		defbufX: make([][]int, lanes),
-		defbufZ: make([][]int, lanes),
+		s:           s,
+		lanes:       lanes,
+		fromScratch: s.fromScratch,
+		retain:      retain,
+		ordered:     make([]bits.Vec, w.W*w.nc),
 	}
+	initSector := func(sec *sectorState, g *decoder.Graph, diag [][2]int32) {
+		sec.ring = bits.NewVecs(w.W*w.nc, lanes)
+		sec.carry = bits.NewVecs(lanes, w.nc)
+		sec.corr = bits.NewVecs(lanes, w.nq)
+		sec.syn = bits.NewVecs(lanes, w.W*w.nc)
+		sec.quiet = make([]bool, w.W)
+		sec.shots = make([]decoder.Shot, lanes)
+		sec.defbuf = make([][]int, lanes)
+		sec.corrbuf = make([][]int32, lanes)
+		sec.bat = decoder.NewBatch(lanes)
+		sec.comps = make([]decoder.Components, lanes)
+		sec.cdefs = make([][]int32, lanes)
+		sec.ccorr = make([][]int32, lanes)
+		sec.cguard = make([][]int32, lanes)
+		if retain {
+			sec.skip = make([]uint8, lanes)
+			sec.bkoff = make([]uint8, lanes)
+			for lane := 0; lane < lanes; lane++ {
+				sec.comps[lane].Init(loBand, hiBand, bClusters, bNodes, bDefs, bCorrs)
+				sec.cdefs[lane] = make([]int32, 0, bDefs)
+				sec.ccorr[lane] = make([]int32, 0, bCorrs)
+				sec.cguard[lane] = make([]int32, 0, bNodes)
+				sec.bkoff[lane] = 1
+			}
+		}
+		sec.graph = g
+		sec.diag = diag
+	}
+	initSector(&d.sx, w.graphX, w.diagX)
+	initSector(&d.sz, w.graphZ, w.diagZ)
 	return d
+}
+
+// SetIncremental toggles the incremental slide (persistent cluster
+// forest + sparse quiet-window skip). It is on by default; turning it
+// off restores the plain from-scratch slide, which commits bit-identical
+// frames — the cross-implementation safety net the tests pin. Toggling
+// mid-stream is legal: the cached forest is discarded.
+func (d *Decoder) SetIncremental(on bool) {
+	d.fromScratch = !on
+	if !on {
+		for _, sec := range [2]*sectorState{&d.sx, &d.sz} {
+			for lane := 0; lane < d.lanes; lane++ {
+				sec.cdefs[lane] = sec.cdefs[lane][:0]
+				sec.ccorr[lane] = sec.ccorr[lane][:0]
+				sec.cguard[lane] = sec.cguard[lane][:0]
+			}
+		}
+	}
 }
 
 // Rounds returns how many noisy rounds the decoder has ingested.
@@ -189,10 +294,15 @@ func (d *Decoder) Push(layerX, layerZ []bits.Vec) {
 	if slot >= w.W {
 		slot -= w.W
 	}
+	quietX, quietZ := true, true
 	for c := 0; c < w.nc; c++ {
-		d.ringX[slot*w.nc+c].CopyFrom(layerX[c])
-		d.ringZ[slot*w.nc+c].CopyFrom(layerZ[c])
+		d.sx.ring[slot*w.nc+c].CopyFrom(layerX[c])
+		quietX = quietX && layerX[c].Zero()
+		d.sz.ring[slot*w.nc+c].CopyFrom(layerZ[c])
+		quietZ = quietZ && layerZ[c].Zero()
 	}
+	d.sx.quiet[slot] = quietX
+	d.sz.quiet[slot] = quietZ
 	d.filled++
 }
 
@@ -200,33 +310,41 @@ func (d *Decoder) Push(layerX, layerZ []bits.Vec) {
 // graphs, commits the correction below the commit boundary into the
 // running frames, records the cut defects as the next window's carry,
 // and advances the ring by Commit layers.
+//
+// In incremental mode each sector first strips the defects of the
+// clusters cached by the previous slide, decodes only the remainder
+// with the cached region guarded, replays the cached corrections at
+// commit time, and harvests the new decode's interior clusters for the
+// next slide. A guard conflict (the cached forest would have interacted
+// with the new syndrome) falls back to a full decode for that lane — a
+// second, batched wave — so the committed frames are bit-identical to
+// the from-scratch slide in every case. A sector whose whole window is
+// silent (no defects, no carry, no cache) skips its decode entirely.
 func (d *Decoder) slide() {
 	w := d.s.win
-	d.pivot(d.ringX, d.synX, d.carryX)
-	d.pivot(d.ringZ, d.synZ, d.carryZ)
-	for lane := 0; lane < d.lanes; lane++ {
-		d.defbufX[lane] = d.synX[lane].AppendSupport(d.defbufX[lane][:0])
-		d.shotsX[lane] = decoder.Shot{Defects: d.defbufX[lane]}
-		d.defbufZ[lane] = d.synZ[lane].AppendSupport(d.defbufZ[lane][:0])
-		d.shotsZ[lane] = decoder.Shot{Defects: d.defbufZ[lane]}
-		d.defects += uint64(len(d.defbufX[lane]) + len(d.defbufZ[lane]))
+	skipX := !d.fromScratch && d.sectorQuiet(&d.sx)
+	skipZ := !d.fromScratch && d.sectorQuiet(&d.sz)
+	if !skipX {
+		if d.prepSector(&d.sx); d.err != nil {
+			return
+		}
 	}
-	bX, err := d.s.pool.SubmitOn(w.graphX, d.shotsX)
-	if err != nil {
-		d.err = err
+	if !skipZ {
+		if d.prepSector(&d.sz); d.err != nil {
+			if !skipX {
+				d.sx.bat.Wait()
+			}
+			return
+		}
+	}
+	if !skipX {
+		d.decodeSector(&d.sx)
+	}
+	if !skipZ && d.err == nil {
+		d.decodeSector(&d.sz)
+	}
+	if d.err != nil {
 		return
-	}
-	bZ, err := d.s.pool.SubmitOn(w.graphZ, d.shotsZ)
-	if err != nil {
-		bX.Wait()
-		d.err = err
-		return
-	}
-	outX := bX.Wait()
-	outZ := bZ.Wait()
-	for lane := 0; lane < d.lanes; lane++ {
-		d.commitLane(outX[lane], d.corrX[lane], d.carryX[lane], w.diagX)
-		d.commitLane(outZ[lane], d.corrZ[lane], d.carryZ[lane], w.diagZ)
 	}
 	d.head += w.Commit
 	if d.head >= w.W {
@@ -235,6 +353,186 @@ func (d *Decoder) slide() {
 	d.filled -= w.Commit
 	d.base += w.Commit
 	d.slides++
+}
+
+// sectorQuiet reports whether a sector's slide can be skipped outright:
+// every buffered layer plane is empty in every lane, no carry defect is
+// pending, and no cluster cache is waiting to commit. Such a window's
+// decode is empty for every lane, so the slide reduces to advancing the
+// ring. (A non-empty cache implies a non-quiet layer — cached defects
+// live in the ring — so the cache checks are pure belt-and-braces.)
+func (d *Decoder) sectorQuiet(sec *sectorState) bool {
+	for _, q := range sec.quiet {
+		if !q {
+			return false
+		}
+	}
+	for lane := 0; lane < d.lanes; lane++ {
+		if sec.carry[lane].Any() {
+			return false
+		}
+		if len(sec.cdefs[lane]) != 0 || len(sec.ccorr[lane]) != 0 || len(sec.cguard[lane]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// prepSector pivots one sector's window into per-lane syndromes, strips
+// the cached clusters' defects, and submits the active remainder (under
+// the cache guard) to the decode pool.
+//
+// Whether a lane asks for a new cluster extraction is a per-lane policy
+// decision (deterministic in the stream content, so replicas stay in
+// lockstep): a lane with a live cache always extracts — the guard needs
+// the conflict report — and a lane without one starts a cache only when
+// the window is sparse enough for retention to plausibly survive the
+// next slide (dense near-threshold syndromes conflict almost surely,
+// turning every slide into two decodes) and its conflict backoff has
+// lapsed. Retention policy never affects the committed frames — a shot
+// without extraction is simply a plain decode.
+func (d *Decoder) prepSector(sec *sectorState) {
+	d.pivot(sec)
+	w := d.s.win
+	sparse := max(8, w.W*w.nc/64)
+	for lane := 0; lane < d.lanes; lane++ {
+		sv := sec.syn[lane]
+		cached := sec.cdefs[lane]
+		for _, v := range cached {
+			sv.Set(int(v), false)
+		}
+		sec.defbuf[lane] = sv.AppendSupport(sec.defbuf[lane][:0])
+		sec.shots[lane] = decoder.Shot{
+			Defects: sec.defbuf[lane],
+			CorrBuf: sec.corrbuf[lane],
+		}
+		if !d.fromScratch && d.retain {
+			switch {
+			case len(cached) != 0 || len(sec.cguard[lane]) != 0:
+				sec.shots[lane].Guard = sec.cguard[lane]
+				sec.shots[lane].Comps = &sec.comps[lane]
+			case sec.skip[lane] > 0:
+				sec.skip[lane]--
+			case len(sec.defbuf[lane]) <= sparse:
+				sec.shots[lane].Comps = &sec.comps[lane]
+			}
+		}
+		d.defects += uint64(len(sec.defbuf[lane]) + len(cached))
+	}
+	if err := d.s.pool.ResubmitOn(sec.graph, sec.bat, sec.shots); err != nil {
+		d.err = err
+	}
+}
+
+// debugCheckIncremental, when set by a test, cross-checks every
+// incremental slide lane against a from-scratch decode of the same
+// window and reports the first divergent edge set.
+var debugCheckIncremental func(d *Decoder, sec *sectorState, lane int, active, cached []int32)
+
+// decodeSector waits for one sector's batch, runs the fallback wave for
+// any guard-conflicted lanes, commits every lane's correction (decoded
+// plus cached), and harvests the clusters the next slide can reuse.
+func (d *Decoder) decodeSector(sec *sectorState) {
+	out := sec.bat.Wait()
+	// Recapture the grown buffers: from here on corrbuf[lane] IS the
+	// lane's correction. The commit loop below must not read `out` —
+	// a fallback resubmission recycles the batch and its slots.
+	for lane := 0; lane < d.lanes; lane++ {
+		sec.corrbuf[lane] = out[lane]
+	}
+	conflicts := 0
+	if !d.fromScratch && d.retain {
+		// Fallback wave: a conflicted lane's cached forest would have
+		// interacted with the new syndrome, so its whole window is
+		// re-decoded from scratch (defects restored, no guard) — batched,
+		// so simultaneous conflicts across lanes still decode in parallel.
+		// A conflict also arms the lane's retention backoff: the next
+		// cache attempt waits bkoff slides, doubling on every conflict,
+		// so a lane whose syndrome density makes retention hopeless stops
+		// paying for it.
+		sec.fshots = sec.fshots[:0]
+		sec.flanes = sec.flanes[:0]
+		for lane := 0; lane < d.lanes; lane++ {
+			if sec.shots[lane].Comps == nil || !sec.comps[lane].Conflict {
+				continue
+			}
+			sec.skip[lane] = sec.bkoff[lane]
+			if sec.bkoff[lane] < 64 {
+				sec.bkoff[lane] *= 2
+			}
+			sv := sec.syn[lane]
+			for _, v := range sec.cdefs[lane] {
+				sv.Set(int(v), true)
+			}
+			sec.defbuf[lane] = sv.AppendSupport(sec.defbuf[lane][:0])
+			sec.fshots = append(sec.fshots, decoder.Shot{
+				Defects: sec.defbuf[lane],
+				Comps:   &sec.comps[lane],
+				CorrBuf: sec.corrbuf[lane],
+			})
+			sec.flanes = append(sec.flanes, lane)
+		}
+		conflicts = len(sec.flanes)
+		if conflicts > 0 {
+			if err := d.s.pool.ResubmitOn(sec.graph, sec.bat, sec.fshots); err != nil {
+				d.err = err
+				return
+			}
+			fout := sec.bat.Wait()
+			for i, lane := range sec.flanes {
+				sec.corrbuf[lane] = fout[i]
+				// The cache was superseded by the full decode; its
+				// corrections must not be replayed.
+				sec.ccorr[lane] = sec.ccorr[lane][:0]
+			}
+		}
+	}
+	for lane := 0; lane < d.lanes; lane++ {
+		if debugCheckIncremental != nil && !d.fromScratch {
+			debugCheckIncremental(d, sec, lane, sec.corrbuf[lane], sec.ccorr[lane])
+		}
+		if !d.fromScratch && d.retain && sec.shots[lane].Comps != nil &&
+			len(sec.cguard[lane]) > 0 && sec.skip[lane] == 0 {
+			// The guard survived the whole slide: retention is paying
+			// for itself here, so forget any accumulated backoff.
+			sec.bkoff[lane] = 1
+		}
+		carry := sec.carry[lane]
+		carry.Clear()
+		d.commitEdges(sec.corrbuf[lane], sec.corr[lane], carry, sec.diag)
+		d.commitEdges(sec.ccorr[lane], sec.corr[lane], carry, sec.diag)
+		d.harvest(sec, lane)
+	}
+}
+
+// harvest rebuilds one lane's cluster cache from the slide's extraction.
+// The extraction already filtered to the retainable clusters (ungrounded,
+// inside the retention band, within budget), so the whole of it survives,
+// with node, edge and defect ids translated down by Commit layers. Their
+// translated decode is exactly what the next from-scratch slide would
+// recompute for them, because the window graph is translation-invariant
+// away from its boundary layers and the guard guarantees independence.
+func (d *Decoder) harvest(sec *sectorState, lane int) {
+	defs := sec.cdefs[lane][:0]
+	corr := sec.ccorr[lane][:0]
+	guard := sec.cguard[lane][:0]
+	if !d.fromScratch && d.retain && sec.shots[lane].Comps != nil {
+		w := d.s.win
+		c := &sec.comps[lane]
+		nodeShift := int32(w.Commit * w.nc)
+		for _, v := range c.Def {
+			defs = append(defs, v-nodeShift)
+		}
+		for _, e := range c.Corr {
+			corr = append(corr, w.shiftEdge(e))
+		}
+		for _, v := range c.Node {
+			guard = append(guard, v-nodeShift)
+		}
+	}
+	sec.cdefs[lane] = defs
+	sec.ccorr[lane] = corr
+	sec.cguard[lane] = guard
 }
 
 // orderedLayers appends views of the first `layers` buffered ring
@@ -252,23 +550,23 @@ func (d *Decoder) orderedLayers(ring []bits.Vec, layers int) []bits.Vec {
 	return ordered
 }
 
-// pivot transposes the full buffered window (plus the carry at the
-// base layer) into per-lane syndrome vectors.
-func (d *Decoder) pivot(ring, syn, carry []bits.Vec) {
+// pivot transposes one sector's full buffered window (plus the carry at
+// the base layer) into per-lane syndrome vectors.
+func (d *Decoder) pivot(sec *sectorState) {
 	w := d.s.win
-	bits.TransposePlanes(syn, d.orderedLayers(ring, w.W))
+	bits.TransposePlanes(sec.syn, d.orderedLayers(sec.ring, w.W))
 	// The carry defects live at the base (first) layer, whose bits are
 	// word-aligned at the front of every lane vector.
 	for lane := 0; lane < d.lanes; lane++ {
-		cv := carry[lane]
-		sv := syn[lane]
+		cv := sec.carry[lane]
+		sv := sec.syn[lane]
 		for i := 0; i < cv.Words(); i++ {
 			sv.XorWord(i, cv.Word(i))
 		}
 	}
 }
 
-// commitLane folds one lane's open-window correction into its running
+// commitEdges folds one correction edge list into a lane's running
 // frame: horizontal edges below the commit boundary flip their data
 // qubit; a vertical edge crossing the boundary cuts its chain there,
 // flipping the carry defect at the boundary layer. A diagonal edge
@@ -278,10 +576,10 @@ func (d *Decoder) pivot(ring, syn, carry []bits.Vec) {
 // at the carry layer — becomes the carry defect, exactly like a cut
 // vertical chain. Everything at or above the boundary (including every
 // virtual boundary edge) is discarded — the next slide re-decodes it
-// with more context.
-func (d *Decoder) commitLane(corr []int32, frameVec, carry bits.Vec, diag [][2]int32) {
+// with more context. The caller clears the carry first; a slide may
+// fold several lists (the live decode plus the cached clusters').
+func (d *Decoder) commitEdges(corr []int32, frameVec, carry bits.Vec, diag [][2]int32) {
 	w := d.s.win
-	carry.Clear()
 	for _, id := range corr {
 		e := int(id)
 		switch {
@@ -326,37 +624,48 @@ func (d *Decoder) Finish(layerX, layerZ []bits.Vec) {
 	h := d.filled
 	vol := spacetime.CachedCircuitVolume(w.L, h, w.WH, w.WV, w.WD)
 	syn := bits.NewVecs(d.lanes, (h+1)*w.nc)
-	bits.TransposePlanes(syn, append(d.orderedLayers(d.ringX, h), layerX...))
-	d.finishSector(syn, vol, vol.Graph(), d.carryX, d.corrX)
-	bits.TransposePlanes(syn, append(d.orderedLayers(d.ringZ, h), layerZ...))
-	d.finishSector(syn, vol, vol.DualGraph(), d.carryZ, d.corrZ)
+	bits.TransposePlanes(syn, append(d.orderedLayers(d.sx.ring, h), layerX...))
+	d.finishSector(syn, vol, vol.Graph(), &d.sx)
+	if d.err != nil {
+		return
+	}
+	bits.TransposePlanes(syn, append(d.orderedLayers(d.sz.ring, h), layerZ...))
+	d.finishSector(syn, vol, vol.DualGraph(), &d.sz)
+	if d.err != nil {
+		return
+	}
 	d.base += h
 	d.filled = 0
 }
 
-// finishSector decodes every lane's closing volume serially (chunk
-// fan-out supplies the outer parallelism) and commits the whole
+// finishSector decodes every lane's closing volume through the decode
+// pool — the same worker fan-out the slides use, with per-graph scratch
+// reuse instead of a fresh decoder per Finish — and commits the whole
 // correction.
-func (d *Decoder) finishSector(syn []bits.Vec, vol *spacetime.Volume, g *decoder.Graph, carry, corr []bits.Vec) {
-	uf := decoder.NewUnionFind(g)
-	var defects []int
+func (d *Decoder) finishSector(syn []bits.Vec, vol *spacetime.Volume, g *decoder.Graph, sec *sectorState) {
 	for lane := 0; lane < d.lanes; lane++ {
-		cv := carry[lane]
+		cv := sec.carry[lane]
 		sv := syn[lane]
 		for i := 0; i < cv.Words(); i++ {
 			sv.XorWord(i, cv.Word(i))
 		}
-		defects = sv.AppendSupport(defects[:0])
-		d.defects += uint64(len(defects))
-		if len(defects) == 0 {
-			continue
-		}
-		cl := corr[lane]
-		uf.Decode(defects, func(e int) {
-			if q, ok := vol.ProjectEdge(e); ok {
+		sec.defbuf[lane] = sv.AppendSupport(sec.defbuf[lane][:0])
+		d.defects += uint64(len(sec.defbuf[lane]))
+		sec.shots[lane] = decoder.Shot{Defects: sec.defbuf[lane], CorrBuf: sec.corrbuf[lane]}
+	}
+	if err := d.s.pool.ResubmitOn(g, sec.bat, sec.shots); err != nil {
+		d.err = err
+		return
+	}
+	out := sec.bat.Wait()
+	for lane := 0; lane < d.lanes; lane++ {
+		sec.corrbuf[lane] = out[lane]
+		cl := sec.corr[lane]
+		for _, e := range out[lane] {
+			if q, ok := vol.ProjectEdge(int(e)); ok {
 				cl.Flip(q)
 			}
-		})
+		}
 	}
 }
 
@@ -388,18 +697,26 @@ func (d *Decoder) Rewindow(ns *Session) (*Decoder, error) {
 	nd.base = d.base
 	nd.slides = d.slides
 	nd.defects = d.defects
+	nd.fromScratch = d.fromScratch
 	for lane := 0; lane < d.lanes; lane++ {
-		nd.carryX[lane].CopyFrom(d.carryX[lane])
-		nd.carryZ[lane].CopyFrom(d.carryZ[lane])
-		nd.corrX[lane].CopyFrom(d.corrX[lane])
-		nd.corrZ[lane].CopyFrom(d.corrZ[lane])
+		nd.sx.carry[lane].CopyFrom(d.sx.carry[lane])
+		nd.sz.carry[lane].CopyFrom(d.sz.carry[lane])
+		nd.sx.corr[lane].CopyFrom(d.sx.corr[lane])
+		nd.sz.corr[lane].CopyFrom(d.sz.corr[lane])
 	}
+	// The cluster cache is NOT transplanted: its ids live in the old
+	// window's coordinate system, and the cached corrections cover
+	// layers the new decoder is about to re-push and re-decode in full.
+	// Dropping it is the "cleanly rebuild" arm of the rewindow contract —
+	// the replayed layers regrow the forest from scratch, and the
+	// committed frames come out bit-identical to a fresh decoder fed the
+	// same stream (pinned by the rewindow tests).
 	for t := 0; t < d.filled; t++ {
 		slot := d.head + t
 		if slot >= w.W {
 			slot -= w.W
 		}
-		nd.Push(d.ringX[slot*w.nc:(slot+1)*w.nc], d.ringZ[slot*w.nc:(slot+1)*w.nc])
+		nd.Push(d.sx.ring[slot*w.nc:(slot+1)*w.nc], d.sz.ring[slot*w.nc:(slot+1)*w.nc])
 	}
 	if nd.err != nil {
 		return nil, nd.err
@@ -410,11 +727,13 @@ func (d *Decoder) Rewindow(ns *Session) (*Decoder, error) {
 
 // Corrections returns the per-lane committed correction frames of the
 // two sectors (valid any time; complete after Finish).
-func (d *Decoder) Corrections() (x, z []bits.Vec) { return d.corrX, d.corrZ }
+func (d *Decoder) Corrections() (x, z []bits.Vec) { return d.sx.corr, d.sz.corr }
 
 // FootprintBytes sums the decoder's resident buffers — the number that
 // must stay flat as rounds stream past (the constant-memory acceptance
-// criterion, asserted in the tests and reported by the benchmarks).
+// criterion, asserted in the tests and reported by the benchmarks). The
+// incremental caches are included: they are bounded by the window
+// volume, never by the stream length.
 func (d *Decoder) FootprintBytes() int {
 	vecs := func(vs []bits.Vec) int {
 		n := 0
@@ -423,11 +742,18 @@ func (d *Decoder) FootprintBytes() int {
 		}
 		return n
 	}
-	n := vecs(d.ringX) + vecs(d.ringZ) + vecs(d.carryX) + vecs(d.carryZ) +
-		vecs(d.corrX) + vecs(d.corrZ) + vecs(d.synX) + vecs(d.synZ)
-	n += cap(d.ordered) * 24
-	for lane := 0; lane < d.lanes; lane++ {
-		n += (cap(d.defbufX[lane]) + cap(d.defbufZ[lane])) * 8
+	n := cap(d.ordered) * 24
+	for _, sec := range [2]*sectorState{&d.sx, &d.sz} {
+		n += vecs(sec.ring) + vecs(sec.carry) + vecs(sec.corr) + vecs(sec.syn)
+		n += len(sec.quiet)
+		for lane := 0; lane < d.lanes; lane++ {
+			n += cap(sec.defbuf[lane]) * 8
+			n += (cap(sec.corrbuf[lane]) + cap(sec.cdefs[lane]) +
+				cap(sec.ccorr[lane]) + cap(sec.cguard[lane])) * 4
+			c := &sec.comps[lane]
+			n += cap(c.Node)*4 + cap(c.Def)*4 + cap(c.Corr)*4 +
+				cap(c.NodeOff)*4 + cap(c.DefOff)*4 + cap(c.CorrOff)*4
+		}
 	}
 	return n
 }
@@ -487,11 +813,11 @@ func (s *Session) failureMasks(src spacetime.LayerFeed, d *Decoder) (failX, fail
 	failX = bits.NewVec(lanes)
 	failZ = bits.NewVec(lanes)
 	for lane := 0; lane < lanes; lane++ {
-		c1, c2 := lat.WindingParity(d.corrX[lane])
+		c1, c2 := lat.WindingParity(d.sx.corr[lane])
 		if pX1.Get(lane) != c1 || pX2.Get(lane) != c2 {
 			failX.Set(lane, true)
 		}
-		c1, c2 = lat.WindingParityDual(d.corrZ[lane])
+		c1, c2 = lat.WindingParityDual(d.sz.corr[lane])
 		if pZ1.Get(lane) != c1 || pZ2.Get(lane) != c2 {
 			failZ.Set(lane, true)
 		}

@@ -1,0 +1,37 @@
+package stream
+
+import (
+	"testing"
+
+	"ftqc/internal/decoder"
+	"ftqc/internal/frame"
+	"ftqc/internal/noise"
+	"ftqc/internal/spacetime"
+)
+
+// TestIncrementalWhiteBoxCircuit runs the circuit-level stream with the
+// white-box validator installed: on every incremental slide, each
+// lane's (active ∪ cached) correction is diffed edge-by-edge against a
+// from-scratch union-find decode of the identical window syndrome. This
+// catches retention bugs that happen to cancel in the committed frames
+// (the black-box lockstep test) but leave the in-window forest wrong.
+func TestIncrementalWhiteBoxCircuit(t *testing.T) {
+	installIncrementalCheck(t)
+	l, rounds := 4, 16
+	P := noise.Uniform(0.005)
+	window, commit := 8, 4
+	wh, wv, wd := spacetime.WeightsCircuit(P, l, window)
+	for stream := uint64(0); stream < 8; stream++ {
+		si := mustCircuitSession(t, l, window, commit, wh, wv, wd)
+		pool := decoder.NewPool(1)
+		sf, err := NewCircuitSessionOn(pool, l, window, commit, wh, wv, wd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveBoth(t, "whitebox", si, sf, func() spacetime.LayerFeed {
+			return spacetime.NewCircuitLayerSource(l, P, 64, frame.NewAggregateSampler(959, stream))
+		}, rounds, 64)
+		si.Close()
+		pool.Close()
+	}
+}

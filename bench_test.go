@@ -30,6 +30,7 @@ import (
 	"ftqc/internal/spacetime"
 	"ftqc/internal/statevec"
 	"ftqc/internal/stream"
+	"ftqc/internal/surface"
 	"ftqc/internal/threshold"
 	"ftqc/internal/toric"
 )
@@ -338,6 +339,25 @@ func BenchmarkStreamDecode(b *testing.B) {
 			}
 		})
 	}
+	for _, d := range []int{5, 9} {
+		b.Run(fmt.Sprintf("planar/d=%d", d), func(b *testing.B) {
+			const eps = 0.003
+			P := noise.Uniform(eps)
+			pc := surface.Planar(d)
+			w, c := stream.DefaultWindow(d)
+			wh, wv, wd := spacetime.WeightsCircuit(P, d, w)
+			s, err := stream.NewCodeCircuitSession(pc, w, c, wh, wv, wd)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := surface.NewCircuitSource(pc, P, 64, frame.NewAggregateSampler(7, uint64(i)))
+				s.BatchMemoryFrom(src, 4*d)
+			}
+		})
+	}
 	for _, p := range []float64{0.008, 0.002, 0.0005} {
 		b.Run(fmt.Sprintf("quiet/L=16/p=%g", p), func(b *testing.B) {
 			const l = 16
@@ -444,6 +464,7 @@ func TestEmitToricBenchJSON(t *testing.T) {
 	}
 	type entry struct {
 		Name       string  `json:"name"`
+		Code       string  `json:"code"` // code family ("toric", "planar", "rotated")
 		L          int     `json:"L"`
 		Rounds     int     `json:"rounds"`           // 0: perfect-measurement 2D decode
 		Window     int     `json:"window,omitempty"` // streaming: window height in layers
@@ -451,6 +472,8 @@ func TestEmitToricBenchJSON(t *testing.T) {
 		P          float64 `json:"p"`
 		Q          float64 `json:"q"`
 		Decoder    string  `json:"decoder"`
+		Samples    int     `json:"samples"` // Monte Carlo shots measured per op
+		Seed       uint64  `json:"seed"`    // sampler seed of the measured runs
 		ShotsPerOp int     `json:"shots_per_op"`
 		NsPerOp    float64 `json:"ns_per_op"`
 		NsPerShot  float64 `json:"ns_per_shot"`
@@ -565,6 +588,33 @@ func TestEmitToricBenchJSON(t *testing.T) {
 			NsPerRound: ns / stShots / float64(rounds),
 		})
 	}
+	// Planar streaming series: the open-boundary planar code's
+	// extraction circuit through boundary-grounded diagonal-edge
+	// windows — same operating point as the toric circuit series, so
+	// the two families' per-shot·round costs are directly comparable.
+	for _, d := range []int{5, 9} {
+		const eps = 0.003
+		P := noise.Uniform(eps)
+		pc := surface.Planar(d)
+		w, c := stream.DefaultWindow(d)
+		wh, wv, wd := spacetime.WeightsCircuit(P, d, w)
+		s, err := stream.NewCodeCircuitSession(pc, w, c, wh, wv, wd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds := 4 * d
+		ns := measure(func() {
+			src := surface.NewCircuitSource(pc, P, stShots, frame.NewAggregateSampler(7, 0))
+			s.BatchMemoryFrom(src, rounds)
+		})
+		s.Close()
+		report.Entries = append(report.Entries, entry{
+			Name: fmt.Sprintf("BenchmarkStreamDecode/planar/d=%d", d), Code: "planar", L: d, Rounds: rounds,
+			Window: w, Commit: c, P: eps, Q: eps, Decoder: "window-circuit-" + decoderName[toric.DecoderUnionFind],
+			ShotsPerOp: stShots, NsPerOp: ns, NsPerShot: ns / stShots,
+			NsPerRound: ns / stShots / float64(rounds),
+		})
+	}
 	// Quiet-region sweep: the L=16 stream well below threshold, where
 	// the persistent-forest slide and sparse skip dominate the cost.
 	for _, p := range []float64{0.008, 0.002, 0.0005} {
@@ -602,7 +652,7 @@ func TestEmitToricBenchJSON(t *testing.T) {
 		}
 		report.Entries = append(report.Entries, entry{
 			Name: "BenchmarkServerThroughput", L: l, Rounds: rounds,
-			P: 0.003, Q: 0.003, Decoder: "server-union-find", ShotsPerOp: lanes,
+			P: 0.003, Q: 0.003, Decoder: "server-union-find", Seed: 9100, ShotsPerOp: lanes,
 			NsPerOp: float64(wall.Nanoseconds()), Sessions: sessions,
 			NsPerShot: float64(wall.Nanoseconds()) / float64(sessions*rounds*lanes),
 			RoundsPS:  float64(sessions*rounds) / wall.Seconds(),
@@ -611,7 +661,17 @@ func TestEmitToricBenchJSON(t *testing.T) {
 		})
 	}
 	for i := range report.Entries {
-		report.Entries[i].GoMaxProcs = runtime.GOMAXPROCS(0)
+		e := &report.Entries[i]
+		e.GoMaxProcs = runtime.GOMAXPROCS(0)
+		if e.Code == "" {
+			e.Code = "toric"
+		}
+		if e.Samples == 0 {
+			e.Samples = e.ShotsPerOp
+		}
+		if e.Seed == 0 {
+			e.Seed = 7
+		}
 	}
 	// Every streaming series must carry the per-shot·round figure — the
 	// number the perf trajectory tracks — and the CI smoke re-checks the

@@ -93,6 +93,7 @@ import (
 	"ftqc/internal/spacetime"
 	"ftqc/internal/statevec"
 	"ftqc/internal/stream"
+	"ftqc/internal/surface"
 	"ftqc/internal/tableau"
 	"ftqc/internal/threshold"
 	"ftqc/internal/toric"
@@ -251,6 +252,63 @@ func ToricMemoryWith(l int, p float64, dec ToricDecoder, samples int, seed uint6
 func NewAnyonComputer(k int) (A5Encoding, *FluxRegister) {
 	enc := anyon.NewA5Encoding()
 	return enc, anyon.NewRegister(enc.G, k, enc.U0)
+}
+
+// Code-agnostic surface codes (internal/surface): planar and rotated
+// open-boundary codes beside the torus, all behind one detector-graph
+// contract that every decoding pipeline (2D, space-time volume,
+// streaming window, decode server) accepts.
+type (
+	// SurfaceCode is the code-agnostic detector-graph contract: sector
+	// graphs, logical supports, syndrome hooks, extraction schedule.
+	SurfaceCode = surface.Code
+	// SurfaceMemoryResult is one 2D surface-code memory measurement.
+	SurfaceMemoryResult = surface.MemoryResult
+)
+
+// PlanarCode returns the distance-d planar surface code (rough top and
+// bottom, smooth left and right; d² + (d−1)² data qubits).
+func PlanarCode(d int) SurfaceCode { return surface.Planar(d) }
+
+// RotatedCode returns the distance-d rotated surface code (d² data
+// qubits — the minimal-overhead surface code; d odd).
+func RotatedCode(d int) SurfaceCode { return surface.Rotated(d) }
+
+// ToricCode returns the L×L toric code under the same contract.
+func ToricCode(l int) SurfaceCode { return toric.Cached(l) }
+
+// SurfaceMemory runs the 2D passive-memory Monte Carlo for any surface
+// code at flip probability p (per qubit, independently in both
+// sectors) with the union-find production decoder.
+func SurfaceMemory(c SurfaceCode, p float64, samples int, seed uint64) SurfaceMemoryResult {
+	return surface.MemoryExperimentXZ(c, p, samples, seed)
+}
+
+// SurfaceSpacetimeMemory is SpacetimeMemory for any surface code:
+// `rounds` noisy phenomenological extraction rounds decoded over the
+// code's space-time volume (open-boundary detectors ground on the
+// virtual node).
+func SurfaceSpacetimeMemory(c SurfaceCode, rounds int, p, q float64, samples int, seed uint64) SpacetimeResult {
+	return spacetime.CodeMemory(c, rounds, p, q, samples, seed)
+}
+
+// SurfaceCircuitMemory is CircuitMemory for any surface code: the
+// code's own extraction circuit (per-code CNOT orderings,
+// boundary-truncated diagonal edges) at uniform per-location rate eps.
+func SurfaceCircuitMemory(c SurfaceCode, rounds int, eps float64, samples int, seed uint64) SpacetimeResult {
+	return spacetime.CodeCircuitMemory(c, rounds, noise.Uniform(eps), samples, seed)
+}
+
+// StreamingSurfaceMemory is StreamingMemory for any surface code (the
+// default W = 2d sliding window; pass window = commit = 0 semantics).
+func StreamingSurfaceMemory(c SurfaceCode, rounds int, p, q float64, samples int, seed uint64) (StreamingResult, error) {
+	return stream.CodeMemory(c, rounds, p, q, 0, 0, samples, seed)
+}
+
+// StreamingSurfaceCircuitMemory is StreamingCircuitMemory for any
+// surface code.
+func StreamingSurfaceCircuitMemory(c SurfaceCode, rounds int, eps float64, samples int, seed uint64) (StreamingResult, error) {
+	return stream.CodeCircuitMemory(c, rounds, noise.Uniform(eps), 0, 0, samples, seed)
 }
 
 // Space-time decoding (noisy syndrome extraction).
@@ -435,4 +493,16 @@ func PhenomenologicalSession(l, lanes int, p, q float64) DecodeSessionConfig {
 // detector edges) under uniform per-location rate eps.
 func CircuitSession(l, lanes int, eps float64) DecodeSessionConfig {
 	return server.CircuitLevel(l, lanes, noise.Uniform(eps))
+}
+
+// SurfaceSession describes a phenomenological streaming session for
+// any surface code (PlanarCode/RotatedCode/ToricCode).
+func SurfaceSession(c SurfaceCode, lanes int, p, q float64) DecodeSessionConfig {
+	return server.PhenomenologicalCode(c, lanes, p, q)
+}
+
+// SurfaceCircuitSession describes a circuit-level streaming session
+// for any surface code under uniform per-location rate eps.
+func SurfaceCircuitSession(c SurfaceCode, lanes int, eps float64) DecodeSessionConfig {
+	return server.CircuitLevelCode(c, lanes, noise.Uniform(eps))
 }

@@ -66,63 +66,18 @@ type Schedule struct {
 var schedCache sync.Map // int → *Schedule
 
 // Sched returns the memoized extraction schedule for an L×L lattice.
+// The orders and reader pairs come from the lattice's
+// surface.Code-contract ExtractionSchedule — one source of truth for
+// every pipeline — wrapped with the lattice size for the existing
+// call sites.
 func Sched(l int) *Schedule {
 	if v, ok := schedCache.Load(l); ok {
 		return v.(*Schedule)
 	}
-	lat := toric.Cached(l)
-	nc, nq := lat.NumChecks(), lat.Qubits()
-	s := &Schedule{
-		L:    l,
-		Plaq: make([][4]int, nc),
-		Star: make([][4]int, nc),
-	}
-	for y := 0; y < l; y++ {
-		for x := 0; x < l; x++ {
-			c := y*l + x
-			s.Plaq[c] = [4]int{lat.HEdge(x, y), lat.VEdge(x, y), lat.VEdge(x+1, y), lat.HEdge(x, y+1)}
-			s.Star[c] = [4]int{lat.HEdge(x, y), lat.VEdge(x, y), lat.VEdge(x, y-1), lat.HEdge(x-1, y)}
-		}
-	}
-	// Invert the per-check orders into per-edge (step, check) reader
-	// pairs, then sort each edge's two readers into {late, early}.
-	s.DiagX = readerPairs(s.Plaq, nq)
-	s.DiagZ = readerPairs(s.Star, nq)
+	cs := toric.Cached(l).ExtractionSchedule()
+	s := &Schedule{L: l, Plaq: cs.Plaq, Star: cs.Star, DiagX: cs.DiagX, DiagZ: cs.DiagZ}
 	v, _ := schedCache.LoadOrStore(l, s)
 	return v.(*Schedule)
-}
-
-// readerPairs derives, for every data edge, its {late, early} reader
-// checks from the per-check step orders.
-func readerPairs(orders [][4]int, nq int) [][2]int32 {
-	type reader struct{ check, step int }
-	first := make([]reader, nq)
-	second := make([]reader, nq)
-	for i := range first {
-		first[i].check = -1
-		second[i].check = -1
-	}
-	for c, edges := range orders {
-		for step, e := range edges {
-			if first[e].check < 0 {
-				first[e] = reader{c, step}
-			} else {
-				second[e] = reader{c, step}
-			}
-		}
-	}
-	pairs := make([][2]int32, nq)
-	for e := range pairs {
-		a, b := first[e], second[e]
-		if a.check < 0 || b.check < 0 || a.step == b.step {
-			panic("extract: schedule does not read every edge twice at distinct steps")
-		}
-		if a.step < b.step {
-			a, b = b, a // a = late, b = early
-		}
-		pairs[e] = [2]int32{int32(a.check), int32(b.check)}
-	}
-	return pairs
 }
 
 // Source runs the circuit-level extraction round by round for a batch of

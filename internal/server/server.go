@@ -13,6 +13,8 @@ import (
 	"ftqc/internal/noise"
 	"ftqc/internal/spacetime"
 	"ftqc/internal/stream"
+	"ftqc/internal/surface"
+	"ftqc/internal/toric"
 )
 
 var (
@@ -72,6 +74,9 @@ type AdaptConfig struct {
 // circuit-level (diagonal-edge) window. The Phenomenological and
 // CircuitLevel helpers fill in default windows and weights.
 type SessionConfig struct {
+	// Code selects the code family. Nil picks the L×L toric code; an
+	// explicit code overrides L with its own distance.
+	Code  surface.Code
 	L     int
 	Lanes int
 
@@ -105,8 +110,24 @@ func CircuitLevel(l, lanes int, P noise.Params) SessionConfig {
 	return SessionConfig{L: l, Lanes: lanes, Window: w, Commit: c, WH: wh, WV: wv, WD: wd}
 }
 
-// winKey interns shared stream.Sessions per window shape.
+// PhenomenologicalCode is Phenomenological for any surface.Code.
+func PhenomenologicalCode(code surface.Code, lanes int, p, q float64) SessionConfig {
+	w, c := stream.DefaultWindow(code.Distance())
+	wh, wv := spacetime.Weights(p, q, code.Distance(), w)
+	return SessionConfig{Code: code, L: code.Distance(), Lanes: lanes, Window: w, Commit: c, WH: wh, WV: wv}
+}
+
+// CircuitLevelCode is CircuitLevel for any surface.Code.
+func CircuitLevelCode(code surface.Code, lanes int, P noise.Params) SessionConfig {
+	w, c := stream.DefaultWindow(code.Distance())
+	wh, wv, wd := spacetime.WeightsCircuit(P, code.Distance(), w)
+	return SessionConfig{Code: code, L: code.Distance(), Lanes: lanes, Window: w, Commit: c, WH: wh, WV: wv, WD: wd}
+}
+
+// winKey interns shared stream.Sessions per code family and window
+// shape.
 type winKey struct {
+	family              string
 	l, w, c, wh, wv, wd int
 }
 
@@ -144,8 +165,8 @@ func (srv *Server) Pool() *decoder.Service { return srv.pool }
 // sharedSession returns the interned stream.Session for a window
 // shape, building it on first use. All validation of the window
 // parameters happens here, via the stream constructors.
-func (srv *Server) sharedSession(l, w, c, wh, wv, wd int) (*stream.Session, error) {
-	key := winKey{l, w, c, wh, wv, wd}
+func (srv *Server) sharedSession(code surface.Code, w, c, wh, wv, wd int) (*stream.Session, error) {
+	key := winKey{code.CodeName(), code.Distance(), w, c, wh, wv, wd}
 	srv.mu.Lock()
 	ss, ok := srv.wins[key]
 	srv.mu.Unlock()
@@ -154,9 +175,9 @@ func (srv *Server) sharedSession(l, w, c, wh, wv, wd int) (*stream.Session, erro
 	}
 	var err error
 	if wd > 0 {
-		ss, err = stream.NewCircuitSessionOn(srv.pool, l, w, c, wh, wv, wd)
+		ss, err = stream.NewCodeCircuitSessionOn(srv.pool, code, w, c, wh, wv, wd)
 	} else {
-		ss, err = stream.NewSessionOn(srv.pool, l, w, c, wh, wv)
+		ss, err = stream.NewCodeSessionOn(srv.pool, code, w, c, wh, wv)
 	}
 	if err != nil {
 		return nil, err
@@ -175,6 +196,14 @@ func (srv *Server) sharedSession(l, w, c, wh, wv, wd int) (*stream.Session, erro
 func (srv *Server) Open(cfg SessionConfig) (*Session, error) {
 	if cfg.Lanes < 1 {
 		return nil, fmt.Errorf("server: session needs at least one lane (got %d)", cfg.Lanes)
+	}
+	if cfg.Code == nil {
+		if cfg.L < 2 {
+			return nil, fmt.Errorf("server: session needs a code or a lattice size of at least 2 (got L=%d)", cfg.L)
+		}
+		cfg.Code = toric.Cached(cfg.L)
+	} else {
+		cfg.L = cfg.Code.Distance()
 	}
 	if cfg.Window <= 0 || cfg.Commit <= 0 {
 		cfg.Window, cfg.Commit = stream.DefaultWindow(cfg.L)
@@ -198,7 +227,7 @@ func (srv *Server) Open(cfg SessionConfig) (*Session, error) {
 		}
 		cfg.Adapt = &ac
 	}
-	ss, err := srv.sharedSession(cfg.L, cfg.Window, cfg.Commit, cfg.WH, cfg.WV, cfg.WD)
+	ss, err := srv.sharedSession(cfg.Code, cfg.Window, cfg.Commit, cfg.WH, cfg.WV, cfg.WD)
 	if err != nil {
 		return nil, err
 	}
@@ -285,6 +314,7 @@ type SessionResult struct {
 // SessionStats is one session's observability snapshot.
 type SessionStats struct {
 	ID                       uint64
+	Code                     string
 	L, Window, Commit, Lanes int
 	Circuit                  bool
 	Rounds                   uint64 // rounds ingested
@@ -339,12 +369,11 @@ type Session struct {
 
 func newSession(srv *Server, id uint64, cfg SessionConfig, ss *stream.Session) *Session {
 	depth := srv.cfg.QueueDepth
-	lat := ss.Window().Lattice()
 	s := &Session{
 		id:    id,
 		srv:   srv,
 		cfg:   cfg,
-		nc:    lat.NumChecks(),
+		nc:    ss.Window().Code().Checks(),
 		lanes: cfg.Lanes,
 		in:    make(chan roundMsg, depth),
 		free:  make(chan roundMsg, depth+2),
@@ -478,6 +507,7 @@ func (s *Session) Wait() (SessionResult, error) {
 func (s *Session) Stats() SessionStats {
 	st := SessionStats{
 		ID:          s.id,
+		Code:        s.cfg.Code.CodeName(),
 		L:           s.cfg.L,
 		Window:      int(s.curWindow.Load()),
 		Commit:      int(s.curCommit.Load()),
@@ -628,7 +658,7 @@ func (s *Session) maybeAdapt() {
 	if commit < 1 {
 		commit = 1
 	}
-	ns, err := s.srv.sharedSession(s.cfg.L, target, commit, s.cfg.WH, s.cfg.WV, s.cfg.WD)
+	ns, err := s.srv.sharedSession(s.cfg.Code, target, commit, s.cfg.WH, s.cfg.WV, s.cfg.WD)
 	if err != nil {
 		return // keep the current window on any failure
 	}

@@ -18,6 +18,7 @@ import (
 	"ftqc/internal/extract"
 	"ftqc/internal/frame"
 	"ftqc/internal/noise"
+	"ftqc/internal/surface"
 	"ftqc/internal/toric"
 )
 
@@ -103,6 +104,15 @@ func WeightsCircuit(P noise.Params, l, rounds int) (wh, wv, wd int) {
 func CachedCircuitVolumeFor(l, rounds int, P noise.Params) *Volume {
 	wh, wv, wd := WeightsCircuit(P, l, rounds)
 	return CachedCircuitVolume(l, rounds, wh, wv, wd)
+}
+
+// CachedCodeCircuitVolumeFor is CachedCircuitVolumeFor for any
+// surface.Code (the leading-order fault counting behind WeightsCircuit
+// is schedule-shape-independent, so one weight triple serves every
+// family).
+func CachedCodeCircuitVolumeFor(code surface.Code, rounds int, P noise.Params) *Volume {
+	wh, wv, wd := WeightsCircuit(P, code.Distance(), rounds)
+	return CachedCodeCircuitVolume(code, rounds, wh, wv, wd)
 }
 
 // metric returns the circuit-metric tables of the two sectors, built on
@@ -217,6 +227,19 @@ func CircuitMemory(l, rounds int, P noise.Params, kind toric.DecoderKind, sample
 		return v.BatchMemoryFrom(extract.NewSource(l, P, lanes, smp), kind)
 	})
 	return Result{L: l, T: rounds, P: P.Gate2, Q: P.Meas, Samples: samples,
+		FailX: fx, FailZ: fz, Failures: fa}
+}
+
+// CodeCircuitMemory is CircuitMemory for any surface.Code: `rounds`
+// full extraction circuits of the code's own schedule per shot,
+// decoded by weighted union-find over the diagonal-edge volume
+// (boundary-truncated diagonals grounded for open codes).
+func CodeCircuitMemory(code surface.Code, rounds int, P noise.Params, samples int, seed uint64) Result {
+	v := CachedCodeCircuitVolumeFor(code, rounds, P)
+	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
+		return v.BatchMemoryFrom(surface.NewCircuitSource(code, P, lanes, smp), toric.DecoderUnionFind)
+	})
+	return Result{L: code.Distance(), T: rounds, P: P.Gate2, Q: P.Meas, Samples: samples,
 		FailX: fx, FailZ: fz, Failures: fa}
 }
 

@@ -1,0 +1,65 @@
+package spacetime
+
+// Whole-volume decoding for the open-boundary families through the
+// public memory entry points, and the feed/volume compatibility guards.
+
+import (
+	"testing"
+
+	"ftqc/internal/frame"
+	"ftqc/internal/noise"
+	"ftqc/internal/surface"
+	"ftqc/internal/toric"
+)
+
+func TestCodeMemoryEntryPoints(t *testing.T) {
+	for _, code := range []surface.Code{surface.Planar(3), surface.Rotated(3)} {
+		r := CodeMemory(code, 4, 0, 0, 256, 3)
+		if r.Failures != 0 {
+			t.Errorf("%s: %d failures at p=0", code.CodeName(), r.Failures)
+		}
+		rc := CodeCircuitMemory(code, 4, noise.Params{}, 256, 3)
+		if rc.Failures != 0 {
+			t.Errorf("%s circuit: %d failures at P=0", code.CodeName(), rc.Failures)
+		}
+	}
+	a := CodeCircuitMemory(surface.Rotated(3), 3, noise.Uniform(0.006), 2048, 9)
+	b := CodeCircuitMemory(surface.Rotated(3), 3, noise.Uniform(0.006), 2048, 9)
+	if a != b {
+		t.Errorf("rotated circuit memory not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Failures == 0 {
+		t.Errorf("rotated d=3 at eps=0.006: no failures in %d samples — detector wiring suspect", a.Samples)
+	}
+}
+
+// TestVolumeFeedGuards pins the cross-wiring panics: a code volume
+// rejects feeds of another family, and open-code volumes refuse the
+// legacy toric-only feeds.
+func TestVolumeFeedGuards(t *testing.T) {
+	planarVol := CachedCodeVolume(surface.Planar(3), 3, 0.01, 0.01)
+	expectPanic := func(what string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", what)
+			}
+		}()
+		f()
+	}
+	expectPanic("family mismatch", func() {
+		src := surface.NewLayerSource(surface.Rotated(3), 0.01, 0.01, 8, frame.NewAggregateSampler(1, 0))
+		planarVol.BatchMemoryFrom(src, toric.DecoderUnionFind)
+	})
+	expectPanic("code-blind feed into open volume", func() {
+		src := NewLayerSource(3, 0.01, 0.01, 8, frame.NewAggregateSampler(1, 0))
+		planarVol.BatchMemoryFrom(src, toric.DecoderUnionFind)
+	})
+	expectPanic("exact matching on an open code", func() {
+		planarVol.Decode([]int{0, 1}, toric.DecoderExact, false)
+	})
+	// The toric code-volume still accepts the legacy feed.
+	vol := CachedCodeVolume(toric.Cached(3), 3, 0.01, 0.01)
+	src := NewLayerSource(3, 0.01, 0.01, 8, frame.NewAggregateSampler(1, 0))
+	vol.BatchMemoryFrom(src, toric.DecoderUnionFind)
+}

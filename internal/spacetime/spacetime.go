@@ -6,31 +6,35 @@ import (
 
 	"ftqc/internal/bits"
 	"ftqc/internal/decoder"
-	"ftqc/internal/extract"
 	"ftqc/internal/frame"
+	"ftqc/internal/surface"
 	"ftqc/internal/toric"
 )
 
-// Volume is the 3D space-time decoding volume of an L×L toric code over
+// Volume is the 3D space-time decoding volume of a surface.Code over
 // T noisy syndrome-extraction rounds plus one perfect closing round:
-// (T+1)·L² detectors per sector, horizontal (space-like) edges of weight
-// WH for data errors and vertical (time-like) edges of weight WV for
-// measurement errors. Circuit-level volumes (NewCircuitVolume) add a
-// third class: diagonal edges of weight WD joining a data edge's late
-// reader at layer t to its early reader at layer t+1 — the correlated
-// defect pair a mid-round CNOT fault produces. It is immutable after
-// construction and shared across workers; per-worker decoder state
-// lives in the scratch pool.
+// (T+1)·Checks() detectors per sector, horizontal (space-like) edges of
+// weight WH for data errors and vertical (time-like) edges of weight WV
+// for measurement errors. Circuit-level volumes (NewCircuitVolume) add
+// a third class: diagonal edges of weight WD joining a data qubit's
+// late reader at layer t to its early reader at layer t+1 — the
+// correlated defect pair a mid-round CNOT fault produces. Open codes
+// append one virtual boundary node that grounds both the boundary
+// qubits of every layer and the boundary-truncated diagonals. It is
+// immutable after construction and shared across workers; per-worker
+// decoder state lives in the scratch pool.
 type Volume struct {
-	L, T       int
+	L, T       int // L = code distance
 	WH, WV, WD int // WD = 0: no diagonal edges (phenomenological volume)
 
-	lat     *toric.Lattice
-	nq      int // data qubits, 2L²
-	nc      int // checks per layer, L²
-	nodes   int // (T+1)·L²
-	horiz   int // horizontal edge count, T·2L² (ids below this project to data edges)
-	diagOff int // first diagonal edge id, horiz + T·L² (ids at or above project to data edges)
+	code    surface.Code
+	lat     *toric.Lattice // non-nil only for the torus (exact-matcher fast paths)
+	nq      int            // data qubits per layer
+	nc      int            // checks per layer per sector
+	det     int            // detector nodes per sector, (T+1)·nc
+	nodes   int            // det, plus one boundary node for open codes
+	horiz   int            // horizontal edge count, T·nq (ids below this project to data qubits)
+	diagOff int            // first diagonal edge id, horiz + T·nc (ids at or above project to data qubits)
 	// Per-sector {late, early} reader checks of each data edge (nil when
 	// WD = 0), and the circuit-metric distance tables the exact matcher
 	// prices pairs with — built lazily on first exact decode (see
@@ -54,11 +58,17 @@ type volScratch struct {
 	corr     bits.Vec
 }
 
-// NewVolume builds the space-time volume for an L×L lattice, rounds ≥ 1
-// noisy extraction rounds and the given integer edge weights (see
-// Weights). Both sector graphs are built; node (c, t) has index t·L²+c.
+// NewVolume builds the space-time volume for an L×L toric lattice,
+// rounds ≥ 1 noisy extraction rounds and the given integer edge
+// weights (see Weights). Both sector graphs are built; node (c, t) has
+// index t·L²+c.
 func NewVolume(l, rounds, wh, wv int) *Volume {
-	return newVolume(l, rounds, wh, wv, 0)
+	return newVolume(toric.Cached(l), rounds, wh, wv, 0)
+}
+
+// NewCodeVolume is NewVolume for any surface.Code.
+func NewCodeVolume(code surface.Code, rounds, wh, wv int) *Volume {
+	return newVolume(code, rounds, wh, wv, 0)
 }
 
 // NewCircuitVolume builds the circuit-level volume: NewVolume plus the
@@ -69,32 +79,50 @@ func NewCircuitVolume(l, rounds, wh, wv, wd int) *Volume {
 	if wd < 1 {
 		panic("spacetime: circuit volume needs a positive diagonal weight")
 	}
-	return newVolume(l, rounds, wh, wv, wd)
+	return newVolume(toric.Cached(l), rounds, wh, wv, wd)
 }
 
-func newVolume(l, rounds, wh, wv, wd int) *Volume {
+// NewCodeCircuitVolume is NewCircuitVolume for any surface.Code, with
+// the diagonal edges oriented by the code's own extraction schedule —
+// boundary-truncated diagonals of open codes ground on the virtual
+// boundary node.
+func NewCodeCircuitVolume(code surface.Code, rounds, wh, wv, wd int) *Volume {
+	if wd < 1 {
+		panic("spacetime: circuit volume needs a positive diagonal weight")
+	}
+	return newVolume(code, rounds, wh, wv, wd)
+}
+
+func newVolume(code surface.Code, rounds, wh, wv, wd int) *Volume {
 	if rounds < 1 {
 		panic("spacetime: need at least one measurement round")
 	}
 	if wh < 1 || wv < 1 || wd < 0 {
 		panic("spacetime: edge weights must be positive")
 	}
-	lat := toric.Cached(l)
+	nq, nc := code.Qubits(), code.Checks()
 	v := &Volume{
-		L: l, T: rounds, WH: wh, WV: wv, WD: wd,
-		lat:     lat,
-		nq:      lat.Qubits(),
-		nc:      lat.NumChecks(),
-		nodes:   (rounds + 1) * lat.NumChecks(),
-		horiz:   rounds * lat.Qubits(),
-		diagOff: rounds * (lat.Qubits() + lat.NumChecks()),
+		L: code.Distance(), T: rounds, WH: wh, WV: wv, WD: wd,
+		code:    code,
+		nq:      nq,
+		nc:      nc,
+		det:     (rounds + 1) * nc,
+		horiz:   rounds * nq,
+		diagOff: rounds * (nq + nc),
+	}
+	v.nodes = v.det
+	if code.Open() {
+		v.nodes++
+	}
+	if lat, ok := code.(*toric.Lattice); ok {
+		v.lat = lat
 	}
 	if wd > 0 {
-		sch := extract.Sched(l)
+		sch := code.ExtractionSchedule()
 		v.diagX, v.diagZ = sch.DiagX, sch.DiagZ
 	}
-	v.graphX = v.buildGraph(lat.Graph(), v.diagX)
-	v.graphZ = v.buildGraph(lat.DualGraph(), v.diagZ)
+	v.graphX = v.buildGraph(code.SectorGraph(false), v.diagX)
+	v.graphZ = v.buildGraph(code.SectorGraph(true), v.diagZ)
 	gx, gz, nq := v.graphX, v.graphZ, v.nq
 	v.scratch = &sync.Pool{New: func() any {
 		return &volScratch{
@@ -113,12 +141,18 @@ func newVolume(l, rounds, wh, wv, wd int) *Volume {
 // measurement error at round t+1), then — circuit volumes only —
 // diagonal edge (e, t) = T·(nq+nc) + t·nq + e joining data edge e's
 // late reader at layer t to its early reader at layer t+1 (a data error
-// created between the two reads of round t+1).
+// created between the two reads of round t+1). Open codes map the 2D
+// boundary endpoint of every layer onto the single space-time boundary
+// node; a boundary-truncated diagonal (the qubit has one reader in the
+// sector, so the mid-round fault defects only (c, t+1)) grounds there
+// too.
 func (v *Volume) buildGraph(base *decoder.Graph, diag [][2]int32) *decoder.Graph {
 	n := v.horiz + v.T*v.nc
 	if v.WD > 0 {
 		n += v.T * v.nq
 	}
+	open := v.code.Open()
+	bnd := int32(v.det)
 	ends := make([][2]int32, n)
 	weights := make([]int32, len(ends))
 	for t := 0; t < v.T; t++ {
@@ -126,7 +160,16 @@ func (v *Volume) buildGraph(base *decoder.Graph, diag [][2]int32) *decoder.Graph
 		layer := int32(t * v.nc)
 		for e := 0; e < v.nq; e++ {
 			a, b := base.Ends(e)
-			ends[off+e] = [2]int32{layer + int32(a), layer + int32(b)}
+			ea, eb := layer+int32(a), layer+int32(b)
+			if open {
+				if a == v.nc {
+					ea = bnd
+				}
+				if b == v.nc {
+					eb = bnd
+				}
+			}
+			ends[off+e] = [2]int32{ea, eb}
 			weights[off+e] = int32(v.WH)
 		}
 	}
@@ -142,10 +185,17 @@ func (v *Volume) buildGraph(base *decoder.Graph, diag [][2]int32) *decoder.Graph
 			off := v.diagOff + t*v.nq
 			layer := int32(t * v.nc)
 			for e := 0; e < v.nq; e++ {
-				ends[off+e] = [2]int32{layer + diag[e][0], layer + int32(v.nc) + diag[e][1]}
+				if early := diag[e][1]; early < 0 {
+					ends[off+e] = [2]int32{layer + int32(v.nc) + diag[e][0], bnd}
+				} else {
+					ends[off+e] = [2]int32{layer + diag[e][0], layer + int32(v.nc) + early}
+				}
 				weights[off+e] = int32(v.WD)
 			}
 		}
+	}
+	if open {
+		return decoder.NewBoundaryGraph(v.nodes, ends, weights, []int{int(bnd)})
 	}
 	return decoder.NewWeightedGraph(v.nodes, ends, weights)
 }
@@ -170,8 +220,12 @@ func (v *Volume) Graph() *decoder.Graph { return v.graphX }
 // DualGraph returns the dual (star-sector) space-time graph.
 func (v *Volume) DualGraph() *decoder.Graph { return v.graphZ }
 
-// Lattice returns the underlying 2D lattice.
+// Lattice returns the underlying 2D toric lattice, or nil for volumes
+// built over an open-boundary code (use Code for those).
 func (v *Volume) Lattice() *toric.Lattice { return v.lat }
+
+// Code returns the surface.Code the volume decodes.
+func (v *Volume) Code() surface.Code { return v.code }
 
 // weightScale is the target magnitude of the larger LLR weight before
 // gcd normalization: fine enough to separate p from q likelihoods,
@@ -239,7 +293,10 @@ func gcd(a, b int) int {
 // (L, T, weights) grid point for every p in a curve.
 var volumeCache sync.Map // volumeKey → *Volume
 
-type volumeKey struct{ l, t, wh, wv, wd int }
+type volumeKey struct {
+	family           string
+	l, t, wh, wv, wd int
+}
 
 // CachedVolume returns the memoized volume for the given lattice size,
 // round count and physical rates (weights derived via Weights).
@@ -248,26 +305,43 @@ func CachedVolume(l, rounds int, p, q float64) *Volume {
 	return CachedVolumeWeighted(l, rounds, wh, wv)
 }
 
+// CachedCodeVolume is CachedVolume for any surface.Code.
+func CachedCodeVolume(code surface.Code, rounds int, p, q float64) *Volume {
+	wh, wv := Weights(p, q, code.Distance(), rounds)
+	return cachedVolume(code, rounds, wh, wv, 0)
+}
+
 // CachedVolumeWeighted is CachedVolume with explicit integer edge
 // weights — the form the streaming decoder's closing windows reuse (a
 // stream's final window height varies with rounds mod slide, and its
 // weights are fixed by the session, not re-derived per height).
 func CachedVolumeWeighted(l, rounds, wh, wv int) *Volume {
-	return cachedVolume(l, rounds, wh, wv, 0)
+	return cachedVolume(toric.Cached(l), rounds, wh, wv, 0)
+}
+
+// CachedCodeVolumeWeighted is CachedVolumeWeighted for any
+// surface.Code.
+func CachedCodeVolumeWeighted(code surface.Code, rounds, wh, wv int) *Volume {
+	return cachedVolume(code, rounds, wh, wv, 0)
 }
 
 // CachedCircuitVolume is the memoized circuit-level (diagonal-edge)
 // volume under explicit weights — wd = 0 degrades to the plain volume.
 func CachedCircuitVolume(l, rounds, wh, wv, wd int) *Volume {
-	return cachedVolume(l, rounds, wh, wv, wd)
+	return cachedVolume(toric.Cached(l), rounds, wh, wv, wd)
 }
 
-func cachedVolume(l, rounds, wh, wv, wd int) *Volume {
-	key := volumeKey{l, rounds, wh, wv, wd}
+// CachedCodeCircuitVolume is CachedCircuitVolume for any surface.Code.
+func CachedCodeCircuitVolume(code surface.Code, rounds, wh, wv, wd int) *Volume {
+	return cachedVolume(code, rounds, wh, wv, wd)
+}
+
+func cachedVolume(code surface.Code, rounds, wh, wv, wd int) *Volume {
+	key := volumeKey{code.CodeName(), code.Distance(), rounds, wh, wv, wd}
 	if v, ok := volumeCache.Load(key); ok {
 		return v.(*Volume)
 	}
-	v, _ := volumeCache.LoadOrStore(key, newVolume(l, rounds, wh, wv, wd))
+	v, _ := volumeCache.LoadOrStore(key, newVolume(code, rounds, wh, wv, wd))
 	return v.(*Volume)
 }
 
@@ -312,6 +386,9 @@ func (v *Volume) decodeInto(defects []int, kind toric.DecoderKind, dual bool, sc
 		return
 	}
 	if kind == toric.DecoderExact {
+		if v.lat == nil {
+			panic("spacetime: exact matching prices pairs with the torus metric; open-boundary codes decode with union-find")
+		}
 		// Pair distances: the rectilinear WH·d₂ + WV·|Δt| metric on plain
 		// volumes; the precomputed circuit-metric table (which prices the
 		// diagonal shortcuts exactly) on circuit volumes. The correction
@@ -537,13 +614,22 @@ type LayerFeed interface {
 // lane over the weighted volume. Returns the per-lane logical failure
 // masks of the two sectors.
 func (v *Volume) BatchMemory(p, q float64, kind toric.DecoderKind, lanes int, smp frame.Sampler) (failX, failZ bits.Vec) {
+	if v.lat == nil {
+		return v.BatchMemoryFrom(surface.NewLayerSource(v.code, p, q, lanes, smp), kind)
+	}
 	return v.BatchMemoryFrom(NewLayerSource(v.L, p, q, lanes, smp), kind)
 }
+
+// codeFeed is the optional code-aware extension of LayerFeed the
+// surface sources implement; it lets BatchMemoryFrom reject a feed of
+// the wrong code family (the L check alone cannot tell a distance-d
+// planar feed from a toric one).
+type codeFeed interface{ Code() surface.Code }
 
 // BatchMemoryFrom is BatchMemory draining an arbitrary layer feed — the
 // entry point a circuit-level source shares with the phenomenological
 // one. The feed must be fresh (zero rounds emitted) and sized for this
-// volume's lattice.
+// volume's code.
 func (v *Volume) BatchMemoryFrom(src LayerFeed, kind toric.DecoderKind) (failX, failZ bits.Vec) {
 	nc := v.nc
 	lanes := src.Lanes()
@@ -553,8 +639,15 @@ func (v *Volume) BatchMemoryFrom(src LayerFeed, kind toric.DecoderKind) (failX, 
 	if src.L() != v.L {
 		panic("spacetime: layer feed lattice size does not match the volume")
 	}
-	layersX := bits.NewVecs(v.nodes, lanes)
-	layersZ := bits.NewVecs(v.nodes, lanes)
+	if cf, ok := src.(codeFeed); ok {
+		if cf.Code().CodeName() != v.code.CodeName() {
+			panic("spacetime: layer feed code family does not match the volume")
+		}
+	} else if v.code.CodeName() != "toric" {
+		panic("spacetime: this volume needs a code-aware layer feed (surface.NewLayerSource / NewCircuitSource)")
+	}
+	layersX := bits.NewVecs(v.det, lanes)
+	layersZ := bits.NewVecs(v.det, lanes)
 	for t := 0; t < v.T; t++ {
 		src.NextLayers(layersX[t*nc:(t+1)*nc], layersZ[t*nc:(t+1)*nc])
 	}
@@ -565,8 +658,10 @@ func (v *Volume) BatchMemoryFrom(src LayerFeed, kind toric.DecoderKind) (failX, 
 	pZ1 := bits.NewVec(lanes)
 	pZ2 := bits.NewVec(lanes)
 	src.Windings(pX1, pX2, pZ1, pZ2)
-	// Pivot detector planes lane-major and decode each sector.
-	syn := bits.NewVecs(lanes, v.nodes)
+	// Pivot detector planes lane-major and decode each sector (the
+	// boundary node of an open code is never a defect and carries no
+	// plane).
+	syn := bits.NewVecs(lanes, v.det)
 	bits.TransposePlanes(syn, layersX)
 	failX = bits.NewVec(lanes)
 	v.decodeLanes(kind, syn, pX1, pX2, failX, false)
@@ -602,12 +697,7 @@ func (v *Volume) decodeLaneSpan(kind toric.DecoderKind, syn []bits.Vec, p1, p2, 
 		if len(scr.defects) > 0 {
 			scr.corr.Clear()
 			v.decodeInto(scr.defects, kind, dual, scr, scr.corr)
-			var c1, c2 bool
-			if dual {
-				c1, c2 = v.lat.WindingParityDual(scr.corr)
-			} else {
-				c1, c2 = v.lat.WindingParity(scr.corr)
-			}
+			c1, c2 := v.code.LogicalParity(dual, scr.corr)
 			l1 = l1 != c1
 			l2 = l2 != c2
 		}
@@ -649,6 +739,18 @@ func Memory(l, rounds int, p, q float64, kind toric.DecoderKind, samples int, se
 		return v.BatchMemory(p, q, kind, lanes, smp)
 	})
 	return Result{L: l, T: rounds, P: p, Q: q, Samples: samples,
+		FailX: fx, FailZ: fz, Failures: fa}
+}
+
+// CodeMemory is Memory for any surface.Code: the phenomenological
+// noisy-extraction experiment decoded by weighted union-find over the
+// code's space-time volume.
+func CodeMemory(code surface.Code, rounds int, p, q float64, samples int, seed uint64) Result {
+	v := CachedCodeVolume(code, rounds, p, q)
+	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
+		return v.BatchMemory(p, q, toric.DecoderUnionFind, lanes, smp)
+	})
+	return Result{L: code.Distance(), T: rounds, P: p, Q: q, Samples: samples,
 		FailX: fx, FailZ: fz, Failures: fa}
 }
 

@@ -8,6 +8,7 @@ import (
 	"ftqc/internal/frame"
 	"ftqc/internal/noise"
 	"ftqc/internal/spacetime"
+	"ftqc/internal/surface"
 )
 
 // Session owns the long-lived machinery of one streaming configuration:
@@ -49,6 +50,25 @@ func NewCircuitSession(l, window, commit, wh, wv, wd int) (*Session, error) {
 	return sessionOver(win, nil), nil
 }
 
+// NewCodeSession is NewSession over any surface.Code — open-boundary
+// windows ground their spatial boundaries on the virtual node.
+func NewCodeSession(code surface.Code, window, commit, wh, wv int) (*Session, error) {
+	win, err := NewCodeWindow(code, window, commit, wh, wv)
+	if err != nil {
+		return nil, err
+	}
+	return sessionOver(win, nil), nil
+}
+
+// NewCodeCircuitSession is NewCircuitSession over any surface.Code.
+func NewCodeCircuitSession(code surface.Code, window, commit, wh, wv, wd int) (*Session, error) {
+	win, err := NewCodeCircuitWindow(code, window, commit, wh, wv, wd)
+	if err != nil {
+		return nil, err
+	}
+	return sessionOver(win, nil), nil
+}
+
 // NewSessionOn is NewSession decoding on a shared external pool (built
 // with decoder.NewPool). The session never closes the pool.
 func NewSessionOn(pool *decoder.Service, l, window, commit, wh, wv int) (*Session, error) {
@@ -62,6 +82,25 @@ func NewSessionOn(pool *decoder.Service, l, window, commit, wh, wv int) (*Sessio
 // NewCircuitSessionOn is NewCircuitSession on a shared external pool.
 func NewCircuitSessionOn(pool *decoder.Service, l, window, commit, wh, wv, wd int) (*Session, error) {
 	win, err := NewCircuitWindow(l, window, commit, wh, wv, wd)
+	if err != nil {
+		return nil, err
+	}
+	return sessionOver(win, pool), nil
+}
+
+// NewCodeSessionOn is NewCodeSession on a shared external pool.
+func NewCodeSessionOn(pool *decoder.Service, code surface.Code, window, commit, wh, wv int) (*Session, error) {
+	win, err := NewCodeWindow(code, window, commit, wh, wv)
+	if err != nil {
+		return nil, err
+	}
+	return sessionOver(win, pool), nil
+}
+
+// NewCodeCircuitSessionOn is NewCodeCircuitSession on a shared external
+// pool.
+func NewCodeCircuitSessionOn(pool *decoder.Service, code surface.Code, window, commit, wh, wv, wd int) (*Session, error) {
+	win, err := NewCodeCircuitWindow(code, window, commit, wh, wv, wd)
 	if err != nil {
 		return nil, err
 	}
@@ -573,11 +612,13 @@ func (d *Decoder) pivot(sec *sectorState) {
 // spanning the boundary (lower endpoint at layer Commit−1) is a data
 // error whose late observation is already committed: its data qubit
 // flips now and the severed upper endpoint — the early reader's check
-// at the carry layer — becomes the carry defect, exactly like a cut
-// vertical chain. Everything at or above the boundary (including every
-// virtual boundary edge) is discarded — the next slide re-decodes it
-// with more context. The caller clears the carry first; a slide may
-// fold several lists (the live decode plus the cached clusters').
+// at the carry layer (or, for a boundary-truncated diagonal, the lone
+// reader's check, whose single defect sits at the carry layer) —
+// becomes the carry defect, exactly like a cut vertical chain.
+// Everything at or above the boundary (including every virtual
+// boundary edge) is discarded — the next slide re-decodes it with more
+// context. The caller clears the carry first; a slide may fold several
+// lists (the live decode plus the cached clusters').
 func (d *Decoder) commitEdges(corr []int32, frameVec, carry bits.Vec, diag [][2]int32) {
 	w := d.s.win
 	for _, id := range corr {
@@ -598,7 +639,11 @@ func (d *Decoder) commitEdges(corr []int32, frameVec, carry bits.Vec, diag [][2]
 				frameVec.Flip(de % w.nq)
 			case t == w.Commit-1:
 				frameVec.Flip(de % w.nq)
-				carry.Flip(int(diag[de%w.nq][1]))
+				if early := diag[de%w.nq][1]; early >= 0 {
+					carry.Flip(int(early))
+				} else {
+					carry.Flip(int(diag[de%w.nq][0]))
+				}
 			}
 		}
 	}
@@ -622,7 +667,7 @@ func (d *Decoder) Finish(layerX, layerZ []bits.Vec) {
 	}
 	d.finished = true
 	h := d.filled
-	vol := spacetime.CachedCircuitVolume(w.L, h, w.WH, w.WV, w.WD)
+	vol := spacetime.CachedCodeCircuitVolume(w.code, h, w.WH, w.WV, w.WD)
 	syn := bits.NewVecs(d.lanes, (h+1)*w.nc)
 	bits.TransposePlanes(syn, append(d.orderedLayers(d.sx.ring, h), layerX...))
 	d.finishSector(syn, vol, vol.Graph(), &d.sx)
@@ -687,6 +732,9 @@ func (d *Decoder) Rewindow(ns *Session) (*Decoder, error) {
 		return nil, fmt.Errorf("stream: cannot rewindow a finished decoder")
 	}
 	w, nw := d.s.win, ns.win
+	if nw.code.CodeName() != w.code.CodeName() {
+		return nil, fmt.Errorf("stream: rewindow across code families (%s -> %s)", w.code.CodeName(), nw.code.CodeName())
+	}
 	if nw.L != w.L {
 		return nil, fmt.Errorf("stream: rewindow across lattice sizes (L=%d -> L=%d)", w.L, nw.L)
 	}
@@ -779,6 +827,13 @@ func (s *Session) BatchMemoryFrom(src spacetime.LayerFeed, rounds int) (failX, f
 	if src.L() != w.L {
 		panic("stream: layer feed lattice size does not match the window")
 	}
+	if cf, ok := src.(interface{ Code() surface.Code }); ok {
+		if cf.Code().CodeName() != w.code.CodeName() {
+			panic("stream: layer feed code family does not match the window")
+		}
+	} else if w.code.CodeName() != "toric" {
+		panic("stream: this window needs a code-aware layer feed (surface.NewLayerSource / NewCircuitSource)")
+	}
 	lanes := src.Lanes()
 	d := s.NewDecoder(lanes)
 	layerX := bits.NewVecs(w.nc, lanes)
@@ -797,14 +852,14 @@ func (s *Session) BatchMemoryFrom(src spacetime.LayerFeed, rounds int) (failX, f
 	return s.failureMasks(src, d)
 }
 
-// failureMasks compares the winding parities of the accumulated error
+// failureMasks compares the logical parities of the accumulated error
 // chains against the committed correction frames. The total correction
-// cancels every defect, so the residual is always a closed cycle and
-// the parities decide failure — the same homology test as the
-// whole-volume pipeline.
+// cancels every defect, so the residual is always a closed (or
+// boundary-to-boundary) cycle and the parities decide failure — the
+// same homology test as the whole-volume pipeline.
 func (s *Session) failureMasks(src spacetime.LayerFeed, d *Decoder) (failX, failZ bits.Vec) {
 	lanes := d.lanes
-	lat := s.win.lat
+	code := s.win.code
 	pX1 := bits.NewVec(lanes)
 	pX2 := bits.NewVec(lanes)
 	pZ1 := bits.NewVec(lanes)
@@ -813,11 +868,11 @@ func (s *Session) failureMasks(src spacetime.LayerFeed, d *Decoder) (failX, fail
 	failX = bits.NewVec(lanes)
 	failZ = bits.NewVec(lanes)
 	for lane := 0; lane < lanes; lane++ {
-		c1, c2 := lat.WindingParity(d.sx.corr[lane])
+		c1, c2 := code.LogicalParity(false, d.sx.corr[lane])
 		if pX1.Get(lane) != c1 || pX2.Get(lane) != c2 {
 			failX.Set(lane, true)
 		}
-		c1, c2 = lat.WindingParityDual(d.sz.corr[lane])
+		c1, c2 = code.LogicalParity(true, d.sz.corr[lane])
 		if pZ1.Get(lane) != c1 || pZ2.Get(lane) != c2 {
 			failZ.Set(lane, true)
 		}
@@ -827,6 +882,7 @@ func (s *Session) failureMasks(src spacetime.LayerFeed, d *Decoder) (failX, fail
 
 // Result summarizes a streaming memory Monte Carlo run.
 type Result struct {
+	Code           string // code family ("toric", "planar", "rotated")
 	L, T           int
 	Window, Commit int
 	P, Q           float64
@@ -872,8 +928,29 @@ func Memory(l, rounds int, p, q float64, window, commit, samples int, seed uint6
 	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
 		return s.BatchMemory(rounds, p, q, lanes, smp)
 	})
-	return Result{L: l, T: rounds, Window: window, Commit: commit, P: p, Q: q,
+	return Result{Code: "toric", L: l, T: rounds, Window: window, Commit: commit, P: p, Q: q,
 		Samples: samples, FailX: fx, FailZ: fz, Failures: fa}, nil
+}
+
+// CodeMemory is Memory over any surface.Code: the code's own
+// phenomenological layer source streams through a sliding window whose
+// open-boundary graphs ground on the virtual node.
+func CodeMemory(code surface.Code, rounds int, p, q float64, window, commit, samples int, seed uint64) (Result, error) {
+	window, commit = defaultedWindow(code.Distance(), window, commit)
+	if rounds < 1 {
+		return Result{}, fmt.Errorf("stream: memory experiment needs at least one noisy round (got rounds=%d)", rounds)
+	}
+	wh, wv := spacetime.Weights(p, q, code.Distance(), rounds)
+	s, err := NewCodeSession(code, window, commit, wh, wv)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.Close()
+	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
+		return s.BatchMemoryFrom(surface.NewLayerSource(code, p, q, lanes, smp), rounds)
+	})
+	return Result{Code: code.CodeName(), L: code.Distance(), T: rounds, Window: window, Commit: commit,
+		P: p, Q: q, Samples: samples, FailX: fx, FailZ: fz, Failures: fa}, nil
 }
 
 // CircuitMemory runs the circuit-level noisy-extraction memory through
@@ -896,8 +973,30 @@ func CircuitMemory(l, rounds int, P noise.Params, window, commit, samples int, s
 	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
 		return s.BatchMemoryFrom(spacetime.NewCircuitLayerSource(l, P, lanes, smp), rounds)
 	})
-	return Result{L: l, T: rounds, Window: window, Commit: commit, P: P.Gate2, Q: P.Meas,
+	return Result{Code: "toric", L: l, T: rounds, Window: window, Commit: commit, P: P.Gate2, Q: P.Meas,
 		Samples: samples, FailX: fx, FailZ: fz, Failures: fa}, nil
+}
+
+// CodeCircuitMemory is CircuitMemory over any surface.Code: the code's
+// own extraction circuit (surface.CircuitSource) streams through a
+// diagonal-edge sliding window, boundary-truncated diagonals grounded
+// on the virtual node.
+func CodeCircuitMemory(code surface.Code, rounds int, P noise.Params, window, commit, samples int, seed uint64) (Result, error) {
+	window, commit = defaultedWindow(code.Distance(), window, commit)
+	if rounds < 1 {
+		return Result{}, fmt.Errorf("stream: memory experiment needs at least one noisy round (got rounds=%d)", rounds)
+	}
+	wh, wv, wd := spacetime.WeightsCircuit(P, code.Distance(), window)
+	s, err := NewCodeCircuitSession(code, window, commit, wh, wv, wd)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.Close()
+	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
+		return s.BatchMemoryFrom(surface.NewCircuitSource(code, P, lanes, smp), rounds)
+	})
+	return Result{Code: code.CodeName(), L: code.Distance(), T: rounds, Window: window, Commit: commit,
+		P: P.Gate2, Q: P.Meas, Samples: samples, FailX: fx, FailZ: fz, Failures: fa}, nil
 }
 
 // defaultedWindow fills in the DefaultWindow sizes for zero values.

@@ -4,17 +4,17 @@ import (
 	"fmt"
 
 	"ftqc/internal/decoder"
-	"ftqc/internal/extract"
+	"ftqc/internal/surface"
 	"ftqc/internal/toric"
 )
 
 // Window is the immutable decode structure of one sliding-window
 // configuration: the open-window graphs of both sectors over W
-// difference layers of an L×L toric code, with a virtual future-
-// boundary node and a commit boundary at layer C.
+// difference layers of a surface.Code, with a virtual future-boundary
+// node and a commit boundary at layer C.
 //
-// Node (c, t) of a window has index t·L² + c for buffered layers
-// t = 0…W−1 (0 is the oldest); the single boundary node is W·L². Edge
+// Node (c, t) of a window has index t·nc + c for buffered layers
+// t = 0…W−1 (0 is the oldest); the single boundary node is W·nc. Edge
 // ids: horizontal edge (e, t) = t·nq + e (a data error at buffered
 // round t), then vertical edge (c, t) = W·nq + t·nc + c joining layers
 // t and t+1 — where t = W−1 joins the newest layer to the boundary
@@ -22,14 +22,21 @@ import (
 // window). Horizontal edges weigh WH, vertical and virtual edges WV,
 // exactly like the whole-volume graphs. Circuit-level windows
 // (NewCircuitWindow) append the diagonal class: edge
-// (e, t) = W·(nq+nc) + t·nq + e of weight WD joining data edge e's late
+// (e, t) = W·(nq+nc) + t·nq + e of weight WD joining data qubit e's late
 // reader at layer t to its early reader at layer t+1, with the t = W−1
 // diagonals grounding on the boundary node like the virtual verticals.
+//
+// Open-boundary codes reuse the same single virtual node for their
+// spatial boundary: a 2D sector edge ending on the code's boundary
+// grounds there at every layer, and a boundary-truncated diagonal (a
+// single-reader data qubit's hook, lone defect at the reader one round
+// late) joins that defect to the boundary.
 type Window struct {
 	L, W, Commit int
 	WH, WV, WD   int // WD = 0: phenomenological window, no diagonals
 
-	lat          *toric.Lattice
+	code         surface.Code
+	lat          *toric.Lattice // non-nil only for the torus
 	nq, nc       int
 	nodes        int // W·nc + 1, boundary last
 	horiz        int // W·nq horizontal edges (ids below this project to data qubits)
@@ -39,32 +46,56 @@ type Window struct {
 	graphZ       *decoder.Graph
 }
 
-// NewWindow builds the window structure for an L×L lattice, window
-// height W ≥ 2 layers, commit region 1 ≤ commit ≤ W−1, and the given
-// integer edge weights (see spacetime.Weights). Invalid parameters
-// return a descriptive error at construction instead of surfacing as a
-// panic deep inside a later decode — a window that constructs cleanly
-// streams cleanly. A window taller than the stream it eventually
-// decodes is valid: it simply never slides and Finish runs the
-// whole-volume decode.
+// NewWindow builds the window structure for an L×L toric lattice,
+// window height W ≥ 2 layers, commit region 1 ≤ commit ≤ W−1, and the
+// given integer edge weights (see spacetime.Weights). Invalid
+// parameters return a descriptive error at construction instead of
+// surfacing as a panic deep inside a later decode — a window that
+// constructs cleanly streams cleanly. A window taller than the stream
+// it eventually decodes is valid: it simply never slides and Finish
+// runs the whole-volume decode.
 func NewWindow(l, w, commit, wh, wv int) (*Window, error) {
-	return newWindow(l, w, commit, wh, wv, 0)
+	if l < 2 {
+		return nil, fmt.Errorf("stream: lattice distance must be at least 2 (got L=%d)", l)
+	}
+	return newWindow(toric.Cached(l), w, commit, wh, wv, 0)
 }
 
 // NewCircuitWindow is NewWindow plus the circuit model's diagonal edge
 // class of weight wd ≥ 1 (see spacetime.WeightsCircuit for the weight
-// derivation and extract.Sched for the diagonal orientation).
+// derivation and the code's ExtractionSchedule for the diagonal
+// orientation).
 func NewCircuitWindow(l, w, commit, wh, wv, wd int) (*Window, error) {
-	if wd < 1 {
-		return nil, fmt.Errorf("stream: circuit window needs a positive diagonal weight (got wd=%d)", wd)
-	}
-	return newWindow(l, w, commit, wh, wv, wd)
-}
-
-func newWindow(l, w, commit, wh, wv, wd int) (*Window, error) {
 	if l < 2 {
 		return nil, fmt.Errorf("stream: lattice distance must be at least 2 (got L=%d)", l)
 	}
+	if wd < 1 {
+		return nil, fmt.Errorf("stream: circuit window needs a positive diagonal weight (got wd=%d)", wd)
+	}
+	return newWindow(toric.Cached(l), w, commit, wh, wv, wd)
+}
+
+// NewCodeWindow is NewWindow over any surface.Code (planar and rotated
+// windows ground their spatial boundaries on the virtual node).
+func NewCodeWindow(code surface.Code, w, commit, wh, wv int) (*Window, error) {
+	if code == nil {
+		return nil, fmt.Errorf("stream: window needs a code")
+	}
+	return newWindow(code, w, commit, wh, wv, 0)
+}
+
+// NewCodeCircuitWindow is NewCircuitWindow over any surface.Code.
+func NewCodeCircuitWindow(code surface.Code, w, commit, wh, wv, wd int) (*Window, error) {
+	if code == nil {
+		return nil, fmt.Errorf("stream: window needs a code")
+	}
+	if wd < 1 {
+		return nil, fmt.Errorf("stream: circuit window needs a positive diagonal weight (got wd=%d)", wd)
+	}
+	return newWindow(code, w, commit, wh, wv, wd)
+}
+
+func newWindow(code surface.Code, w, commit, wh, wv, wd int) (*Window, error) {
 	if w < 2 {
 		return nil, fmt.Errorf("stream: window must hold at least two layers (got window=%d)", w)
 	}
@@ -74,28 +105,33 @@ func newWindow(l, w, commit, wh, wv, wd int) (*Window, error) {
 	if wh < 1 || wv < 1 {
 		return nil, fmt.Errorf("stream: edge weights must be positive (got wh=%d, wv=%d)", wh, wv)
 	}
-	lat := toric.Cached(l)
+	nc := code.Checks()
 	win := &Window{
-		L: l, W: w, Commit: commit, WH: wh, WV: wv, WD: wd,
-		lat:     lat,
-		nq:      lat.Qubits(),
-		nc:      lat.NumChecks(),
-		nodes:   w*lat.NumChecks() + 1,
-		horiz:   w * lat.Qubits(),
-		diagOff: w * (lat.Qubits() + lat.NumChecks()),
+		L: code.Distance(), W: w, Commit: commit, WH: wh, WV: wv, WD: wd,
+		code:    code,
+		nq:      code.Qubits(),
+		nc:      nc,
+		nodes:   w*nc + 1,
+		horiz:   w * code.Qubits(),
+		diagOff: w * (code.Qubits() + nc),
+	}
+	if lat, ok := code.(*toric.Lattice); ok {
+		win.lat = lat
 	}
 	if wd > 0 {
-		sch := extract.Sched(l)
+		sch := code.ExtractionSchedule()
 		win.diagX, win.diagZ = sch.DiagX, sch.DiagZ
 	}
-	win.graphX = win.buildGraph(lat.Graph(), win.diagX)
-	win.graphZ = win.buildGraph(lat.DualGraph(), win.diagZ)
+	win.graphX = win.buildGraph(code.SectorGraph(false), win.diagX)
+	win.graphZ = win.buildGraph(code.SectorGraph(true), win.diagZ)
 	return win, nil
 }
 
-// buildGraph extrudes a 2D sector graph into the open-window graph.
+// buildGraph extrudes a 2D sector graph into the open-window graph. For
+// open codes the base graph's spatial boundary node (id nc) maps onto
+// the window's single virtual node at every layer.
 func (w *Window) buildGraph(base *decoder.Graph, diag [][2]int32) *decoder.Graph {
-	boundary := w.nodes - 1
+	boundary := int32(w.nodes - 1)
 	n := w.horiz + w.W*w.nc
 	if w.WD > 0 {
 		n += w.W * w.nq
@@ -107,14 +143,21 @@ func (w *Window) buildGraph(base *decoder.Graph, diag [][2]int32) *decoder.Graph
 		layer := int32(t * w.nc)
 		for e := 0; e < w.nq; e++ {
 			a, b := base.Ends(e)
-			ends[off+e] = [2]int32{layer + int32(a), layer + int32(b)}
+			ea, eb := layer+int32(a), layer+int32(b)
+			if int(a) == w.nc {
+				ea = boundary
+			}
+			if int(b) == w.nc {
+				eb = boundary
+			}
+			ends[off+e] = [2]int32{ea, eb}
 			weights[off+e] = int32(w.WH)
 		}
 	}
 	for t := 0; t < w.W; t++ {
 		off := w.horiz + t*w.nc
 		for c := 0; c < w.nc; c++ {
-			up := int32(boundary)
+			up := boundary
 			if t+1 < w.W {
 				up = int32((t+1)*w.nc + c)
 			}
@@ -127,16 +170,29 @@ func (w *Window) buildGraph(base *decoder.Graph, diag [][2]int32) *decoder.Graph
 			off := w.diagOff + t*w.nq
 			layer := int32(t * w.nc)
 			for e := 0; e < w.nq; e++ {
-				up := int32(boundary)
-				if t+1 < w.W {
-					up = int32((t+1)*w.nc) + diag[e][1]
+				if early := diag[e][1]; early < 0 {
+					// Boundary-truncated diagonal: the lone defect sits at
+					// (diag[e][0], t+1) and pairs with the boundary. At the
+					// top layer that defect falls outside the window; the
+					// edge stands in at layer t like the virtual verticals
+					// (it can never commit — t = W−1 ≥ Commit always).
+					lo := layer + diag[e][0]
+					if t+1 < w.W {
+						lo = int32((t+1)*w.nc) + diag[e][0]
+					}
+					ends[off+e] = [2]int32{lo, boundary}
+				} else {
+					up := boundary
+					if t+1 < w.W {
+						up = int32((t+1)*w.nc) + early
+					}
+					ends[off+e] = [2]int32{layer + diag[e][0], up}
 				}
-				ends[off+e] = [2]int32{layer + diag[e][0], up}
 				weights[off+e] = int32(w.WD)
 			}
 		}
 	}
-	return decoder.NewBoundaryGraph(w.nodes, ends, weights, []int{boundary})
+	return decoder.NewBoundaryGraph(w.nodes, ends, weights, []int{int(boundary)})
 }
 
 // shiftEdge translates an edge id down by Commit layers — the id the
@@ -163,5 +219,9 @@ func (w *Window) Graph() *decoder.Graph { return w.graphX }
 // DualGraph returns the dual (star-sector) open-window graph.
 func (w *Window) DualGraph() *decoder.Graph { return w.graphZ }
 
-// Lattice returns the underlying 2D lattice.
+// Code returns the underlying surface code.
+func (w *Window) Code() surface.Code { return w.code }
+
+// Lattice returns the underlying 2D toric lattice, or nil when the
+// window decodes an open-boundary code (use Code instead).
 func (w *Window) Lattice() *toric.Lattice { return w.lat }

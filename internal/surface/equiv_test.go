@@ -1,0 +1,101 @@
+package surface_test
+
+// The refactor contract: the toric lattice behind the surface.Code
+// interface must be bit-identical to the legacy toric pipelines. The
+// code-generic sources replay the exact draw order of their
+// predecessors, so seeding both sides identically must produce the
+// same layers, the same accumulated errors, and the same windings —
+// not just statistically, but bit for bit.
+
+import (
+	"reflect"
+	"testing"
+
+	"ftqc/internal/bits"
+	"ftqc/internal/extract"
+	"ftqc/internal/frame"
+	"ftqc/internal/noise"
+	"ftqc/internal/spacetime"
+	"ftqc/internal/surface"
+	"ftqc/internal/toric"
+)
+
+func TestToricScheduleSingleSource(t *testing.T) {
+	for _, l := range []int{3, 4, 5} {
+		es := extract.Sched(l)
+		cs := toric.Cached(l).ExtractionSchedule()
+		if !reflect.DeepEqual(es.Plaq, cs.Plaq) || !reflect.DeepEqual(es.Star, cs.Star) {
+			t.Fatalf("L=%d: extract.Sched CNOT orders diverge from the lattice's ExtractionSchedule", l)
+		}
+		if !reflect.DeepEqual(es.DiagX, cs.DiagX) || !reflect.DeepEqual(es.DiagZ, cs.DiagZ) {
+			t.Fatalf("L=%d: extract.Sched diagonal classes diverge from the lattice's ExtractionSchedule", l)
+		}
+	}
+}
+
+type layerFeed interface {
+	NextLayers(layerX, layerZ []bits.Vec)
+	CloseLayers(layerX, layerZ []bits.Vec)
+	Windings(pX1, pX2, pZ1, pZ2 bits.Vec)
+	ErrorPlanes() (x, z []bits.Vec)
+}
+
+// feedsBitIdentical drives two layer feeds through `rounds` noisy
+// rounds plus the closing round and asserts identical output at every
+// step.
+func feedsBitIdentical(t *testing.T, what string, a, b layerFeed, nc, lanes, rounds int) {
+	t.Helper()
+	la := [2][]bits.Vec{bits.NewVecs(nc, lanes), bits.NewVecs(nc, lanes)}
+	lb := [2][]bits.Vec{bits.NewVecs(nc, lanes), bits.NewVecs(nc, lanes)}
+	step := func(r int) {
+		t.Helper()
+		for s := 0; s < 2; s++ {
+			for c := 0; c < nc; c++ {
+				if !la[s][c].Equal(lb[s][c]) {
+					t.Fatalf("%s: round %d sector %d check %d layers diverge", what, r, s, c)
+				}
+			}
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		a.NextLayers(la[0], la[1])
+		b.NextLayers(lb[0], lb[1])
+		step(r)
+	}
+	a.CloseLayers(la[0], la[1])
+	b.CloseLayers(lb[0], lb[1])
+	step(rounds)
+	ax, az := a.ErrorPlanes()
+	bx, bz := b.ErrorPlanes()
+	for e := range ax {
+		if !ax[e].Equal(bx[e]) || !az[e].Equal(bz[e]) {
+			t.Fatalf("%s: accumulated error planes diverge at qubit %d", what, e)
+		}
+	}
+	wa := [4]bits.Vec{bits.NewVec(lanes), bits.NewVec(lanes), bits.NewVec(lanes), bits.NewVec(lanes)}
+	wb := [4]bits.Vec{bits.NewVec(lanes), bits.NewVec(lanes), bits.NewVec(lanes), bits.NewVec(lanes)}
+	a.Windings(wa[0], wa[1], wa[2], wa[3])
+	b.Windings(wb[0], wb[1], wb[2], wb[3])
+	for i := range wa {
+		if !wa[i].Equal(wb[i]) {
+			t.Fatalf("%s: winding parities diverge (detector %d)", what, i)
+		}
+	}
+}
+
+func TestToricLayerSourceBitIdentical(t *testing.T) {
+	const l, lanes, rounds = 4, 192, 5
+	lat := toric.Cached(l)
+	generic := surface.NewLayerSource(lat, 0.02, 0.01, lanes, frame.NewAggregateSampler(41, 0))
+	legacy := spacetime.NewLayerSource(l, 0.02, 0.01, lanes, frame.NewAggregateSampler(41, 0))
+	feedsBitIdentical(t, "phenomenological toric", generic, legacy, lat.NumChecks(), lanes, rounds)
+}
+
+func TestToricCircuitSourceBitIdentical(t *testing.T) {
+	const l, lanes, rounds = 4, 192, 5
+	lat := toric.Cached(l)
+	P := noise.Uniform(0.004)
+	generic := surface.NewCircuitSource(lat, P, lanes, frame.NewAggregateSampler(43, 0))
+	legacy := extract.NewSource(l, P, lanes, frame.NewAggregateSampler(43, 0))
+	feedsBitIdentical(t, "circuit-level toric", generic, legacy, lat.NumChecks(), lanes, rounds)
+}

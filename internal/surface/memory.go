@@ -1,0 +1,100 @@
+package surface
+
+import (
+	"ftqc/internal/bits"
+	"ftqc/internal/decoder"
+	"ftqc/internal/frame"
+)
+
+// BatchMemoryXZ runs `lanes` shots of the 2D dual-sector passive-memory
+// experiment for any Code: independent bit-flip (X) and phase-flip (Z)
+// errors with probability p per data qubit, each sector's syndromes
+// decoded by weighted union-find over its sector graph (boundary-
+// grounded for open codes), logical failure read off the code's
+// failure detectors. Draw order: all X qubit planes in qubit order,
+// then all Z qubit planes — the toric BatchMemoryXZ discipline.
+func BatchMemoryXZ(code Code, p float64, lanes int, smp frame.Sampler) (failX, failZ bits.Vec) {
+	nq, nc := code.Qubits(), code.Checks()
+	active := bits.NewVec(lanes)
+	active.SetAll()
+	xp := bits.NewVecs(nq, lanes)
+	for e := 0; e < nq; e++ {
+		smp.Bernoulli(p, active, xp[e])
+	}
+	zp := bits.NewVecs(nq, lanes)
+	for e := 0; e < nq; e++ {
+		smp.Bernoulli(p, active, zp[e])
+	}
+	checks := bits.NewVecs(nc, lanes)
+	syn := bits.NewVecs(lanes, nc)
+	failX = bits.NewVec(lanes)
+	failZ = bits.NewVec(lanes)
+	p1 := bits.NewVec(lanes)
+	p2 := bits.NewVec(lanes)
+
+	code.CheckPlanes(false, xp, checks)
+	code.LogicalPlanes(false, xp, p1, p2)
+	bits.TransposePlanes(syn, checks)
+	decodeLanes(code, false, syn, p1, p2, failX)
+
+	p1.Clear()
+	p2.Clear()
+	code.CheckPlanes(true, zp, checks)
+	code.LogicalPlanes(true, zp, p1, p2)
+	bits.TransposePlanes(syn, checks)
+	decodeLanes(code, true, syn, p1, p2, failZ)
+	return failX, failZ
+}
+
+// decodeLanes is the worker-pool decode stage over word-aligned lane
+// spans, the discipline every batch pipeline shares: each span owns
+// its failure-mask words outright and its own union-find instance, so
+// the result is bit-identical for any worker count.
+func decodeLanes(code Code, dual bool, syn []bits.Vec, p1, p2, out bits.Vec) {
+	g := code.SectorGraph(dual)
+	frame.ForEachLaneSpan(len(syn), func(lo, hi int) {
+		uf := decoder.NewUnionFind(g)
+		corr := bits.NewVec(code.Qubits())
+		var defects []int
+		for lane := lo; lane < hi; lane++ {
+			defects = syn[lane].AppendSupport(defects[:0])
+			l1 := p1.Get(lane)
+			l2 := p2.Get(lane)
+			if len(defects) > 0 {
+				corr.Clear()
+				uf.Decode(defects, func(e int) { corr.Flip(e) })
+				c1, c2 := code.LogicalParity(dual, corr)
+				l1 = l1 != c1
+				l2 = l2 != c2
+			}
+			if l1 || l2 {
+				out.Set(lane, true)
+			}
+		}
+	})
+}
+
+// MemoryResult summarizes a code-parameterized 2D memory run.
+type MemoryResult struct {
+	Code     string
+	D        int
+	P        float64
+	Samples  int
+	FailX    int
+	FailZ    int
+	Failures int // shots failing in either sector
+}
+
+// FailRate returns the either-sector logical failure probability.
+func (r MemoryResult) FailRate() float64 { return float64(r.Failures) / float64(r.Samples) }
+
+// MemoryExperimentXZ runs the 2D dual-sector memory experiment for any
+// Code, fanned out over the CPUs in deterministic seed-per-chunk
+// batches.
+func MemoryExperimentXZ(code Code, p float64, samples int, seed uint64) MemoryResult {
+	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
+		return BatchMemoryXZ(code, p, lanes, smp)
+	})
+	return MemoryResult{Code: code.CodeName(), D: code.Distance(), P: p, Samples: samples,
+		FailX: fx, FailZ: fz, Failures: fa}
+}

@@ -1,0 +1,161 @@
+package surface
+
+import (
+	"fmt"
+
+	"ftqc/internal/bits"
+	"ftqc/internal/decoder"
+)
+
+// sector is one error sector of an open-boundary code: the check
+// supports, the boundary-grounded 2D decoding graph, and the single
+// logical-failure detector.
+type sector struct {
+	supports [][]int        // per-check data-qubit support (2–4 qubits)
+	graph    *decoder.Graph // nc+1 nodes; node nc is the boundary
+	det      bits.Vec       // failure-detector support over data qubits
+	detSup   []int
+}
+
+// openCode is the shared implementation behind the planar and rotated
+// surface codes: an open-boundary CSS code whose per-sector data comes
+// from the concrete constructor. It is immutable after construction.
+type openCode struct {
+	name   string
+	d      int
+	nq, nc int
+	sec    [2]sector // [0] primal (Z checks), [1] dual (X checks)
+	sched  *Schedule
+}
+
+// newOpenCode wires an open-boundary code from its per-sector check
+// supports, CNOT orders and failure-detector supports, validating the
+// detector-graph contract: both sectors have the same check count,
+// every data qubit has one or two readers per sector, and the CNOT
+// orders reproduce exactly the check supports.
+func newOpenCode(name string, d, nq int, zSup, xSup [][]int, zOrd, xOrd [][4]int, detX, detZ []int) *openCode {
+	if len(zSup) != len(xSup) {
+		panic(fmt.Sprintf("surface: %s sector check counts differ (%d vs %d)", name, len(zSup), len(xSup)))
+	}
+	nc := len(zSup)
+	c := &openCode{name: name, d: d, nq: nq, nc: nc}
+	c.sec[0] = buildSector(name, nq, nc, zSup, detX)
+	c.sec[1] = buildSector(name, nq, nc, xSup, detZ)
+	c.sched = &Schedule{
+		Plaq:  zOrd,
+		Star:  xOrd,
+		DiagX: ReaderPairs(zOrd, nq),
+		DiagZ: ReaderPairs(xOrd, nq),
+	}
+	for s, ord := range [2][][4]int{zOrd, xOrd} {
+		sup := zSup
+		if s == 1 {
+			sup = xSup
+		}
+		for ci, o := range ord {
+			n := 0
+			for _, q := range o {
+				if q >= 0 {
+					n++
+				}
+			}
+			if n != len(sup[ci]) {
+				panic(fmt.Sprintf("surface: %s CNOT order of check %d reads %d qubits, support has %d", name, ci, n, len(sup[ci])))
+			}
+		}
+	}
+	return c
+}
+
+// buildSector assembles one sector: the boundary-grounded decoding
+// graph (edge q connects the readers of data qubit q; a single reader
+// pairs with the boundary node nc) and the failure detector.
+func buildSector(name string, nq, nc int, supports [][]int, det []int) sector {
+	type readers struct {
+		n    int
+		a, b int32
+	}
+	rd := make([]readers, nq)
+	for c, sup := range supports {
+		if len(sup) < 2 || len(sup) > 4 {
+			panic(fmt.Sprintf("surface: %s check %d has weight %d, want 2–4", name, c, len(sup)))
+		}
+		for _, q := range sup {
+			switch rd[q].n {
+			case 0:
+				rd[q].a = int32(c)
+			case 1:
+				rd[q].b = int32(c)
+			default:
+				panic(fmt.Sprintf("surface: %s qubit %d has more than two readers in one sector", name, q))
+			}
+			rd[q].n++
+		}
+	}
+	ends := make([][2]int32, nq)
+	for q, r := range rd {
+		switch r.n {
+		case 1:
+			ends[q] = [2]int32{r.a, int32(nc)}
+		case 2:
+			ends[q] = [2]int32{r.a, r.b}
+		default:
+			panic(fmt.Sprintf("surface: %s qubit %d has no reader in one sector", name, q))
+		}
+	}
+	s := sector{
+		supports: supports,
+		graph:    decoder.NewBoundaryGraph(nc+1, ends, nil, []int{nc}),
+		det:      bits.NewVec(nq),
+		detSup:   det,
+	}
+	for _, q := range det {
+		s.det.Flip(q)
+	}
+	return s
+}
+
+func (c *openCode) sector(dual bool) *sector {
+	if dual {
+		return &c.sec[1]
+	}
+	return &c.sec[0]
+}
+
+func (c *openCode) CodeName() string { return c.name }
+
+func (c *openCode) Distance() int { return c.d }
+
+func (c *openCode) Qubits() int { return c.nq }
+
+func (c *openCode) Checks() int { return c.nc }
+
+func (c *openCode) Open() bool { return true }
+
+func (c *openCode) SectorGraph(dual bool) *decoder.Graph { return c.sector(dual).graph }
+
+func (c *openCode) LogicalSupports(dual bool) [][]int {
+	return [][]int{c.sector(dual).detSup}
+}
+
+func (c *openCode) LogicalParity(dual bool, errs bits.Vec) (bool, bool) {
+	return errs.Dot(c.sector(dual).det), false
+}
+
+func (c *openCode) LogicalPlanes(dual bool, planes []bits.Vec, p1, p2 bits.Vec) {
+	for _, q := range c.sector(dual).detSup {
+		p1.Xor(planes[q])
+	}
+}
+
+func (c *openCode) CheckPlanes(dual bool, planes, checks []bits.Vec) {
+	for ci, sup := range c.sector(dual).supports {
+		cv := checks[ci]
+		cv.CopyFrom(planes[sup[0]])
+		for _, q := range sup[1:] {
+			cv.Xor(planes[q])
+		}
+	}
+}
+
+func (c *openCode) ExtractionSchedule() *Schedule { return c.sched }

@@ -1,0 +1,245 @@
+package surface
+
+import (
+	"ftqc/internal/bits"
+	"ftqc/internal/frame"
+	"ftqc/internal/noise"
+)
+
+// LayerSource samples a phenomenological noisy-extraction history round
+// by round for any Code: fresh X and Z data errors at rate p per qubit
+// per round, check measurements flipped with probability q, and the
+// consecutive-round syndrome differences emitted as check-major layer
+// planes. Draw order per round: X qubit planes, Z qubit planes, primal
+// measurement masks, dual measurement masks — all in index order, the
+// same stream discipline as the toric spacetime.LayerSource (on the
+// toric code the two are draw-for-draw identical).
+type LayerSource struct {
+	code   Code
+	p, q   float64
+	lanes  int
+	smp    frame.Sampler
+	rounds int
+
+	active, tmp bits.Vec
+	cumX, cumZ  []bits.Vec // qubit-major accumulated error planes
+	diff        *SyndromeDiff
+}
+
+// NewLayerSource returns a phenomenological source over the code for
+// `lanes` parallel shots drawing from smp.
+func NewLayerSource(code Code, p, q float64, lanes int, smp frame.Sampler) *LayerSource {
+	s := &LayerSource{
+		code: code, p: p, q: q, lanes: lanes, smp: smp,
+		active: bits.NewVec(lanes),
+		tmp:    bits.NewVec(lanes),
+		cumX:   bits.NewVecs(code.Qubits(), lanes),
+		cumZ:   bits.NewVecs(code.Qubits(), lanes),
+		diff:   NewSyndromeDiff(code.Checks(), lanes),
+	}
+	s.active.SetAll()
+	return s
+}
+
+// Code returns the code the source extracts on.
+func (s *LayerSource) Code() Code { return s.code }
+
+// L returns the code distance (the layer-feed size contract).
+func (s *LayerSource) L() int { return s.code.Distance() }
+
+// Lanes returns the batch width.
+func (s *LayerSource) Lanes() int { return s.lanes }
+
+// Rounds returns how many noisy rounds have been emitted.
+func (s *LayerSource) Rounds() int { return s.rounds }
+
+// NextLayers advances one noisy extraction round and writes its
+// difference-syndrome layers into layerX and layerZ (check-major,
+// Checks() vectors each).
+func (s *LayerSource) NextLayers(layerX, layerZ []bits.Vec) {
+	nq, nc := s.code.Qubits(), s.code.Checks()
+	for e := 0; e < nq; e++ {
+		s.smp.Bernoulli(s.p, s.active, s.tmp)
+		s.cumX[e].Xor(s.tmp)
+	}
+	for e := 0; e < nq; e++ {
+		s.smp.Bernoulli(s.p, s.active, s.tmp)
+		s.cumZ[e].Xor(s.tmp)
+	}
+	curX := s.diff.CurX()
+	s.code.CheckPlanes(false, s.cumX, curX)
+	for c := 0; c < nc; c++ {
+		s.smp.Bernoulli(s.q, s.active, s.tmp)
+		curX[c].Xor(s.tmp)
+	}
+	curZ := s.diff.CurZ()
+	s.code.CheckPlanes(true, s.cumZ, curZ)
+	for c := 0; c < nc; c++ {
+		s.smp.Bernoulli(s.q, s.active, s.tmp)
+		curZ[c].Xor(s.tmp)
+	}
+	s.diff.Emit(layerX, layerZ)
+	s.rounds++
+}
+
+// CloseLayers writes the closing perfect round's difference layers: the
+// true syndromes of the accumulated errors, no fresh faults, no
+// measurement noise.
+func (s *LayerSource) CloseLayers(layerX, layerZ []bits.Vec) {
+	s.code.CheckPlanes(false, s.cumX, s.diff.CurX())
+	s.code.CheckPlanes(true, s.cumZ, s.diff.CurZ())
+	s.diff.Emit(layerX, layerZ)
+}
+
+// Windings accumulates the logical-failure-detector parities of the
+// accumulated error chains (the layer-feed homology contract; open
+// codes leave the second parity of each sector untouched).
+func (s *LayerSource) Windings(pX1, pX2, pZ1, pZ2 bits.Vec) {
+	s.code.LogicalPlanes(false, s.cumX, pX1, pX2)
+	s.code.LogicalPlanes(true, s.cumZ, pZ1, pZ2)
+}
+
+// ErrorPlanes returns the live accumulated error planes of the two
+// sectors (qubit-major). Read-only views for validation harnesses.
+func (s *LayerSource) ErrorPlanes() (x, z []bits.Vec) { return s.cumX, s.cumZ }
+
+// CircuitSource runs circuit-level syndrome extraction for any Code on
+// the batch frame engine, mirroring the toric extract.Source gate for
+// gate: one ancilla per check, prepared, coupled to its data qubits by
+// CNOTs in the code's schedule (idle −1 steps skipped — boundary
+// checks of open codes have weight < 4), and measured, with stochastic
+// faults at every location. Qubit layout on the simulator: data qubits
+// 0…Qubits()−1, primal-check ancillas Qubits()+c, dual-check ancillas
+// Qubits()+Checks()+c.
+type CircuitSource struct {
+	code   Code
+	sch    *Schedule
+	sim    *frame.BatchSim
+	lanes  int
+	rounds int
+	diff   *SyndromeDiff
+}
+
+// NewCircuitSource returns a circuit-level source over the code for
+// `lanes` parallel shots under the per-location noise model P, drawing
+// from smp (leakage is not modeled in the extraction circuit: P.Leak
+// is ignored and cleared).
+func NewCircuitSource(code Code, P noise.Params, lanes int, smp frame.Sampler) *CircuitSource {
+	P.Leak = 0
+	nc := code.Checks()
+	return &CircuitSource{
+		code:  code,
+		sch:   code.ExtractionSchedule(),
+		sim:   frame.NewBatch(code.Qubits()+2*nc, lanes, P, smp),
+		lanes: lanes,
+		diff:  NewSyndromeDiff(nc, lanes),
+	}
+}
+
+// Code returns the code the source extracts on.
+func (s *CircuitSource) Code() Code { return s.code }
+
+// L returns the code distance (the layer-feed size contract).
+func (s *CircuitSource) L() int { return s.code.Distance() }
+
+// Lanes returns the batch width.
+func (s *CircuitSource) Lanes() int { return s.lanes }
+
+// Rounds returns how many noisy rounds have been emitted.
+func (s *CircuitSource) Rounds() int { return s.rounds }
+
+// Sim exposes the underlying batch simulator for fault-injection
+// harnesses (ArmTrigger single-fault enumeration, InjectX/InjectZ).
+func (s *CircuitSource) Sim() *frame.BatchSim { return s.sim }
+
+func (s *CircuitSource) ancP(c int) int { return s.code.Qubits() + c }
+func (s *CircuitSource) ancS(c int) int { return s.code.Qubits() + s.code.Checks() + c }
+
+// NextLayers runs one full extraction round — idle storage on the data
+// qubits, then the primal sector (PrepZ, four CNOT steps with data as
+// control, MeasZ), then the dual sector (PrepX, four CNOT steps with
+// the ancilla as control, MeasX) — and writes the round's difference-
+// syndrome layers into layerX and layerZ.
+func (s *CircuitSource) NextLayers(layerX, layerZ []bits.Vec) {
+	nq, nc := s.code.Qubits(), s.code.Checks()
+	for e := 0; e < nq; e++ {
+		s.sim.Storage(e)
+	}
+	curX := s.diff.CurX()
+	for c := 0; c < nc; c++ {
+		s.sim.PrepZ(s.ancP(c))
+	}
+	for step := 0; step < 4; step++ {
+		for c := 0; c < nc; c++ {
+			if q := s.sch.Plaq[c][step]; q >= 0 {
+				s.sim.CNOT(q, s.ancP(c))
+			}
+		}
+	}
+	for c := 0; c < nc; c++ {
+		s.sim.MeasZInto(s.ancP(c), curX[c])
+	}
+	curZ := s.diff.CurZ()
+	for c := 0; c < nc; c++ {
+		s.sim.PrepX(s.ancS(c))
+	}
+	for step := 0; step < 4; step++ {
+		for c := 0; c < nc; c++ {
+			if q := s.sch.Star[c][step]; q >= 0 {
+				s.sim.CNOT(s.ancS(c), q)
+			}
+		}
+	}
+	for c := 0; c < nc; c++ {
+		s.sim.MeasXInto(s.ancS(c), curZ[c])
+	}
+	s.diff.Emit(layerX, layerZ)
+	s.rounds++
+}
+
+// CloseLayers writes the closing perfect round's difference layers: the
+// true syndromes of the accumulated data-qubit errors, computed
+// directly from the simulator's frame planes — no circuit, no faults.
+func (s *CircuitSource) CloseLayers(layerX, layerZ []bits.Vec) {
+	nq := s.code.Qubits()
+	s.code.CheckPlanes(false, s.sim.PlanesX(nq), s.diff.CurX())
+	s.code.CheckPlanes(true, s.sim.PlanesZ(nq), s.diff.CurZ())
+	s.diff.Emit(layerX, layerZ)
+}
+
+// Windings accumulates the logical-failure-detector parities of the
+// accumulated data-error chains (residual ancilla frames are
+// irrelevant — ancillas are re-prepared every round).
+func (s *CircuitSource) Windings(pX1, pX2, pZ1, pZ2 bits.Vec) {
+	nq := s.code.Qubits()
+	s.code.LogicalPlanes(false, s.sim.PlanesX(nq), pX1, pX2)
+	s.code.LogicalPlanes(true, s.sim.PlanesZ(nq), pZ1, pZ2)
+}
+
+// ErrorPlanes returns the live accumulated data-error planes of the two
+// sectors (qubit-major). Read-only views for validation harnesses.
+func (s *CircuitSource) ErrorPlanes() (x, z []bits.Vec) {
+	nq := s.code.Qubits()
+	return s.sim.PlanesX(nq), s.sim.PlanesZ(nq)
+}
+
+// LocationsPerRound returns the number of fault locations one
+// extraction round of the code executes (the ArmTrigger coordinate
+// system of the single-fault enumeration): one storage step per data
+// qubit plus, per check of either sector, prep + one CNOT per support
+// qubit + meas. For the torus this is the familiar 2L² + 12L².
+func LocationsPerRound(code Code) int {
+	sch := code.ExtractionSchedule()
+	n := code.Qubits()
+	for _, orders := range [2][][4]int{sch.Plaq, sch.Star} {
+		for _, ord := range orders {
+			n += 2
+			for _, q := range ord {
+				if q >= 0 {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

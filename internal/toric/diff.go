@@ -1,47 +1,14 @@
 package toric
 
-import "ftqc/internal/bits"
+import "ftqc/internal/surface"
 
-// SyndromeDiff double-buffers the check-major observed syndromes of the
-// two sectors across extraction rounds and emits the consecutive-round
-// difference layers — the shared generation machinery of every layer
-// feed (the phenomenological spacetime.LayerSource and the
-// circuit-level extract.Source both defect on cur XOR prev).
-type SyndromeDiff struct {
-	prevX, prevZ, curX, curZ []bits.Vec
-}
+// SyndromeDiff is the shared difference-syndrome generation machinery,
+// now code-agnostic in internal/surface; the alias keeps the toric
+// call sites (and their callers) source-compatible.
+type SyndromeDiff = surface.SyndromeDiff
 
 // NewSyndromeDiff returns zeroed buffers for nc checks by `lanes` shots
 // (round −1 observes the trivial syndrome).
 func NewSyndromeDiff(nc, lanes int) *SyndromeDiff {
-	return &SyndromeDiff{
-		prevX: bits.NewVecs(nc, lanes),
-		prevZ: bits.NewVecs(nc, lanes),
-		curX:  bits.NewVecs(nc, lanes),
-		curZ:  bits.NewVecs(nc, lanes),
-	}
-}
-
-// CurX returns the current generation's plaquette-observation planes —
-// the feed writes this round's observed syndromes here before Emit.
-// Emit swaps generations, so re-fetch the slice every round rather than
-// caching it.
-func (d *SyndromeDiff) CurX() []bits.Vec { return d.curX }
-
-// CurZ returns the current generation's star-observation planes.
-func (d *SyndromeDiff) CurZ() []bits.Vec { return d.curZ }
-
-// Emit writes cur XOR prev into the layer planes (check-major, one
-// vector of lane bits per check) and swaps the generations.
-func (d *SyndromeDiff) Emit(layerX, layerZ []bits.Vec) {
-	for c := range d.curX {
-		lx := layerX[c]
-		lx.CopyFrom(d.curX[c])
-		lx.Xor(d.prevX[c])
-		lz := layerZ[c]
-		lz.CopyFrom(d.curZ[c])
-		lz.Xor(d.prevZ[c])
-	}
-	d.prevX, d.curX = d.curX, d.prevX
-	d.prevZ, d.curZ = d.curZ, d.prevZ
+	return surface.NewSyndromeDiff(nc, lanes)
 }

@@ -339,6 +339,41 @@ func BenchmarkStreamDecode(b *testing.B) {
 			}
 		})
 	}
+	for _, l := range []int{8, 16} {
+		b.Run(fmt.Sprintf("dense-incremental/L=%d", l), func(b *testing.B) {
+			w, c := stream.DefaultWindow(l)
+			wh, wv := spacetime.Weights(pq, pq, l, 4*l)
+			s, err := stream.NewSession(l, w, c, wh, wv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			s.SetIncremental(true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.BatchMemory(4*l, pq, pq, 64, frame.NewAggregateSampler(7, uint64(i)))
+			}
+		})
+	}
+	for _, d := range []int{5, 9} {
+		b.Run(fmt.Sprintf("rotated/d=%d", d), func(b *testing.B) {
+			const eps = 0.003
+			P := noise.Uniform(eps)
+			rc := surface.Rotated(d)
+			w, c := stream.DefaultWindow(d)
+			wh, wv, wd := spacetime.WeightsCircuit(P, d, w)
+			s, err := stream.NewCodeCircuitSession(rc, w, c, wh, wv, wd)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := surface.NewCircuitSource(rc, P, 64, frame.NewAggregateSampler(7, uint64(i)))
+				s.BatchMemoryFrom(src, 4*d)
+			}
+		})
+	}
 	for _, d := range []int{5, 9} {
 		b.Run(fmt.Sprintf("planar/d=%d", d), func(b *testing.B) {
 			const eps = 0.003
@@ -380,10 +415,10 @@ func BenchmarkStreamDecode(b *testing.B) {
 // through the decode server and returns the wall time plus the
 // per-session stats (the shared workload of BenchmarkServerThroughput
 // and the bench-JSON server series).
-func serverFleetRun(sessions, l, lanes, rounds int, eps float64) (time.Duration, []server.SessionStats, error) {
+func serverFleetRun(sessions, l, lanes, rounds int, eps float64, coalesce bool) (time.Duration, []server.SessionStats, server.CoalesceStats, error) {
 	P := noise.Uniform(eps)
 	cfg := server.CircuitLevel(l, lanes, P)
-	srv := server.New(server.Config{})
+	srv := server.New(server.Config{Coalesce: coalesce})
 	defer srv.Shutdown()
 	stats := make([]server.SessionStats, sessions)
 	errs := make([]error, sessions)
@@ -420,12 +455,36 @@ func serverFleetRun(sessions, l, lanes, rounds int, eps float64) (time.Duration,
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	cst := srv.CoalesceStats()
 	for _, err := range errs {
 		if err != nil {
-			return wall, stats, err
+			return wall, stats, cst, err
 		}
 	}
-	return wall, stats, nil
+	return wall, stats, cst, nil
+}
+
+// serverFleetBest runs serverFleetRun three times and keeps the
+// fastest, with that run's stats. One-shot fleet walls swing with
+// scheduler warm-up (the first fleet in a process pays graph interning
+// and page faults for everyone); best-of-3 is what the JSON report
+// records so the committed numbers track the machine, not the warm-up.
+func serverFleetBest(sessions, l, lanes, rounds int, eps float64, coalesce bool) (time.Duration, []server.SessionStats, server.CoalesceStats, error) {
+	var (
+		bestWall  time.Duration
+		bestStats []server.SessionStats
+		bestCst   server.CoalesceStats
+	)
+	for rep := 0; rep < 3; rep++ {
+		wall, stats, cst, err := serverFleetRun(sessions, l, lanes, rounds, eps, coalesce)
+		if err != nil {
+			return wall, stats, cst, err
+		}
+		if bestStats == nil || wall < bestWall {
+			bestWall, bestStats, bestCst = wall, stats, cst
+		}
+	}
+	return bestWall, bestStats, bestCst, nil
 }
 
 // BenchmarkServerThroughput — the multi-tenant decode server under a
@@ -437,7 +496,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 	const sessions, l, lanes, rounds = 8, 8, 64, 32
 	var total time.Duration
 	for i := 0; i < b.N; i++ {
-		wall, _, err := serverFleetRun(sessions, l, lanes, rounds, 0.003)
+		wall, _, _, err := serverFleetRun(sessions, l, lanes, rounds, 0.003, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -445,6 +504,39 @@ func BenchmarkServerThroughput(b *testing.B) {
 	}
 	if total > 0 {
 		b.ReportMetric(float64(sessions*rounds*b.N)/total.Seconds(), "rounds/s")
+	}
+}
+
+// BenchmarkServerFleetCoalesced — the wide-fleet shape batch coalescing
+// targets: 64 concurrent L=8 circuit-level sessions of 16 lanes each,
+// so every slide submits a small batch and the per-submission dispatch
+// overhead dominates the uncoalesced server. The /direct sub-series is
+// the same fleet with coalescing off, making the merge win a same-
+// binary A/B.
+func BenchmarkServerFleetCoalesced(b *testing.B) {
+	const sessions, l, lanes, rounds = 64, 8, 16, 32
+	for _, mode := range []struct {
+		name     string
+		coalesce bool
+	}{{"direct", false}, {"merged", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var total time.Duration
+			var occ float64
+			for i := 0; i < b.N; i++ {
+				wall, _, cst, err := serverFleetRun(sessions, l, lanes, rounds, 0.003, mode.coalesce)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += wall
+				occ += cst.Occupancy
+			}
+			if total > 0 {
+				b.ReportMetric(float64(sessions*rounds*b.N)/total.Seconds(), "rounds/s")
+			}
+			if mode.coalesce && b.N > 0 {
+				b.ReportMetric(occ/float64(b.N), "occupancy")
+			}
+		})
 	}
 }
 
@@ -483,6 +575,7 @@ func TestEmitToricBenchJSON(t *testing.T) {
 		RoundsPS   float64 `json:"rounds_per_sec,omitempty"`        // server: aggregate decoded rounds/s
 		CommitP50  float64 `json:"commit_p50_ns,omitempty"`         // server: median commit latency
 		CommitP99  float64 `json:"commit_p99_ns,omitempty"`         // server: tail commit latency
+		Occupancy  float64 `json:"coalesce_occupancy,omitempty"`    // server: mean session batches per pool submission
 		GoMaxProcs int     `json:"gomaxprocs"`                      // parallelism when this entry was measured
 	}
 	decoderName := map[toric.DecoderKind]string{
@@ -564,6 +657,30 @@ func TestEmitToricBenchJSON(t *testing.T) {
 			NsPerRound: ns / stShots / float64(rounds), WindowRSS: foot,
 		})
 	}
+	// Dense-incremental series: the same threshold-point stream with
+	// warm-start retention explicitly pinned on — the dense-regime
+	// incremental trajectory (PR 7 retained forests only in sparse
+	// lanes; the sub-window re-decode retains unconditionally).
+	for _, l := range []int{8, 16} {
+		w, c := stream.DefaultWindow(l)
+		wh, wv := spacetime.Weights(0.025, 0.025, l, 4*l)
+		s, err := stream.NewSession(l, w, c, wh, wv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetIncremental(true)
+		rounds := 4 * l
+		ns := measure(func() {
+			s.BatchMemory(rounds, 0.025, 0.025, stShots, frame.NewAggregateSampler(7, 0))
+		})
+		s.Close()
+		report.Entries = append(report.Entries, entry{
+			Name: fmt.Sprintf("BenchmarkStreamDecode/dense-incremental/L=%d", l), L: l, Rounds: rounds,
+			Window: w, Commit: c, P: 0.025, Q: 0.025, Decoder: "window-incremental-" + decoderName[toric.DecoderUnionFind],
+			ShotsPerOp: stShots, NsPerOp: ns, NsPerShot: ns / stShots,
+			NsPerRound: ns / stShots / float64(rounds),
+		})
+	}
 	// Circuit-level streaming series: the extraction circuit streamed
 	// round by round through the diagonal-edge windows.
 	for _, l := range []int{8, 16} {
@@ -615,6 +732,33 @@ func TestEmitToricBenchJSON(t *testing.T) {
 			NsPerRound: ns / stShots / float64(rounds),
 		})
 	}
+	// Rotated streaming series: the rotated code's extraction circuit
+	// through the same boundary-grounded windows — the cheapest code
+	// family (d² data qubits) gets the same perf trajectory planar got
+	// in PR 8.
+	for _, d := range []int{5, 9} {
+		const eps = 0.003
+		P := noise.Uniform(eps)
+		rc := surface.Rotated(d)
+		w, c := stream.DefaultWindow(d)
+		wh, wv, wd := spacetime.WeightsCircuit(P, d, w)
+		s, err := stream.NewCodeCircuitSession(rc, w, c, wh, wv, wd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds := 4 * d
+		ns := measure(func() {
+			src := surface.NewCircuitSource(rc, P, stShots, frame.NewAggregateSampler(7, 0))
+			s.BatchMemoryFrom(src, rounds)
+		})
+		s.Close()
+		report.Entries = append(report.Entries, entry{
+			Name: fmt.Sprintf("BenchmarkStreamDecode/rotated/d=%d", d), Code: "rotated", L: d, Rounds: rounds,
+			Window: w, Commit: c, P: eps, Q: eps, Decoder: "window-circuit-" + decoderName[toric.DecoderUnionFind],
+			ShotsPerOp: stShots, NsPerOp: ns, NsPerShot: ns / stShots,
+			NsPerRound: ns / stShots / float64(rounds),
+		})
+	}
 	// Quiet-region sweep: the L=16 stream well below threshold, where
 	// the persistent-forest slide and sparse skip dominate the cost.
 	for _, p := range []float64{0.008, 0.002, 0.0005} {
@@ -641,7 +785,7 @@ func TestEmitToricBenchJSON(t *testing.T) {
 	// server, reporting aggregate throughput and commit-latency tails.
 	{
 		const sessions, l, lanes, rounds = 8, 8, 64, 32
-		wall, stats, err := serverFleetRun(sessions, l, lanes, rounds, 0.003)
+		wall, stats, _, err := serverFleetBest(sessions, l, lanes, rounds, 0.003, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -659,6 +803,32 @@ func TestEmitToricBenchJSON(t *testing.T) {
 			CommitP50: float64(p50.Nanoseconds()) / sessions,
 			CommitP99: float64(p99.Nanoseconds()) / sessions,
 		})
+	}
+	// Wide-fleet series: 64 small sessions on one window shape, with
+	// and without cross-session batch coalescing — the pair the
+	// coalescer's throughput claim is measured on. The per-shot·round
+	// figure makes these comparable to the streaming series.
+	for _, mode := range []struct {
+		name     string
+		coalesce bool
+	}{{"direct", false}, {"merged", true}} {
+		const sessions, l, lanes, rounds = 64, 8, 16, 32
+		wall, _, cst, err := serverFleetBest(sessions, l, lanes, rounds, 0.003, mode.coalesce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := entry{
+			Name: "BenchmarkServerFleetCoalesced/" + mode.name, L: l, Rounds: rounds,
+			P: 0.003, Q: 0.003, Decoder: "server-union-find", Seed: 9100, ShotsPerOp: lanes,
+			NsPerOp: float64(wall.Nanoseconds()), Sessions: sessions,
+			NsPerShot:  float64(wall.Nanoseconds()) / float64(sessions*rounds*lanes),
+			NsPerRound: float64(wall.Nanoseconds()) / float64(sessions*rounds*lanes),
+			RoundsPS:   float64(sessions*rounds) / wall.Seconds(),
+		}
+		if mode.coalesce {
+			e.Occupancy = cst.Occupancy
+		}
+		report.Entries = append(report.Entries, e)
 	}
 	for i := range report.Entries {
 		e := &report.Entries[i]

@@ -175,6 +175,19 @@
 //     latency — which is the property the multi-session decode server
 //     (internal/server) pins with its server-vs-standalone equivalence
 //     suite.
+//   - Coalesced submission preserves all of the above: SubmitGroupOn
+//     fans several batches against one graph out as a single span
+//     schedule, but every shot still decodes against its own (graph,
+//     shot) inputs and writes its own batch's slot in that batch's
+//     submission order. Span sizing from the combined shot count
+//     changes which worker decodes which shot and nothing else, so a
+//     group submission is byte-for-byte what the same batches would
+//     produce through individual ResubmitOn calls — which is why a
+//     server may merge concurrent tenants' submissions freely (the
+//     coalesced-vs-direct equivalence suite in internal/server pins
+//     this). Warm-start seeding rides along unchanged: a Shot's
+//     retained-cluster erasure seeds and guard set are part of its
+//     input, wherever the shot is scheduled.
 //
 // No map iteration, clock, or scheduling enters any decision, so a
 // decode's output depends only on (graph, defect list, erasure) — the

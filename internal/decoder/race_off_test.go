@@ -1,0 +1,5 @@
+//go:build !race
+
+package decoder
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package decoder
+
+// raceEnabled reports whether the race detector instruments this build;
+// its allocations would fail the zero-alloc pins.
+const raceEnabled = true

@@ -208,6 +208,70 @@ func (s *Service) submit(g *Graph, b *Batch) error {
 	return nil
 }
 
+// GroupSub pairs one reusable batch (NewBatch) with the shots staged
+// for it, for a coalesced submission via SubmitGroupOn.
+type GroupSub struct {
+	B     *Batch
+	Shots []Shot
+}
+
+// SubmitGroupOn submits several reusable batches against one graph as a
+// single fan-out: worker spans are sized from the combined shot count,
+// so a fleet of small concurrent submissions (many sessions sliding the
+// same window shape at once) costs one task transaction per span of the
+// merged work instead of per session, and a worker amortizes one
+// scratch checkout across several sessions' shots. Coalescing is
+// invisible in the results: every shot's correction depends only on
+// (graph, shot), each batch's outputs land in its own slots in its own
+// submission order, and each batch completes independently — byte-for-
+// byte what the same batches would produce through individual
+// ResubmitOn calls, for any worker count or grouping.
+//
+// On a closed service no batch is staged or completed and every waiter
+// must be failed by the caller (the error reaches all of them).
+func (s *Service) SubmitGroupOn(g *Graph, subs []GroupSub) error {
+	if g == nil {
+		return errNoGraph
+	}
+	total := 0
+	for i := range subs {
+		total += len(subs[i].Shots)
+	}
+	span := (total + 4*s.workers - 1) / (4 * s.workers)
+	if span < 1 {
+		span = 1
+	}
+	pool := s.scratchFor(g)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for i := range subs {
+		b, shots := subs[i].B, subs[i].Shots
+		b.shots = shots
+		if cap(b.out) < len(shots) {
+			b.out = make([][]int32, len(shots))
+		} else {
+			b.out = b.out[:len(shots)]
+		}
+		if len(shots) == 0 {
+			b.complete()
+			continue
+		}
+		spans := (len(shots) + span - 1) / span
+		b.pending.Store(int64(spans))
+		for lo := 0; lo < len(shots); lo += span {
+			hi := lo + span
+			if hi > len(shots) {
+				hi = len(shots)
+			}
+			s.tasks <- serviceSpan{b: b, pool: pool, lo: lo, hi: hi}
+		}
+	}
+	return nil
+}
+
 // scratchFor returns the per-graph UnionFind pool, creating it on first
 // use. Sharing one pool per graph (rather than one instance per worker)
 // keeps the grown-region arrays warm even when the scheduler migrates

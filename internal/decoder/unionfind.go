@@ -73,15 +73,27 @@ type UnionFind struct {
 	minT []int32
 	maxT []int32
 
+	// Intrusive per-cluster member lists (head/tail valid at roots,
+	// next chained through every member, spliced O(1) by union).
+	// Extraction walks exactly the candidate clusters' nodes through
+	// these instead of filtering the full touched log with a find per
+	// node — the difference between O(candidate nodes) and O(window
+	// nodes) per warm decode.
+	memHead []int32
+	memTail []int32
+	memNext []int32
+
 	// Guard support (incremental window decoding): nodes stamped with the
 	// current epoch are barred from growth contact. The first touch of a
 	// guarded node — or the first half-step of support on an edge whose
 	// far endpoint is guarded — flags a conflict and aborts the decode,
-	// which is the caller's signal that its cached cluster forest would
-	// have interacted with the new syndrome and must be rebuilt.
-	guardSeen []uint32
-	guardOn   bool
-	conflict  bool
+	// recording the guarded node that was hit so the caller can release
+	// just the cached cluster owning it (the warm-start sub-window
+	// re-decode) instead of rebuilding its whole window.
+	guardSeen    []uint32
+	guardOn      bool
+	conflict     bool
+	conflictNode int32
 
 	// First-touch log of every node reached this decode; doubles as the
 	// node iteration order for the CSR build and the extraction scatter.
@@ -93,6 +105,7 @@ type UnionFind struct {
 	compSeen []uint32
 	compOf   []int32
 	cands    []int32
+	ccPairs  [][2]int32
 	cNode    []int32
 	cDef     []int32
 	cCorr    []int32
@@ -135,6 +148,9 @@ func NewUnionFind(g *Graph) *UnionFind {
 		eraStart: make([]int32, g.nodes),
 		minT:     make([]int32, g.nodes),
 		maxT:     make([]int32, g.nodes),
+		memHead:  make([]int32, g.nodes),
+		memTail:  make([]int32, g.nodes),
+		memNext:  make([]int32, g.nodes),
 	}
 	if len(g.grow) > 0 {
 		u.uni = uint16(g.grow[0])
@@ -182,7 +198,12 @@ func (u *UnionFind) GrowthSweeps() int { return u.sweeps }
 type Components struct {
 	// Conflict reports that the decode aborted on guard contact; every
 	// other field is empty and the shot's correction is invalid.
-	Conflict bool
+	// ConflictNode is the guarded node the growth hit — the warm-start
+	// caller's handle for releasing exactly the cached cluster that
+	// interacted, rather than its whole forest. It is -1 while the
+	// decode is clean.
+	Conflict     bool
+	ConflictNode int32
 
 	// Lo, Hi is the retention band: a cluster touching any node outside
 	// [Lo, Hi) is not extracted. Set by the caller before the decode.
@@ -220,6 +241,7 @@ func (c *Components) N() int {
 // reset empties the extraction, keeping the band and the budgets.
 func (c *Components) reset() {
 	c.Conflict = false
+	c.ConflictNode = -1
 	c.NodeOff = c.NodeOff[:0]
 	c.Node = c.Node[:0]
 	c.DefOff = c.DefOff[:0]
@@ -243,6 +265,9 @@ func (u *UnionFind) touch(v int32) {
 	u.bndTail[v] = -1
 	u.minT[v] = v
 	u.maxT[v] = v
+	u.memHead[v] = v
+	u.memTail[v] = v
+	u.memNext[v] = -1
 	u.touched = append(u.touched, v)
 }
 
@@ -313,11 +338,12 @@ func (u *UnionFind) DecodeGuarded(defects, erased []int, guard []int32, corr []i
 	if !u.run(defects, erased, guard) {
 		if comps != nil {
 			comps.Conflict = true
+			comps.ConflictNode = u.conflictNode
 		}
 		return corr[:0], false
 	}
 	if comps != nil {
-		u.extract(defects, comps)
+		u.extract(comps)
 	}
 	return append(corr, u.corrBuf...), true
 }
@@ -328,6 +354,7 @@ func (u *UnionFind) DecodeGuarded(defects, erased []int, guard []int32, corr []i
 func (u *UnionFind) run(defects, erased []int, guard []int32) bool {
 	u.sweeps = 0
 	u.conflict = false
+	u.conflictNode = -1
 	u.corrBuf = u.corrBuf[:0]
 	u.touched = u.touched[:0]
 	u.clusters = u.clusters[:0]
@@ -366,7 +393,7 @@ func (u *UnionFind) run(defects, erased []int, guard []int32) bool {
 		if u.node[v].flags != 0 {
 			panic("decoder: duplicate defect")
 		}
-		u.node[v].flags = 3 // cluster parity odd + live defect
+		u.node[v].flags = 19 // cluster parity odd + live defect + seeded defect (bit 4, survives peel)
 		u.pushBoundary(v, v)
 		u.clusters = append(u.clusters, v)
 	}
@@ -385,6 +412,11 @@ func (u *UnionFind) run(defects, erased []int, guard []int32) bool {
 		a, b := g.endU[ee], g.endV[ee]
 		if u.guardOn && (u.guardSeen[a] == u.epoch || u.guardSeen[b] == u.epoch) {
 			u.conflict = true
+			if u.guardSeen[a] == u.epoch {
+				u.conflictNode = a
+			} else {
+				u.conflictNode = b
+			}
 			return false
 		}
 		u.eraAdd(ee, a, b)
@@ -446,6 +478,7 @@ func (u *UnionFind) run(defects, erased []int, guard []int32) bool {
 							// region: the cached cluster on the far side
 							// would have contributed support of its own.
 							u.conflict = true
+							u.conflictNode = adjN[off[v]+int32(i)]
 							return false
 						}
 						u.dirty = append(u.dirty, e)
@@ -534,6 +567,7 @@ func (u *UnionFind) absorb(v int32) bool {
 	}
 	if u.guardOn && u.guardSeen[v] == u.epoch {
 		u.conflict = true
+		u.conflictNode = v
 		return true
 	}
 	u.touch(v)
@@ -555,6 +589,8 @@ func (u *UnionFind) union(ra, rb int32) {
 	u.node[ra].flags |= u.node[rb].flags & 4
 	u.minT[ra] = min(u.minT[ra], u.minT[rb])
 	u.maxT[ra] = max(u.maxT[ra], u.maxT[rb])
+	u.memNext[u.memTail[ra]] = u.memHead[rb]
+	u.memTail[ra] = u.memTail[rb]
 	if u.bndHead[rb] >= 0 {
 		if u.bndTail[ra] < 0 {
 			u.bndHead[ra] = u.bndHead[rb]
@@ -652,13 +688,27 @@ func (u *UnionFind) peelRoot(root int32, visited uint32) {
 }
 
 // extract materializes the retainable clusters (see Components): not
-// grounded, grown region inside [c.Lo, c.Hi), and fitting the remaining
-// array budgets. The candidate test runs over the live roots using the
-// extents tracked through union — O(clusters) — and only when some
-// candidate survives the budget do the scatter passes walk the touched
-// region. The peel pass leaves parent links and flags intact, so find()
-// still recovers the final partition.
-func (u *UnionFind) extract(defects []int, c *Components) {
+// grounded, grown region inside [c.Lo, c.Hi), isolated from every
+// non-retained cluster, and fitting the remaining array budgets. The
+// candidate test runs over the live roots using the extents tracked
+// through union — O(clusters) — and every per-node pass afterwards
+// walks only the candidates' member lists, never the full touched
+// region, so a dense decode pays for extraction in proportion to what
+// it retains. The peel pass leaves parent links and flags intact, so
+// find() still recovers the final partition.
+//
+// The isolation filter is what makes warm-start retention pay in the
+// dense regime: an incident edge that carried support this decode
+// whose far endpoint settled in a different cluster marks growth
+// contact — when the non-retained side re-decodes after the slide it
+// regrows the same support and a guard conflict is certain, so a
+// candidate in mixed contact is dropped up front instead of buying a
+// release wave later. Contact between two candidates is harmless (both
+// sides are stripped and guarded together), but a dropped candidate
+// becomes non-candidate contact for its neighbours, so recorded
+// candidate–candidate pairs cascade to a fixpoint (order-independent:
+// drops are monotone).
+func (u *UnionFind) extract(c *Components) {
 	u.cands = u.cands[:0]
 	for _, r := range u.clusters {
 		if u.find(r) != r {
@@ -690,45 +740,120 @@ func (u *UnionFind) extract(defects []int, c *Components) {
 	for i, r := range u.cands {
 		u.compSeen[r] = u.epoch
 		u.compOf[r] = int32(i)
-		u.cDef[i] = 0
 		u.cCorr[i] = 0
 	}
-	for _, d := range defects {
-		if r := u.find(int32(d)); u.compSeen[r] == u.epoch {
-			u.cDef[u.compOf[r]]++
-		}
-	}
+	// Per-candidate correction counts (a correction edge belongs to its
+	// endpoint's cluster; peel only emits edges inside the erasure, so
+	// both endpoints agree).
 	for _, e := range u.corrBuf {
 		if r := u.find(u.g.endU[e]); u.compSeen[r] == u.epoch {
 			u.cCorr[u.compOf[r]]++
 		}
 	}
-	// Select in candidate order under the capacity budgets; a cluster
-	// that would overflow is skipped and later, smaller ones may still
-	// fit (deterministically — a pure function of the decode). cSel
-	// becomes the selected index, or -1.
+	// Streaming selection in candidate order: the O(1) budget test on
+	// the cluster size goes first, so only candidates that could still
+	// fit walk their member list — one walk that fuses the defect count
+	// with the isolation scan. A candidate rejected here (budget or
+	// contact) is demoted to non-candidate on the spot, so later
+	// candidates see contact with it for what it is: contact with a
+	// cluster that will re-decode after the slide.
+	g := u.g
+	u.ccPairs = u.ccPairs[:0]
 	var nodes, defs, corrs int32
 	m := 0
+	nodeCap, defCap, corrCap := int32(cap(c.Node)), int32(cap(c.Def)), int32(cap(c.Corr))
 	for i, r := range u.cands {
+		u.cSel[i] = -1
 		sz := u.node[r].size
-		if m+2 > cap(c.NodeOff) ||
-			int(nodes+sz) > cap(c.Node) ||
-			int(defs+u.cDef[i]) > cap(c.Def) ||
-			int(corrs+u.cCorr[i]) > cap(c.Corr) {
-			u.cSel[i] = -1
+		if m+2 > cap(c.NodeOff) || nodes+sz > nodeCap || corrs+u.cCorr[i] > corrCap {
+			u.compSeen[r] = u.epoch - 1
 			continue
 		}
-		nodes += sz
-		defs += u.cDef[i]
-		corrs += u.cCorr[i]
+		dfs := int32(0)
+		drop := false
+	scan:
+		for v := u.memHead[r]; v >= 0; v = u.memNext[v] {
+			if u.node[v].flags&16 != 0 {
+				dfs++
+			}
+			ae := g.adjE[g.off[v]:g.off[v+1]]
+			for j, e := range ae {
+				if u.sup[e] == 0 {
+					continue
+				}
+				nb := g.adjN[g.off[v]+int32(j)]
+				if u.node[nb].stamp>>1 != u.epoch {
+					continue // support into free space, not cluster contact
+				}
+				rn := u.find(nb)
+				if rn == r {
+					continue
+				}
+				if u.compSeen[rn] == u.epoch {
+					u.ccPairs = append(u.ccPairs, [2]int32{r, rn})
+					continue
+				}
+				drop = true
+				break scan
+			}
+		}
+		if drop || defs+dfs > defCap {
+			u.compSeen[r] = u.epoch - 1
+			continue
+		}
+		u.cDef[i] = dfs
 		u.cSel[i] = int32(m)
 		m++
+		nodes += sz
+		defs += dfs
+		corrs += u.cCorr[i]
 	}
 	if m == 0 {
 		return
 	}
-	// CSR offsets of the selected clusters, then scatter passes with
-	// the count arrays recycled as write cursors.
+	// Candidate–candidate contact pairs cascade to a fixpoint: a pair
+	// whose one side has since been rejected takes the other side down
+	// with it (order-independent — drops are monotone). Contact between
+	// two retained candidates stays harmless: both sides are stripped
+	// and guarded together.
+	dropped := false
+	for changed := true; changed; {
+		changed = false
+		for _, p := range u.ccPairs {
+			ca, cb := u.compSeen[p[0]] == u.epoch, u.compSeen[p[1]] == u.epoch
+			if ca == cb {
+				continue
+			}
+			if ca {
+				u.compSeen[p[0]] = u.epoch - 1
+			} else {
+				u.compSeen[p[1]] = u.epoch - 1
+			}
+			changed = true
+			dropped = true
+		}
+	}
+	if dropped {
+		m = 0
+		for i, r := range u.cands {
+			if u.cSel[i] < 0 {
+				continue
+			}
+			if u.compSeen[r] != u.epoch {
+				u.cSel[i] = -1
+				continue
+			}
+			u.cSel[i] = int32(m)
+			m++
+		}
+		if m == 0 {
+			return
+		}
+	}
+	// CSR offsets of the selected clusters, then one member-list walk
+	// per cluster scattering nodes and defects together, and a pass
+	// over the correction buffer — with the count arrays recycled as
+	// write cursors.
 	c.NodeOff = append(c.NodeOff, 0)
 	c.DefOff = append(c.DefOff, 0)
 	c.CorrOff = append(c.CorrOff, 0)
@@ -744,27 +869,20 @@ func (u *UnionFind) extract(defects []int, c *Components) {
 		u.cDef[i] = c.DefOff[s]
 		u.cCorr[i] = c.CorrOff[s]
 	}
-	c.Node = c.Node[:nodes]
-	c.Def = c.Def[:defs]
-	c.Corr = c.Corr[:corrs]
-	for _, v := range u.touched {
-		r := u.find(v)
-		if u.compSeen[r] != u.epoch {
+	c.Node = c.Node[:c.NodeOff[len(c.NodeOff)-1]]
+	c.Def = c.Def[:c.DefOff[len(c.DefOff)-1]]
+	c.Corr = c.Corr[:c.CorrOff[len(c.CorrOff)-1]]
+	for i, r := range u.cands {
+		if u.cSel[i] < 0 {
 			continue
 		}
-		if i := u.compOf[r]; u.cSel[i] >= 0 {
+		for v := u.memHead[r]; v >= 0; v = u.memNext[v] {
 			c.Node[u.cNode[i]] = v
 			u.cNode[i]++
-		}
-	}
-	for _, d := range defects {
-		r := u.find(int32(d))
-		if u.compSeen[r] != u.epoch {
-			continue
-		}
-		if i := u.compOf[r]; u.cSel[i] >= 0 {
-			c.Def[u.cDef[i]] = int32(d)
-			u.cDef[i]++
+			if u.node[v].flags&16 != 0 {
+				c.Def[u.cDef[i]] = v
+				u.cDef[i]++
+			}
 		}
 	}
 	for _, e := range u.corrBuf {

@@ -65,6 +65,10 @@ type Schedule struct {
 // schedCache memoizes schedules per lattice size (immutable after build).
 var schedCache sync.Map // int → *Schedule
 
+// planCache memoizes the compiled per-round fault plan per lattice size
+// (immutable after build, shared by every Source of that size).
+var planCache sync.Map // int → *frame.RoundPlan
+
 // Sched returns the memoized extraction schedule for an L×L lattice.
 // The orders and reader pairs come from the lattice's
 // surface.Code-contract ExtractionSchedule — one source of truth for
@@ -93,6 +97,14 @@ type Source struct {
 	lanes  int
 	rounds int
 	diff   *toric.SyndromeDiff // check-major observed-syndrome generations
+
+	// plan is the round's fault-location program compiled once per
+	// lattice size; NextLayers executes it fused (one geometric sampler
+	// stream per block) when the simulator is eligible and falls back to
+	// the generic gate loop otherwise — both paths are bit-identical.
+	plan    *frame.RoundPlan
+	measBuf []bits.Vec // reused curX‖curZ slot table for the fused round
+	noFuse  bool       // test hook: force the generic gate loop
 }
 
 // NewSource returns a circuit-level source over the L×L lattice for
@@ -109,7 +121,60 @@ func NewSource(l int, P noise.Params, lanes int, smp frame.Sampler) *Source {
 		sim:   frame.NewBatch(lat.Qubits()+2*nc, lanes, P, smp),
 		lanes: lanes,
 		diff:  toric.NewSyndromeDiff(nc, lanes),
+		plan:  roundPlan(l),
 	}
+}
+
+// roundPlan returns the memoized fused-round program for an L×L
+// lattice: the exact location sequence of NextLayers (storage over all
+// data edges, then per sector prep / four CNOT steps / measurement)
+// with plaquette measurements in slots 0…nc−1 and star measurements in
+// slots nc…2nc−1.
+func roundPlan(l int) *frame.RoundPlan {
+	if v, ok := planCache.Load(l); ok {
+		return v.(*frame.RoundPlan)
+	}
+	lat := toric.Cached(l)
+	sch := Sched(l)
+	nq, nc := lat.Qubits(), lat.NumChecks()
+	pl := frame.NewRoundPlan()
+	qs := make([]int32, nq)
+	for e := range qs {
+		qs[e] = int32(e)
+	}
+	pl.Storage(qs)
+	ancP := make([]int32, nc)
+	ancS := make([]int32, nc)
+	slotX := make([]int32, nc)
+	slotZ := make([]int32, nc)
+	for c := 0; c < nc; c++ {
+		ancP[c] = int32(nq + c)
+		ancS[c] = int32(nq + nc + c)
+		slotX[c] = int32(c)
+		slotZ[c] = int32(nc + c)
+	}
+	pl.PrepZ(ancP)
+	step := make([]int32, nc)
+	for k := 0; k < 4; k++ {
+		for c := 0; c < nc; c++ {
+			step[c] = int32(sch.Plaq[c][k])
+		}
+		pl.CNOTStep(step, ancP)
+	}
+	pl.MeasZ(ancP, slotX)
+	pl.PrepX(ancS)
+	for k := 0; k < 4; k++ {
+		for c := 0; c < nc; c++ {
+			step[c] = int32(sch.Star[c][k])
+		}
+		pl.CNOTStep(ancS, step)
+	}
+	pl.MeasX(ancS, slotZ)
+	if pl.Locations() != LocationsPerRound(l) {
+		panic("extract: round plan location count mismatch")
+	}
+	v, _ := planCache.LoadOrStore(l, pl)
+	return v.(*frame.RoundPlan)
 }
 
 // L returns the lattice size the source extracts on.
@@ -140,6 +205,11 @@ func (s *Source) ancS(c int) int { return s.lat.Qubits() + s.lat.NumChecks() + c
 // any experiment built on a source is a pure function of the sampler
 // stream.
 func (s *Source) NextLayers(layerX, layerZ []bits.Vec) {
+	if s.plan != nil && !s.noFuse && s.fusedRound() {
+		s.diff.Emit(layerX, layerZ)
+		s.rounds++
+		return
+	}
 	nq, nc := s.lat.Qubits(), s.lat.NumChecks()
 	// The idle window (ancilla prep/measure time): one storage step per
 	// data qubit per round, before any read — a same-round ("horizontal")
@@ -181,6 +251,16 @@ func (s *Source) NextLayers(layerX, layerZ []bits.Vec) {
 	}
 	s.diff.Emit(layerX, layerZ)
 	s.rounds++
+}
+
+// fusedRound executes one extraction round through the compiled plan.
+// It reports false (without consuming any randomness) when the
+// simulator declines the fused path — a lockstep sampler, an armed
+// trigger harness or a narrowed active mask — so NextLayers replays the
+// identical location sequence through the generic gate loop.
+func (s *Source) fusedRound() bool {
+	s.measBuf = append(append(s.measBuf[:0], s.diff.CurX()...), s.diff.CurZ()...)
+	return s.sim.RunRound(s.plan, s.measBuf)
 }
 
 // CloseLayers writes the closing perfect round's difference layers: the

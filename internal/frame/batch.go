@@ -48,6 +48,7 @@ type BatchSim struct {
 
 	t0, t1, t2, t3 bits.Vec // scratch planes
 	pointBuf       [2]int
+	laneBuf        []int32 // RunRound: faulted lanes of the location in flight
 }
 
 // NewBatch returns a clean batch simulator of n qubits by w lanes drawing

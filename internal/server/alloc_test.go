@@ -1,0 +1,55 @@
+package server
+
+import (
+	"testing"
+
+	"ftqc/internal/decoder"
+)
+
+// TestCoalescedRoundTripAllocsBounded pins the coalescer's steady-state
+// allocation budget: a warmed ResubmitOn round trip (stage, lead, flush,
+// wait, recycle the correction buffers) may allocate only the per-flush
+// completion ticket — one struct and one channel. Staging buffers are
+// recycled across flushes and the underlying SubmitGroupOn path is
+// zero-alloc (pinned in internal/decoder), so anything past that small
+// constant is a regression on the server's hot path.
+func TestCoalescedRoundTripAllocsBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the allocation pin runs in the non-race CI lane")
+	}
+	const n = 16
+	ends := make([][2]int32, n)
+	for i := 0; i < n; i++ {
+		ends[i] = [2]int32{int32(i), int32((i + 1) % n)}
+	}
+	g := decoder.NewGraph(n, ends)
+	pool := decoder.NewPool(1)
+	defer pool.Close()
+	c := NewCoalescer(pool)
+	b := decoder.NewBatch(4)
+	shots := []decoder.Shot{
+		{Defects: []int{1, 2}},
+		{Defects: []int{5, 9}},
+		{Defects: []int{0, 3}},
+		{Defects: []int{}},
+	}
+	roundTrip := func() {
+		if err := c.ResubmitOn(g, b, shots); err != nil {
+			t.Fatal(err)
+		}
+		out := b.Wait()
+		for j := range out {
+			shots[j].CorrBuf = out[j][:0]
+		}
+	}
+	for i := 0; i < 6; i++ {
+		roundTrip()
+	}
+	if avg := testing.AllocsPerRun(20, roundTrip); avg > 3 {
+		t.Fatalf("warm coalesced round trip allocates %.1f allocs/run, want <= 3 (flush ticket only)", avg)
+	}
+	st := c.Stats()
+	if st.Flushes == 0 || st.Batches < st.Flushes {
+		t.Fatalf("implausible coalesce stats after round trips: %+v", st)
+	}
+}

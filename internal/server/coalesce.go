@@ -1,0 +1,153 @@
+package server
+
+import (
+	"runtime"
+	"sync"
+
+	"ftqc/internal/decoder"
+	"ftqc/internal/stream"
+)
+
+// Coalescer merges same-graph decode submissions from concurrent
+// sessions into single pool submissions (decoder.Service.SubmitGroupOn).
+// It implements stream.Submitter, so a server wires it between the
+// interned stream.Sessions and the shared worker pool.
+//
+// The merge is flat-combining, per graph: the first session to submit
+// against an idle graph becomes the leader and flushes immediately;
+// sessions arriving while a flush is in flight stage their batches and
+// wait, and the leader keeps flushing staged groups until none remain.
+// Under light load every submission flushes alone (no added latency, no
+// timers); under load the pool's bounded task queue stalls the leader
+// and groups grow to match — the batching is demand-driven.
+//
+// Grouping never changes results: each shot's correction depends only
+// on (graph, shot) and lands in its own batch's slot, so the committed
+// frames of every session are bit-identical to the uncoalesced path,
+// for any worker count, interleaving, or group shape. Only throughput
+// moves.
+type Coalescer struct {
+	pool *decoder.Service
+
+	mu     sync.Mutex
+	groups map[*decoder.Graph]*coalGroup
+
+	flushes  uint64 // group submissions sent to the pool
+	batches  uint64 // session batches carried by those flushes
+	shots    uint64 // shots carried by those flushes
+	maxGroup int    // largest group observed
+}
+
+// coalGroup is the per-graph staging area: the batches accumulated for
+// the next flush and the ticket their submitters wait on.
+type coalGroup struct {
+	subs    []decoder.GroupSub
+	spare   []decoder.GroupSub // retired staging buffer, recycled on next stage
+	ticket  *flushTicket
+	leading bool // a leader is flushing; stagers wait instead of flushing
+}
+
+// flushTicket is the completion signal for one flush: done closes once
+// the group's spans are enqueued (or the submission failed), and err is
+// valid after that.
+type flushTicket struct {
+	done chan struct{}
+	err  error
+}
+
+// NewCoalescer wraps a decode pool with cross-session batch coalescing.
+func NewCoalescer(pool *decoder.Service) *Coalescer {
+	return &Coalescer{pool: pool, groups: make(map[*decoder.Graph]*coalGroup)}
+}
+
+// ResubmitOn stages one session's batch for graph g and returns once it
+// has been handed to the pool — as its own submission when the graph is
+// idle, or merged into a group when other sessions are submitting
+// concurrently. The returned error is exactly what the pool's own
+// submission returned for the flush carrying this batch, so the
+// caller's error handling is unchanged from the direct path.
+func (c *Coalescer) ResubmitOn(g *decoder.Graph, b *decoder.Batch, shots []decoder.Shot) error {
+	c.mu.Lock()
+	grp := c.groups[g]
+	if grp == nil {
+		grp = &coalGroup{ticket: &flushTicket{done: make(chan struct{})}}
+		c.groups[g] = grp
+	}
+	if grp.subs == nil && grp.spare != nil {
+		grp.subs, grp.spare = grp.spare, nil
+	}
+	grp.subs = append(grp.subs, decoder.GroupSub{B: b, Shots: shots})
+	if grp.leading {
+		// A leader is mid-flush; it will pick this batch up on its next
+		// pass. Wait for the flush that carries it.
+		t := grp.ticket
+		c.mu.Unlock()
+		<-t.done
+		return t.err
+	}
+	grp.leading = true
+	c.mu.Unlock()
+	// One scheduler yield before the first take: sessions that are
+	// runnable right now get to stage their batches into this flush
+	// instead of the next, which is what lifts occupancy above 1 when
+	// the processor count (not the pool's task queue) is the bottleneck.
+	// Cost when nothing else is runnable: one run-queue round trip.
+	runtime.Gosched()
+	c.mu.Lock()
+	var first error
+	for i := 0; ; i++ {
+		subs, t := grp.subs, grp.ticket
+		grp.subs = nil
+		grp.ticket = &flushTicket{done: make(chan struct{})}
+		c.flushes++
+		c.batches += uint64(len(subs))
+		for j := range subs {
+			c.shots += uint64(len(subs[j].Shots))
+		}
+		if len(subs) > c.maxGroup {
+			c.maxGroup = len(subs)
+		}
+		c.mu.Unlock()
+		t.err = c.pool.SubmitGroupOn(g, subs)
+		close(t.done)
+		if i == 0 {
+			first = t.err
+		}
+		c.mu.Lock()
+		// The flushed staging buffer is spent (SubmitGroupOn handed each
+		// batch its own shots); recycle it so steady-state staging stops
+		// allocating.
+		if grp.spare == nil {
+			grp.spare = subs[:0]
+		}
+		if len(grp.subs) == 0 {
+			grp.leading = false
+			c.mu.Unlock()
+			return first
+		}
+	}
+}
+
+// CoalesceStats is the coalescer's observability snapshot.
+type CoalesceStats struct {
+	Flushes   uint64  // pool submissions
+	Batches   uint64  // session batches they carried
+	Shots     uint64  // shots they carried
+	MaxGroup  int     // largest single group
+	Occupancy float64 // mean batches per flush (1.0 = no merging)
+	ShotsPer  float64 // mean shots per pool submission
+}
+
+// Stats snapshots the merge counters.
+func (c *Coalescer) Stats() CoalesceStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CoalesceStats{Flushes: c.flushes, Batches: c.batches, Shots: c.shots, MaxGroup: c.maxGroup}
+	if st.Flushes > 0 {
+		st.Occupancy = float64(st.Batches) / float64(st.Flushes)
+		st.ShotsPer = float64(st.Shots) / float64(st.Flushes)
+	}
+	return st
+}
+
+var _ stream.Submitter = (*Coalescer)(nil)

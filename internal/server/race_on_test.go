@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector instruments this build;
+// its allocations would fail the allocation-bound pins.
+const raceEnabled = true

@@ -51,6 +51,12 @@ type Config struct {
 	QueueDepth int
 	// Overflow is the per-session policy when the queue is full.
 	Overflow OverflowPolicy
+	// Coalesce merges same-graph decode submissions from concurrent
+	// sessions into single pool submissions (see Coalescer). Committed
+	// frames are bit-identical either way; coalescing trades a little
+	// submit-path synchronization for fewer, larger worker dispatches —
+	// a win for fleets of many small sessions on one window shape.
+	Coalesce bool
 }
 
 // AdaptConfig turns on adaptive windows for a session: the server
@@ -137,6 +143,7 @@ type winKey struct {
 type Server struct {
 	cfg  Config
 	pool *decoder.Service
+	coal *Coalescer // non-nil iff Config.Coalesce
 
 	mu       sync.Mutex
 	wins     map[winKey]*stream.Session
@@ -151,16 +158,29 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
 	}
-	return &Server{
+	srv := &Server{
 		cfg:      cfg,
 		pool:     decoder.NewPool(cfg.Workers),
 		wins:     make(map[winKey]*stream.Session),
 		sessions: make(map[uint64]*Session),
 	}
+	if cfg.Coalesce {
+		srv.coal = NewCoalescer(srv.pool)
+	}
+	return srv
 }
 
 // Pool returns the shared decode pool (for introspection).
 func (srv *Server) Pool() *decoder.Service { return srv.pool }
+
+// CoalesceStats snapshots the cross-session batch coalescer. The zero
+// snapshot means coalescing is off (Config.Coalesce unset).
+func (srv *Server) CoalesceStats() CoalesceStats {
+	if srv.coal == nil {
+		return CoalesceStats{}
+	}
+	return srv.coal.Stats()
+}
 
 // sharedSession returns the interned stream.Session for a window
 // shape, building it on first use. All validation of the window
@@ -181,6 +201,9 @@ func (srv *Server) sharedSession(code surface.Code, w, c, wh, wv, wd int) (*stre
 	}
 	if err != nil {
 		return nil, err
+	}
+	if srv.coal != nil {
+		ss.SetSubmitter(srv.coal)
 	}
 	srv.mu.Lock()
 	defer srv.mu.Unlock()

@@ -14,18 +14,25 @@ import (
 func installIncrementalCheck(t *testing.T) {
 	t.Helper()
 	ufs := map[*decoder.Graph]*decoder.UnionFind{}
-	debugCheckIncremental = func(d *Decoder, sec *sectorState, lane int, active, cached []int32) {
+	debugCheckIncremental = func(d *Decoder, sec *sectorState, lane int, active []int32) {
 		w := d.s.win
 		sv := sec.syn[lane]
 		defs := sv.AppendSupport(nil)
-		for _, v := range sec.cdefs[lane] {
-			// A fallback lane restored its cached defects into syn; only
-			// add the ones still stripped.
+		for _, v := range sec.cdef[lane] {
+			// A release or fallback restored some cached defects into
+			// syn; only add the ones still stripped (live clusters).
 			if !sv.Get(int(v)) {
 				defs = append(defs, int(v))
 			}
 		}
 		sort.Ints(defs)
+		// The replayed corrections of the still-live cached clusters.
+		var cached []int32
+		for k := 0; k+1 < len(sec.ccorrOff[lane]); k++ {
+			if !sec.cdead[lane][k] {
+				cached = append(cached, sec.ccorr[lane][sec.ccorrOff[lane][k]:sec.ccorrOff[lane][k+1]]...)
+			}
+		}
 		uf := ufs[sec.graph]
 		if uf == nil {
 			uf = decoder.NewUnionFind(sec.graph)
@@ -69,9 +76,9 @@ func installIncrementalCheck(t *testing.T) {
 		for _, e := range bad {
 			out = append(out, desc(e))
 		}
-		t.Errorf("slide %d lane %d sector(graph=%p): conflict=%v cache(defs=%d corr=%d guard=%d)\n  divergent edges: %v\n  active=%d cached=%d full=%d",
+		t.Errorf("slide %d lane %d sector(graph=%p): conflict=%v cache(clusters=%d defs=%d guard=%d)\n  divergent edges: %v\n  active=%d cached=%d full=%d",
 			d.slides+1, lane, sec.graph, sec.comps[lane].Conflict,
-			len(sec.cdefs[lane]), len(cached), len(sec.cguard[lane]), out, len(active), len(cached), len(full))
+			sec.cacheLen(lane), len(sec.cdef[lane]), len(sec.cnode[lane]), out, len(active), len(cached), len(full))
 	}
 	t.Cleanup(func() { debugCheckIncremental = nil })
 }

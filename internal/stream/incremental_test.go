@@ -80,8 +80,10 @@ func TestIncrementalMatchesFromScratch(t *testing.T) {
 		lanes := 33 + rng.IntN(96)
 		seed := rng.Uint64()
 		// Sweep quiet regions (sparse path), moderate rates (forest
-		// retention) and near-threshold (conflict fallback).
-		p := []float64{0.0002, 0.004, 0.012, 0.025}[trial%4]
+		// retention), near-threshold (conflict fallback) and the dense
+		// regime past threshold, where warm-start retention carries a
+		// sizeable fraction of the window and release waves fire.
+		p := []float64{0.0002, 0.004, 0.012, 0.025, 0.05}[trial%5]
 		workers := 1 + rng.IntN(4)
 		circuit := trial%2 == 1
 		if circuit {
@@ -131,10 +133,13 @@ func TestIncrementalMatchesFromScratch(t *testing.T) {
 func TestRewindowDropsForestCleanly(t *testing.T) {
 	installIncrementalCheck(t)
 	rng := rand.New(rand.NewPCG(4701, 4702))
-	for trial := 0; trial < 6; trial++ {
+	for trial := 0; trial < 8; trial++ {
 		l := 3 + rng.IntN(3)
 		lanes := 33 + rng.IntN(64)
-		p := []float64{0.001, 0.01, 0.03}[trial%3]
+		// 0.05 is past threshold: the pre-rewindow decoder carries a
+		// dense retained forest, not the sparse-regime remnants the
+		// original sweep stopped at.
+		p := []float64{0.001, 0.01, 0.03, 0.05}[trial%4]
 		w1 := 4 + rng.IntN(4)
 		c1 := 1 + rng.IntN(w1-1)
 		w2 := 4 + rng.IntN(6)
@@ -144,6 +149,7 @@ func TestRewindowDropsForestCleanly(t *testing.T) {
 		seed := rng.Uint64()
 		wh, wv := spacetime.Weights(p, p, l, w1+w2)
 
+		liveCaches := 0
 		arm := func(incremental bool) (x, z []bits.Vec) {
 			s1, err := NewSession(l, w1, c1, wh, wv)
 			if err != nil {
@@ -165,6 +171,11 @@ func TestRewindowDropsForestCleanly(t *testing.T) {
 			for r := 0; r < pre; r++ {
 				src.NextLayers(lx, lz)
 				d.Push(lx, lz)
+			}
+			if incremental {
+				for lane := 0; lane < lanes; lane++ {
+					liveCaches += d.sx.cacheLen(lane) + d.sz.cacheLen(lane)
+				}
 			}
 			nd, err := d.Rewindow(s2)
 			if err != nil {
@@ -191,7 +202,30 @@ func TestRewindowDropsForestCleanly(t *testing.T) {
 				t.Fatalf("trial %d lane %d: rewindowed incremental diverges from from-scratch", trial, lane)
 			}
 		}
+		// The dense trials must actually move a live forest: a retaining
+		// window past threshold that rewindows with an empty cache means
+		// the scenario under test never happened.
+		if p >= 0.05 && liveCaches == 0 {
+			d := s1Retains(t, l, w1, c1, wh, wv)
+			if d {
+				t.Fatalf("trial %d: dense rewindow never carried a live retained forest", trial)
+			}
+		}
 	}
+}
+
+// s1Retains reports whether the (w1, c1) window shape admits a
+// retention band at all — shapes that don't legitimately rewindow with
+// an empty cache.
+func s1Retains(t *testing.T, l, w, c, wh, wv int) bool {
+	t.Helper()
+	s, err := NewSession(l, w, c, wh, wv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	d := s.NewDecoder(1)
+	return d.retain
 }
 
 // TestIncrementalQuietStream pins the sparse fast path's behavior on a

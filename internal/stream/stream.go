@@ -22,13 +22,36 @@ import (
 type Session struct {
 	win         *Window
 	pool        *decoder.Service
+	sub         Submitter
 	owned       bool
 	fromScratch bool
+}
+
+// Submitter dispatches a staged reusable batch of shots to the decode
+// workers — the seam a multi-tenant server uses to interpose cross-
+// session batch coalescing. *decoder.Service satisfies it directly; any
+// implementation must deliver results bit-identical to the service's
+// own ResubmitOn (the streaming determinism contract does not bend for
+// scheduling).
+type Submitter interface {
+	ResubmitOn(g *decoder.Graph, b *decoder.Batch, shots []decoder.Shot) error
 }
 
 // SetIncremental sets the slide mode every future NewDecoder of this
 // session starts in (incremental by default; see Decoder.SetIncremental).
 func (s *Session) SetIncremental(on bool) { s.fromScratch = !on }
+
+// SetSubmitter reroutes every future decode submission of this
+// session's decoders through sub (nil restores the direct pool path).
+// Set it before creating decoders; it must not change while any decoder
+// built from the session is live.
+func (s *Session) SetSubmitter(sub Submitter) {
+	if sub == nil {
+		s.sub = s.pool
+		return
+	}
+	s.sub = sub
+}
 
 // NewSession builds the window and starts a private decode pool (see
 // NewWindow for the parameters; weights come from spacetime.Weights).
@@ -113,6 +136,7 @@ func sessionOver(win *Window, pool *decoder.Service) *Session {
 		s.pool = decoder.NewPool(0)
 		s.owned = true
 	}
+	s.sub = s.pool
 	return s
 }
 
@@ -148,26 +172,76 @@ type sectorState struct {
 	corrbuf [][]int32 // per-lane reusable decode output buffers
 	bat     *decoder.Batch
 
-	// Persistent cluster forest, per lane: the clusters of the previous
-	// slide that survive the commit (see harvest) — their defects,
-	// corrections and touched region, shifted into this window's ids.
-	comps  []decoder.Components
-	cdefs  [][]int32
-	ccorr  [][]int32
-	cguard [][]int32
+	// Persistent cluster forest, per lane, in CSR form (cluster k of
+	// lane is cdef[lane][cdefOff[lane][k]:cdefOff[lane][k+1]], and
+	// likewise for corrections and touched nodes): the clusters of the
+	// previous slide that survive the commit (see harvest), shifted into
+	// this window's ids. cdead marks clusters a guard conflict released
+	// back into the live decode this slide — their defects re-decode and
+	// their cached corrections must not replay.
+	comps    []decoder.Components
+	cdef     [][]int32
+	cdefOff  [][]int32
+	ccorr    [][]int32
+	ccorrOff [][]int32
+	cnode    [][]int32
+	cnodeOff [][]int32
+	cdead    [][]bool
+	gbuf     [][]int32 // per-lane guard rebuild scratch (live clusters only)
 
-	// Retention policy, per lane: skip counts slides left before the
-	// lane may start a new cache (exponential backoff after a guard
-	// conflict, doubling in bkoff); a clean guarded slide resets it.
-	skip  []uint8
-	bkoff []uint8
-
-	// Fallback wave scratch (guard conflicts).
+	// Release wave scratch (guard conflicts).
 	fshots []decoder.Shot
 	flanes []int
 
 	graph *decoder.Graph
 	diag  [][2]int32
+}
+
+// cacheLen returns the number of cached clusters of one lane.
+func (sec *sectorState) cacheLen(lane int) int {
+	if len(sec.cnodeOff[lane]) == 0 {
+		return 0
+	}
+	return len(sec.cnodeOff[lane]) - 1
+}
+
+// clusterOf returns the cached cluster owning window node v, or -1.
+func (sec *sectorState) clusterOf(lane int, v int32) int {
+	off := sec.cnodeOff[lane]
+	for k := 0; k+1 < len(off); k++ {
+		for _, n := range sec.cnode[lane][off[k]:off[k+1]] {
+			if n == v {
+				return k
+			}
+		}
+	}
+	return -1
+}
+
+// liveGuard flattens the touched nodes of the still-live cached
+// clusters into the lane's guard scratch.
+func (sec *sectorState) liveGuard(lane int) []int32 {
+	g := sec.gbuf[lane][:0]
+	off := sec.cnodeOff[lane]
+	for k := 0; k+1 < len(off); k++ {
+		if sec.cdead[lane][k] {
+			continue
+		}
+		g = append(g, sec.cnode[lane][off[k]:off[k+1]]...)
+	}
+	sec.gbuf[lane] = g
+	return g
+}
+
+// clearCache empties one lane's cluster cache.
+func (sec *sectorState) clearCache(lane int) {
+	sec.cdef[lane] = sec.cdef[lane][:0]
+	sec.cdefOff[lane] = sec.cdefOff[lane][:0]
+	sec.ccorr[lane] = sec.ccorr[lane][:0]
+	sec.ccorrOff[lane] = sec.ccorrOff[lane][:0]
+	sec.cnode[lane] = sec.cnode[lane][:0]
+	sec.cnodeOff[lane] = sec.cnodeOff[lane][:0]
+	sec.cdead[lane] = sec.cdead[lane][:0]
 }
 
 // Decoder consumes one batch of lanes' difference layers round by round
@@ -196,6 +270,15 @@ type Decoder struct {
 	finished bool
 	err      error // terminal submission failure (shared pool closed underneath us)
 
+	// Warm-start observability (summed over both sectors and all lanes):
+	// how many defects the retained forest stripped from live decodes,
+	// how many lane-decodes a guard conflict sent through a release
+	// wave, and how many of those exhausted the wave budget and fell
+	// back to a plain full decode.
+	stripped  uint64
+	released  uint64
+	fallbacks uint64
+
 	fromScratch bool // disable the incremental slide and the sparse skip
 	retain      bool // window shape admits a non-empty retention band
 
@@ -216,14 +299,28 @@ func (s *Session) NewDecoder(lanes int) *Decoder {
 	// a one-slide lifetime with no cross-slide bookkeeping. Short or
 	// deep-commit windows have an empty band and fall back to plain
 	// from-scratch slides.
-	loBand := int32((w.Commit + 1) * w.nc)
-	hiBand := int32(min(2*w.Commit-1, w.W-1) * w.nc)
+	//
+	// Wide bands are pulled in by one layer at each end: a cluster flush
+	// against the carry layer (below) or the re-decoded frontier (above)
+	// draws guard contact from the very first growth sweep of any
+	// neighbour, so retaining it converts retention into release traffic.
+	// One layer of slack keeps warm-start conflicts to clusters a
+	// neighbour actually grew toward; thin bands keep their full width.
+	bandLo := w.Commit + 1
+	bandHi := min(2*w.Commit-1, w.W-1)
+	if bandHi-bandLo >= 4 {
+		bandLo++
+		bandHi--
+	}
+	loBand := int32(bandLo * w.nc)
+	hiBand := int32(bandHi * w.nc)
 	retain := hiBand > loBand
-	// Extraction budgets, per lane: generous for the small interior
-	// clusters retention targets, fixed so the resident footprint stays
-	// flat however many rounds stream past (oversized clusters are
-	// simply not retained).
-	bClusters, bNodes, bDefs, bCorrs := w.nc/2+2, w.nc, w.nc/2+2, w.nc
+	// Extraction budgets, per lane: sized for the threshold-point dense
+	// regime (warm-start retains unconditionally, so at operating
+	// densities the band holds a sizeable fraction of the window's
+	// defects), fixed so the resident footprint stays flat however many
+	// rounds stream past (oversized clusters are simply not retained).
+	bClusters, bNodes, bDefs, bCorrs := w.nc/2+2, 2*w.nc, w.nc, w.nc
 	d := &Decoder{
 		s:           s,
 		lanes:       lanes,
@@ -242,18 +339,25 @@ func (s *Session) NewDecoder(lanes int) *Decoder {
 		sec.corrbuf = make([][]int32, lanes)
 		sec.bat = decoder.NewBatch(lanes)
 		sec.comps = make([]decoder.Components, lanes)
-		sec.cdefs = make([][]int32, lanes)
+		sec.cdef = make([][]int32, lanes)
+		sec.cdefOff = make([][]int32, lanes)
 		sec.ccorr = make([][]int32, lanes)
-		sec.cguard = make([][]int32, lanes)
+		sec.ccorrOff = make([][]int32, lanes)
+		sec.cnode = make([][]int32, lanes)
+		sec.cnodeOff = make([][]int32, lanes)
+		sec.cdead = make([][]bool, lanes)
+		sec.gbuf = make([][]int32, lanes)
 		if retain {
-			sec.skip = make([]uint8, lanes)
-			sec.bkoff = make([]uint8, lanes)
 			for lane := 0; lane < lanes; lane++ {
 				sec.comps[lane].Init(loBand, hiBand, bClusters, bNodes, bDefs, bCorrs)
-				sec.cdefs[lane] = make([]int32, 0, bDefs)
+				sec.cdef[lane] = make([]int32, 0, bDefs)
+				sec.cdefOff[lane] = make([]int32, 0, bClusters+1)
 				sec.ccorr[lane] = make([]int32, 0, bCorrs)
-				sec.cguard[lane] = make([]int32, 0, bNodes)
-				sec.bkoff[lane] = 1
+				sec.ccorrOff[lane] = make([]int32, 0, bClusters+1)
+				sec.cnode[lane] = make([]int32, 0, bNodes)
+				sec.cnodeOff[lane] = make([]int32, 0, bClusters+1)
+				sec.cdead[lane] = make([]bool, 0, bClusters)
+				sec.gbuf[lane] = make([]int32, 0, bNodes)
 			}
 		}
 		sec.graph = g
@@ -274,9 +378,7 @@ func (d *Decoder) SetIncremental(on bool) {
 	if !on {
 		for _, sec := range [2]*sectorState{&d.sx, &d.sz} {
 			for lane := 0; lane < d.lanes; lane++ {
-				sec.cdefs[lane] = sec.cdefs[lane][:0]
-				sec.ccorr[lane] = sec.ccorr[lane][:0]
-				sec.cguard[lane] = sec.cguard[lane][:0]
+				sec.clearCache(lane)
 			}
 		}
 	}
@@ -410,7 +512,7 @@ func (d *Decoder) sectorQuiet(sec *sectorState) bool {
 		if sec.carry[lane].Any() {
 			return false
 		}
-		if len(sec.cdefs[lane]) != 0 || len(sec.ccorr[lane]) != 0 || len(sec.cguard[lane]) != 0 {
+		if len(sec.cdef[lane]) != 0 || len(sec.ccorr[lane]) != 0 || len(sec.cnode[lane]) != 0 {
 			return false
 		}
 	}
@@ -421,44 +523,54 @@ func (d *Decoder) sectorQuiet(sec *sectorState) bool {
 // the cached clusters' defects, and submits the active remainder (under
 // the cache guard) to the decode pool.
 //
-// Whether a lane asks for a new cluster extraction is a per-lane policy
-// decision (deterministic in the stream content, so replicas stay in
-// lockstep): a lane with a live cache always extracts — the guard needs
-// the conflict report — and a lane without one starts a cache only when
-// the window is sparse enough for retention to plausibly survive the
-// next slide (dense near-threshold syndromes conflict almost surely,
-// turning every slide into two decodes) and its conflict backoff has
-// lapsed. Retention policy never affects the committed frames — a shot
-// without extraction is simply a plain decode.
+// Warm-start retention is unconditional: every lane seeds from the
+// previous slide's retained forest (dense or sparse) and asks for a new
+// extraction, so in the steady state growth sweeps touch only the
+// defects the freshly pushed layers introduced. The one escape hatch is
+// a deterministic density ceiling — a window carrying more defects than
+// a quarter of its detector volume (far past any operating point) drops
+// its cache and decodes plain, bounding the worst case. Retention
+// policy never affects the committed frames — a shot without extraction
+// is simply a plain decode.
 func (d *Decoder) prepSector(sec *sectorState) {
 	d.pivot(sec)
 	w := d.s.win
-	sparse := max(8, w.W*w.nc/64)
+	ceiling := w.W * w.nc / 4
 	for lane := 0; lane < d.lanes; lane++ {
 		sv := sec.syn[lane]
-		cached := sec.cdefs[lane]
+		cached := sec.cdef[lane]
 		for _, v := range cached {
 			sv.Set(int(v), false)
 		}
 		sec.defbuf[lane] = sv.AppendSupport(sec.defbuf[lane][:0])
+		d.defects += uint64(len(sec.defbuf[lane]) + len(cached))
+		d.stripped += uint64(len(cached))
+		if !d.fromScratch && d.retain && len(sec.defbuf[lane])+len(cached) <= ceiling {
+			sec.shots[lane] = decoder.Shot{
+				Defects: sec.defbuf[lane],
+				CorrBuf: sec.corrbuf[lane],
+				Comps:   &sec.comps[lane],
+			}
+			if len(sec.cnode[lane]) > 0 {
+				sec.shots[lane].Guard = sec.cnode[lane]
+			}
+			continue
+		}
+		if len(cached) > 0 {
+			// Density ceiling (or a mid-stream mode flip): restore the
+			// cached defects and fall back to a plain full decode.
+			for _, v := range cached {
+				sv.Set(int(v), true)
+			}
+			sec.defbuf[lane] = sv.AppendSupport(sec.defbuf[lane][:0])
+			sec.clearCache(lane)
+		}
 		sec.shots[lane] = decoder.Shot{
 			Defects: sec.defbuf[lane],
 			CorrBuf: sec.corrbuf[lane],
 		}
-		if !d.fromScratch && d.retain {
-			switch {
-			case len(cached) != 0 || len(sec.cguard[lane]) != 0:
-				sec.shots[lane].Guard = sec.cguard[lane]
-				sec.shots[lane].Comps = &sec.comps[lane]
-			case sec.skip[lane] > 0:
-				sec.skip[lane]--
-			case len(sec.defbuf[lane]) <= sparse:
-				sec.shots[lane].Comps = &sec.comps[lane]
-			}
-		}
-		d.defects += uint64(len(sec.defbuf[lane]) + len(cached))
 	}
-	if err := d.s.pool.ResubmitOn(sec.graph, sec.bat, sec.shots); err != nil {
+	if err := d.s.sub.ResubmitOn(sec.graph, sec.bat, sec.shots); err != nil {
 		d.err = err
 	}
 }
@@ -466,11 +578,30 @@ func (d *Decoder) prepSector(sec *sectorState) {
 // debugCheckIncremental, when set by a test, cross-checks every
 // incremental slide lane against a from-scratch decode of the same
 // window and reports the first divergent edge set.
-var debugCheckIncremental func(d *Decoder, sec *sectorState, lane int, active, cached []int32)
+var debugCheckIncremental func(d *Decoder, sec *sectorState, lane int, active []int32)
 
-// decodeSector waits for one sector's batch, runs the fallback wave for
-// any guard-conflicted lanes, commits every lane's correction (decoded
-// plus cached), and harvests the clusters the next slide can reuse.
+// maxReleaseWaves bounds the warm-start sub-window re-decode: a lane
+// still conflicting after this many single-cluster releases restores
+// its whole cache into one plain full decode. Two waves resolve all but
+// adversarial syndromes — a release only recurs when the re-decoded
+// region reaches yet another cached cluster.
+const maxReleaseWaves = 2
+
+// decodeSector waits for one sector's batch, resolves guard conflicts
+// with the warm-start release waves, commits every lane's correction
+// (decoded plus the cached clusters' replays), and harvests the
+// clusters the next slide can reuse.
+//
+// A conflicted lane's growth reached one cached cluster; only that
+// cluster is released — its defects rejoin the live decode, its nodes
+// leave the guard, its cached corrections are dropped — and the lane
+// re-decodes in a batched wave with every other conflicted lane (the
+// sub-window re-decode: O(contacted cluster), not O(window)). A wave's
+// re-decode can reach a further cached cluster, so waves repeat up to
+// maxReleaseWaves before the lane falls back to a full plain decode.
+// Every wave's decode is a pure function of the stream content, so the
+// committed frames stay bit-identical to from-scratch for any worker
+// count.
 func (d *Decoder) decodeSector(sec *sectorState) {
 	out := sec.bat.Wait()
 	// Recapture the grown buffers: from here on corrbuf[lane] IS the
@@ -479,67 +610,81 @@ func (d *Decoder) decodeSector(sec *sectorState) {
 	for lane := 0; lane < d.lanes; lane++ {
 		sec.corrbuf[lane] = out[lane]
 	}
-	conflicts := 0
 	if !d.fromScratch && d.retain {
-		// Fallback wave: a conflicted lane's cached forest would have
-		// interacted with the new syndrome, so its whole window is
-		// re-decoded from scratch (defects restored, no guard) — batched,
-		// so simultaneous conflicts across lanes still decode in parallel.
-		// A conflict also arms the lane's retention backoff: the next
-		// cache attempt waits bkoff slides, doubling on every conflict,
-		// so a lane whose syndrome density makes retention hopeless stops
-		// paying for it.
-		sec.fshots = sec.fshots[:0]
-		sec.flanes = sec.flanes[:0]
-		for lane := 0; lane < d.lanes; lane++ {
-			if sec.shots[lane].Comps == nil || !sec.comps[lane].Conflict {
-				continue
+		for wave := 0; ; wave++ {
+			sec.fshots = sec.fshots[:0]
+			sec.flanes = sec.flanes[:0]
+			for lane := 0; lane < d.lanes; lane++ {
+				if sec.shots[lane].Comps == nil || !sec.comps[lane].Conflict {
+					continue
+				}
+				sv := sec.syn[lane]
+				full := wave >= maxReleaseWaves
+				var guard []int32
+				if !full {
+					k := sec.clusterOf(lane, sec.comps[lane].ConflictNode)
+					if k < 0 {
+						full = true
+					} else {
+						sec.cdead[lane][k] = true
+						off := sec.cdefOff[lane]
+						for _, v := range sec.cdef[lane][off[k]:off[k+1]] {
+							sv.Set(int(v), true)
+						}
+						guard = sec.liveGuard(lane)
+					}
+				}
+				if full {
+					d.fallbacks++
+					off := sec.cdefOff[lane]
+					for k := range sec.cdead[lane] {
+						if sec.cdead[lane][k] {
+							continue
+						}
+						sec.cdead[lane][k] = true
+						for _, v := range sec.cdef[lane][off[k]:off[k+1]] {
+							sv.Set(int(v), true)
+						}
+					}
+					guard = nil
+				} else {
+					d.released++
+				}
+				sec.defbuf[lane] = sv.AppendSupport(sec.defbuf[lane][:0])
+				sec.fshots = append(sec.fshots, decoder.Shot{
+					Defects: sec.defbuf[lane],
+					Guard:   guard,
+					Comps:   &sec.comps[lane],
+					CorrBuf: sec.corrbuf[lane],
+				})
+				sec.flanes = append(sec.flanes, lane)
 			}
-			sec.skip[lane] = sec.bkoff[lane]
-			if sec.bkoff[lane] < 64 {
-				sec.bkoff[lane] *= 2
+			if len(sec.flanes) == 0 {
+				break
 			}
-			sv := sec.syn[lane]
-			for _, v := range sec.cdefs[lane] {
-				sv.Set(int(v), true)
-			}
-			sec.defbuf[lane] = sv.AppendSupport(sec.defbuf[lane][:0])
-			sec.fshots = append(sec.fshots, decoder.Shot{
-				Defects: sec.defbuf[lane],
-				Comps:   &sec.comps[lane],
-				CorrBuf: sec.corrbuf[lane],
-			})
-			sec.flanes = append(sec.flanes, lane)
-		}
-		conflicts = len(sec.flanes)
-		if conflicts > 0 {
-			if err := d.s.pool.ResubmitOn(sec.graph, sec.bat, sec.fshots); err != nil {
+			if err := d.s.sub.ResubmitOn(sec.graph, sec.bat, sec.fshots); err != nil {
 				d.err = err
 				return
 			}
 			fout := sec.bat.Wait()
 			for i, lane := range sec.flanes {
 				sec.corrbuf[lane] = fout[i]
-				// The cache was superseded by the full decode; its
-				// corrections must not be replayed.
-				sec.ccorr[lane] = sec.ccorr[lane][:0]
 			}
 		}
 	}
 	for lane := 0; lane < d.lanes; lane++ {
 		if debugCheckIncremental != nil && !d.fromScratch {
-			debugCheckIncremental(d, sec, lane, sec.corrbuf[lane], sec.ccorr[lane])
-		}
-		if !d.fromScratch && d.retain && sec.shots[lane].Comps != nil &&
-			len(sec.cguard[lane]) > 0 && sec.skip[lane] == 0 {
-			// The guard survived the whole slide: retention is paying
-			// for itself here, so forget any accumulated backoff.
-			sec.bkoff[lane] = 1
+			debugCheckIncremental(d, sec, lane, sec.corrbuf[lane])
 		}
 		carry := sec.carry[lane]
 		carry.Clear()
 		d.commitEdges(sec.corrbuf[lane], sec.corr[lane], carry, sec.diag)
-		d.commitEdges(sec.ccorr[lane], sec.corr[lane], carry, sec.diag)
+		off := sec.ccorrOff[lane]
+		for k := 0; k+1 < len(off); k++ {
+			if !sec.cdead[lane][k] {
+				d.commitEdges(sec.ccorr[lane][off[k]:off[k+1]], sec.corr[lane], carry, sec.diag)
+			}
+		}
 		d.harvest(sec, lane)
 	}
 }
@@ -552,26 +697,33 @@ func (d *Decoder) decodeSector(sec *sectorState) {
 // recompute for them, because the window graph is translation-invariant
 // away from its boundary layers and the guard guarantees independence.
 func (d *Decoder) harvest(sec *sectorState, lane int) {
-	defs := sec.cdefs[lane][:0]
-	corr := sec.ccorr[lane][:0]
-	guard := sec.cguard[lane][:0]
-	if !d.fromScratch && d.retain && sec.shots[lane].Comps != nil {
-		w := d.s.win
-		c := &sec.comps[lane]
-		nodeShift := int32(w.Commit * w.nc)
-		for _, v := range c.Def {
-			defs = append(defs, v-nodeShift)
-		}
-		for _, e := range c.Corr {
-			corr = append(corr, w.shiftEdge(e))
-		}
-		for _, v := range c.Node {
-			guard = append(guard, v-nodeShift)
-		}
+	sec.clearCache(lane)
+	if d.fromScratch || !d.retain || sec.shots[lane].Comps == nil {
+		return
 	}
-	sec.cdefs[lane] = defs
-	sec.ccorr[lane] = corr
-	sec.cguard[lane] = guard
+	c := &sec.comps[lane]
+	n := c.N()
+	if n == 0 {
+		return
+	}
+	w := d.s.win
+	nodeShift := int32(w.Commit * w.nc)
+	sec.cdefOff[lane] = append(sec.cdefOff[lane], c.DefOff...)
+	sec.ccorrOff[lane] = append(sec.ccorrOff[lane], c.CorrOff...)
+	sec.cnodeOff[lane] = append(sec.cnodeOff[lane], c.NodeOff...)
+	for _, v := range c.Def {
+		sec.cdef[lane] = append(sec.cdef[lane], v-nodeShift)
+	}
+	for _, e := range c.Corr {
+		sec.ccorr[lane] = append(sec.ccorr[lane], w.shiftEdge(e))
+	}
+	for _, v := range c.Node {
+		sec.cnode[lane] = append(sec.cnode[lane], v-nodeShift)
+	}
+	sec.cdead[lane] = sec.cdead[lane][:n]
+	for k := range sec.cdead[lane] {
+		sec.cdead[lane][k] = false
+	}
 }
 
 // orderedLayers appends views of the first `layers` buffered ring
@@ -698,7 +850,7 @@ func (d *Decoder) finishSector(syn []bits.Vec, vol *spacetime.Volume, g *decoder
 		d.defects += uint64(len(sec.defbuf[lane]))
 		sec.shots[lane] = decoder.Shot{Defects: sec.defbuf[lane], CorrBuf: sec.corrbuf[lane]}
 	}
-	if err := d.s.pool.ResubmitOn(g, sec.bat, sec.shots); err != nil {
+	if err := d.s.sub.ResubmitOn(g, sec.bat, sec.shots); err != nil {
 		d.err = err
 		return
 	}
@@ -796,8 +948,11 @@ func (d *Decoder) FootprintBytes() int {
 		n += len(sec.quiet)
 		for lane := 0; lane < d.lanes; lane++ {
 			n += cap(sec.defbuf[lane]) * 8
-			n += (cap(sec.corrbuf[lane]) + cap(sec.cdefs[lane]) +
-				cap(sec.ccorr[lane]) + cap(sec.cguard[lane])) * 4
+			n += (cap(sec.corrbuf[lane]) + cap(sec.cdef[lane]) +
+				cap(sec.ccorr[lane]) + cap(sec.cnode[lane]) +
+				cap(sec.cdefOff[lane]) + cap(sec.ccorrOff[lane]) +
+				cap(sec.cnodeOff[lane]) + cap(sec.gbuf[lane])) * 4
+			n += cap(sec.cdead[lane])
 			c := &sec.comps[lane]
 			n += cap(c.Node)*4 + cap(c.Def)*4 + cap(c.Corr)*4 +
 				cap(c.NodeOff)*4 + cap(c.DefOff)*4 + cap(c.CorrOff)*4

@@ -294,6 +294,52 @@ func circuitExtractConfigs() []toricDecodeConfig {
 	return out
 }
 
+// circuitOptsArm is one arm of the circuit-level options ablation:
+// erasure-aware vs erasure-blind leakage, joint two-sector correlated
+// repricing, and the CNOT-schedule comparison — each a single L=8
+// operating point through CodeCircuitMemoryOpts.
+type circuitOptsArm struct {
+	name     string
+	codeName string
+	decoder  string
+	P        noise.Params
+	code     surface.Code
+	opts     spacetime.DecodeOptions
+}
+
+func circuitOptsArms() []circuitOptsArm {
+	const l = 8
+	leaky := noise.Uniform(0.003)
+	leaky.Leak = 0.01
+	plain := noise.Uniform(0.006)
+	return []circuitOptsArm{
+		{"erasure-aware/L=8", "toric", "circuit-erasure-aware-union-find", leaky, toric.Cached(l), spacetime.DecodeOptions{ErasureAware: true}},
+		{"erasure-blind/L=8", "toric", "circuit-erasure-blind-union-find", leaky, toric.Cached(l), spacetime.DecodeOptions{}},
+		{"correlated/L=8", "toric", "circuit-correlated-union-find", plain, toric.Cached(l), spacetime.DecodeOptions{Correlated: true}},
+		{"schedule-default/L=8", "toric", "circuit-union-find", plain, toric.Cached(l), spacetime.DecodeOptions{}},
+		{"schedule-hookpar/L=8", "toric-hookpar", "circuit-union-find", plain, toric.HookParallel(l), spacetime.DecodeOptions{}},
+	}
+}
+
+// BenchmarkCircuitOpts — the erasure/correlated/schedule arms of the
+// circuit-level options pipeline, whole-volume decoded. The aware/blind
+// pair prices identical leaky extractions with and without the erasure
+// side information; the correlated arm serializes the dual decode after
+// the primal to reprice shared-qubit Y components; the schedule pair
+// runs the default bent-hook extraction against the parallel-last
+// variant on the same noise.
+func BenchmarkCircuitOpts(b *testing.B) {
+	for _, arm := range circuitOptsArms() {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := spacetime.CodeCircuitMemoryOpts(arm.code, 8, arm.P, 64, 7, arm.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStreamDecode — the streaming sliding-window pipeline at the
 // sustained operating point p = q = 0.025 with T = 4L rounds through
 // W = 2L windows (commit L). Each iteration streams one 64-shot batch
@@ -624,6 +670,45 @@ func TestEmitToricBenchJSON(t *testing.T) {
 			Name: "BenchmarkCircuitExtract/" + cfg.name, L: cfg.l, Rounds: cfg.l,
 			P: 0.006, Q: 0.006, Decoder: "circuit-" + decoderName[cfg.kind], ShotsPerOp: stShots,
 			NsPerOp: ns, NsPerShot: ns / stShots,
+		})
+	}
+	// Erasure/correlated/schedule series: the options-pipeline arms —
+	// aware vs blind on the same injected leakage, the serialized
+	// two-sector correlated decode, and the CNOT-schedule ablation.
+	for _, arm := range circuitOptsArms() {
+		arm := arm
+		ns := measure(func() {
+			if _, err := spacetime.CodeCircuitMemoryOpts(arm.code, 8, arm.P, stShots, 7, arm.opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+		report.Entries = append(report.Entries, entry{
+			Name: "BenchmarkCircuitOpts/" + arm.name, Code: arm.codeName, L: 8, Rounds: 8,
+			P: arm.P.Gate1, Q: arm.P.Gate1, Decoder: arm.decoder, ShotsPerOp: stShots,
+			NsPerOp: ns, NsPerShot: ns / stShots,
+		})
+	}
+	// Correlated + erasure-aware streaming series: the serialized
+	// primal→dual slides with per-layer erasure planes, the worst-case
+	// options load the streaming pipeline carries.
+	{
+		const l, eps = 8, 0.003
+		P := noise.Uniform(eps)
+		P.Leak = 0.01
+		w, c := stream.DefaultWindow(l)
+		rounds := 4 * l
+		opts := spacetime.DecodeOptions{ErasureAware: true, Correlated: true}
+		ns := measure(func() {
+			if _, err := stream.CircuitMemoryOpts(l, rounds, P, w, c, stShots, 7, opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+		report.Entries = append(report.Entries, entry{
+			Name: fmt.Sprintf("BenchmarkStreamDecode/correlated/L=%d", l), L: l, Rounds: rounds,
+			Window: w, Commit: c, P: eps, Q: eps,
+			Decoder: "window-circuit-correlated-union-find", ShotsPerOp: stShots,
+			NsPerOp: ns, NsPerShot: ns / stShots,
+			NsPerRound: ns / stShots / float64(rounds),
 		})
 	}
 	// Streaming series: T = 4L rounds through W = 2L windows, plus the

@@ -103,6 +103,8 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "  -window   sliding-window height in rounds (stream; circuit -window > 0")
 	fmt.Fprintln(w, "            switches the sweep to the streaming pipeline)")
 	fmt.Fprintln(w, "  -samples  Monte Carlo samples per grid point")
+	fmt.Fprintln(w, "  -seed     base RNG seed of a sweep (stamped in the output header; the")
+	fmt.Fprintln(w, "            historical defaults reproduce the tables in EXPERIMENTS.md)")
 	fmt.Fprintln(w, "Run `ftqc <command> -h` for the full flag list of a command.")
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "commands:")
@@ -394,13 +396,14 @@ func cmdToric(args []string) {
 	decoder := fs.String("decoder", "uf", "decoder: greedy, exact (polynomial MWPM) or uf (union-find)")
 	sizesFlag := fs.String("L", "3,5,7,9", "comma-separated code distances")
 	big := fs.Bool("big", false, "extend the distance sweep to L=16 and L=32 (union-find territory)")
+	seedF := fs.Uint64("seed", 91, "base RNG seed for the sweep (each cell advances it)")
 	fs.Parse(args)
 	kind, ok := toricDecoder(*decoder)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "toric: unknown decoder %q (want greedy, exact or uf)\n", *decoder)
 		os.Exit(2)
 	}
-	fmt.Printf("E17: toric-code passive memory (§7.1): logical failure vs distance L (%s decoder)\n", *decoder)
+	fmt.Printf("E17: toric-code passive memory (§7.1): logical failure vs distance L (%s decoder, seed %d)\n", *decoder, *seedF)
 	fmt.Printf("%-8s", "p\\L")
 	sizes := parseIntList(*sizesFlag)
 	if *big {
@@ -410,7 +413,7 @@ func cmdToric(args []string) {
 		fmt.Printf(" %-12d", l)
 	}
 	fmt.Println()
-	seed := uint64(91)
+	seed := *seedF
 	for _, p := range []float64{0.01, 0.03, 0.05, 0.08, 0.12} {
 		fmt.Printf("%-8.2f", p)
 		for _, l := range sizes {
@@ -435,6 +438,7 @@ func cmdSpacetime(args []string) {
 	samples := fs.Int("samples", 4000, "Monte Carlo samples per point")
 	dec := fs.String("decoder", "uf", "decoder: uf (weighted union-find) or exact (weighted blossom MWPM)")
 	compare := fs.Bool("compare", true, "cross-check union-find against exact MWPM at the smallest distance")
+	seedF := fs.Uint64("seed", 121, "base RNG seed for the sweep (each cell advances it)")
 	fs.Parse(args)
 	kind, ok := toricDecoder(*dec)
 	if !ok || kind == toric.DecoderGreedy {
@@ -482,7 +486,7 @@ func cmdSpacetime(args []string) {
 		}
 		return spacetime.Memory(l, rounds, p, q, k, *samples, seed)
 	}
-	fmt.Printf("E22: noisy syndrome extraction (%s decoder): T rounds of measurement flipping with q,\n", *dec)
+	fmt.Printf("E22: noisy syndrome extraction (%s decoder, seed %d): T rounds of measurement flipping with q,\n", *dec, *seedF)
 	fmt.Println("     defects = consecutive-round syndrome differences, decoded over the weighted 3D volume")
 	if erased {
 		fmt.Printf("     erasure channels: leaked data qubits pe=%g, lost measurements qe=%g (peeling-aware decode)\n", *pe, *qe)
@@ -496,7 +500,7 @@ func cmdSpacetime(args []string) {
 	}
 	fmt.Println()
 	rates := make([][]float64, len(ps))
-	seed := uint64(121)
+	seed := *seedF
 	for i, p := range ps {
 		rates[i] = make([]float64, len(ls))
 		fmt.Printf("%-8.3f", p)
@@ -543,6 +547,7 @@ func cmdStream(args []string) {
 	grid := fs.String("p", "0.01,0.015,0.02,0.025,0.03,0.04,0.05", "comma-separated data error probabilities")
 	samples := fs.Int("samples", 4000, "Monte Carlo samples per point")
 	volume := fs.Bool("volume", true, "cross-check the smallest distance against the whole-volume decode")
+	seedF := fs.Uint64("seed", 151, "base RNG seed for the sweep (each cell advances it)")
 	startProf := profileFlags(fs)
 	fs.Parse(args)
 	defer startProf()()
@@ -593,7 +598,7 @@ func cmdStream(args []string) {
 		}
 	}
 	fmt.Println("E23: streaming windowed decoding — syndrome layers decode as they arrive through a")
-	fmt.Println("     sliding W-round window with a commit region; memory is O(L²·W), independent of T")
+	fmt.Printf("     sliding W-round window with a commit region; memory is O(L²·W), independent of T (seed %d)\n", *seedF)
 	fmt.Printf("%-8s", "p\\L")
 	for _, l := range ls {
 		w, c := winOf(l)
@@ -604,7 +609,7 @@ func cmdStream(args []string) {
 	}
 	fmt.Println()
 	rates := make([][]float64, len(ps))
-	seed := uint64(151)
+	seed := *seedF
 	for i, p := range ps {
 		rates[i] = make([]float64, len(ls))
 		fmt.Printf("%-8.3f", p)
@@ -652,6 +657,12 @@ func cmdCircuit(args []string) {
 	samples := fs.Int("samples", 4000, "Monte Carlo samples per point")
 	dec := fs.String("decoder", "uf", "decoder: uf (weighted union-find) or exact (circuit-metric blossom MWPM)")
 	compare := fs.Bool("compare", true, "cross-check union-find against exact MWPM at the smallest distance")
+	leak := fs.Float64("leak", 0, "per-gate leakage probability; leaked qubits are harvested as erasures")
+	bias := fs.Float64("bias", 0, "noise-bias ratio η = pZ/(pX+pY) of each fault's Pauli draw (0: unbiased)")
+	correlated := fs.Bool("correlated", false, "joint two-sector decode: reprice the dual sector from the committed primal correction")
+	blind := fs.Bool("blind", false, "with -leak: discard the erasure side information (the control arm of the aware-vs-blind ablation)")
+	schedule := fs.String("schedule", "default", "CNOT extraction schedule: default (bent hook pairs) or hookpar (parallel-last pairs)")
+	seedF := fs.Uint64("seed", 181, "base RNG seed for the sweep (each cell advances it)")
 	startProf := profileFlags(fs)
 	fs.Parse(args)
 	defer startProf()()
@@ -660,6 +671,22 @@ func cmdCircuit(args []string) {
 		fmt.Fprintf(os.Stderr, "circuit: unknown decoder %q (want uf or exact)\n", *dec)
 		os.Exit(2)
 	}
+	if *schedule != "default" && *schedule != "hookpar" {
+		fmt.Fprintf(os.Stderr, "circuit: unknown schedule %q (want default or hookpar)\n", *schedule)
+		os.Exit(2)
+	}
+	if *blind && *leak <= 0 {
+		fmt.Fprintln(os.Stderr, "circuit: -blind is the control arm of a leakage ablation — it needs -leak > 0")
+		os.Exit(2)
+	}
+	// Any of these switch the sweep onto the erasure/correlated pipeline,
+	// which prices and decodes with union-find only.
+	needsOpts := *leak > 0 || *bias > 0 || *correlated || *schedule != "default"
+	if needsOpts && kind != toric.DecoderUnionFind {
+		fmt.Fprintln(os.Stderr, "circuit: -leak/-bias/-correlated/-schedule decode with union-find (-decoder uf)")
+		os.Exit(2)
+	}
+	opts := spacetime.DecodeOptions{ErasureAware: *leak > 0 && !*blind, Correlated: *correlated}
 	streaming := *window > 0
 	if streaming && *window < 2 {
 		fmt.Fprintln(os.Stderr, "circuit: a sliding window must hold at least two layers (-window ≥ 2)")
@@ -692,7 +719,7 @@ func cmdCircuit(args []string) {
 		}
 		roundsOf = func(int) int { return r }
 	}
-	if kind == toric.DecoderExact || streaming {
+	if kind == toric.DecoderExact || streaming || needsOpts {
 		*compare = false
 	}
 	const compareMaxL = 8
@@ -700,10 +727,32 @@ func cmdCircuit(args []string) {
 		fmt.Printf("(skipping exact cross-check: L=%d > %d is union-find territory)\n", ls[0], compareMaxL)
 		*compare = false
 	}
+	codeOf := func(l int) surface.Code {
+		if *schedule == "hookpar" {
+			return toric.HookParallel(l)
+		}
+		return toric.Cached(l)
+	}
 	runPoint := func(l, rounds int, eps float64, k toric.DecoderKind, seed uint64) float64 {
 		P := noise.Uniform(eps)
+		P.Leak = *leak
+		P.Bias = *bias
 		if streaming {
-			r, err := stream.CircuitMemory(l, rounds, P, *window, *commit, *samples, seed)
+			var r stream.Result
+			var err error
+			if needsOpts {
+				r, err = stream.CodeCircuitMemoryOpts(codeOf(l), rounds, P, *window, *commit, *samples, seed, opts)
+			} else {
+				r, err = stream.CircuitMemory(l, rounds, P, *window, *commit, *samples, seed)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "circuit: %v\n", err)
+				os.Exit(2)
+			}
+			return r.FailRate()
+		}
+		if needsOpts {
+			r, err := spacetime.CodeCircuitMemoryOpts(codeOf(l), rounds, P, *samples, seed, opts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "circuit: %v\n", err)
 				os.Exit(2)
@@ -712,9 +761,25 @@ func cmdCircuit(args []string) {
 		}
 		return spacetime.CircuitMemory(l, rounds, P, k, *samples, seed).FailRate()
 	}
-	fmt.Printf("E24: circuit-level syndrome extraction (%s decoder): the full extraction circuit per round\n", *dec)
+	fmt.Printf("E24: circuit-level syndrome extraction (%s decoder, seed %d): the full extraction circuit per round\n", *dec, *seedF)
 	fmt.Println("     (ancilla per check, PrepZ/PrepX, 4 CNOTs, MeasZ/MeasX) with faults at every location;")
 	fmt.Println("     mid-round CNOT faults decode over correlated diagonal space-time edges")
+	if *leak > 0 {
+		arm := "erasure-aware: leaked qubits decode as located faults"
+		if *blind {
+			arm = "erasure-BLIND control arm: leakage injected, side information discarded"
+		}
+		fmt.Printf("     leakage %g per gate — %s\n", *leak, arm)
+	}
+	if *bias > 0 {
+		fmt.Printf("     biased noise η=%g (pZ/(pX+pY) of each fault's Pauli draw)\n", *bias)
+	}
+	if *correlated {
+		fmt.Println("     correlated decode: dual sector repriced from the committed primal correction (Y components)")
+	}
+	if *schedule != "default" {
+		fmt.Printf("     extraction schedule: %s (parallel-last hook pairs — axis-aligned hook defects)\n", *schedule)
+	}
 	if streaming {
 		fmt.Printf("     streaming pipeline: W=%d sliding windows, commit %d\n", *window, *commit)
 	}
@@ -727,7 +792,7 @@ func cmdCircuit(args []string) {
 	}
 	fmt.Println()
 	rates := make([][]float64, len(ps))
-	seed := uint64(181)
+	seed := *seedF
 	for i, eps := range ps {
 		rates[i] = make([]float64, len(ls))
 		fmt.Printf("%-8.4f", eps)
@@ -770,6 +835,7 @@ func cmdCodes(args []string) {
 	grid := fs.String("p", "0.003,0.005,0.007,0.009,0.011", "uniform per-location eps grid for the crossing")
 	samples := fs.Int("samples", 1500, "Monte Carlo samples per grid point")
 	steane := fs.Bool("steane", true, "include the concatenated-Steane comparison row")
+	seedF := fs.Uint64("seed", 271, "base RNG seed (each family offsets it by 100)")
 	fs.Parse(args)
 	d1, d2 := *d1f, *d2f
 	if d1 < 3 || d1%2 == 0 || d2 <= d1 || d2%2 == 0 {
@@ -785,7 +851,7 @@ func cmdCodes(args []string) {
 		{"planar", surface.Planar},
 		{"rotated", surface.Rotated},
 	}
-	fmt.Println("E27: surface-code families behind one detector-graph contract — every family runs")
+	fmt.Printf("E27: surface-code families behind one detector-graph contract (seed %d) — every family runs\n", *seedF)
 	fmt.Println("     its own circuit-level extraction schedule (T = d rounds) through the same")
 	fmt.Println("     diagonal-edge decoding volume, union-find decoded; open boundaries ground on")
 	fmt.Println("     the virtual node")
@@ -812,7 +878,7 @@ func cmdCodes(args []string) {
 		}
 		curves[i] = [2][]float64{make([]float64, len(ps)), make([]float64, len(ps))}
 		var elapsed time.Duration
-		seed := uint64(271 + 100*i)
+		seed := *seedF + uint64(100*i)
 		for j, eps := range ps {
 			P := noise.Uniform(eps)
 			curves[i][0][j] = spacetime.CodeCircuitMemory(c1, d1, P, *samples, seed+uint64(2*j)).FailRate()
@@ -1124,16 +1190,17 @@ func cmdThermal(args []string) {
 	samples := fs.Int("samples", 20000, "samples per point")
 	l := fs.Int("L", 7, "lattice size")
 	decoder := fs.String("decoder", "exact", "decoder: greedy, exact or uf")
+	seedF := fs.Uint64("seed", 93, "base RNG seed (each Δ/T row advances it)")
 	fs.Parse(args)
 	kind, ok := toricDecoder(*decoder)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "thermal: unknown decoder %q (want greedy, exact or uf)\n", *decoder)
 		os.Exit(2)
 	}
-	fmt.Printf("E18: thermal anyon plasma on L=%d (§7.1): flips at p0·e^{-Δ/T}\n", *l)
+	fmt.Printf("E18: thermal anyon plasma on L=%d (§7.1, seed %d): flips at p0·e^{-Δ/T}\n", *l, *seedF)
 	fmt.Printf("%-8s %-14s %-14s\n", "Δ/T", "flip prob", "logical fail")
 	for i, dt := range []float64{1, 2, 3, 4, 5, 6} {
-		r := toric.ThermalMemory(*l, 0.5, dt, kind, *samples, uint64(93+i))
+		r := toric.ThermalMemory(*l, 0.5, dt, kind, *samples, *seedF+uint64(i))
 		fmt.Printf("%-8.1f %-14.4e %-14.4e\n", dt, r.FlipProb, r.FailRate())
 	}
 }

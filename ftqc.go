@@ -79,6 +79,7 @@
 package ftqc
 
 import (
+	"fmt"
 	"math/rand/v2"
 
 	"ftqc/internal/anyon"
@@ -382,12 +383,78 @@ func CircuitMemory(l, rounds int, eps float64, samples int, seed uint64) Spaceti
 
 // CircuitMemoryWith is CircuitMemory under an explicit per-location
 // noise model and decoder choice (DecoderExact prices pairs with the
-// circuit-metric blossom matcher). Leakage is not modeled in the
-// extraction circuit: p.Leak is ignored — use ErasedSpacetimeMemory
-// for the leakage/erasure channels.
-func CircuitMemoryWith(l, rounds int, p NoiseParams, dec ToricDecoder, samples int, seed uint64) SpacetimeResult {
-	return spacetime.CircuitMemory(l, rounds, p, dec, samples, seed)
+// circuit-metric blossom matcher). A model the plain pipeline cannot
+// honor — leakage (p.Leak) or noise bias (p.Bias), which need the
+// erasure-harvesting source and its union-find-only decode — is a
+// constructor error pointing at CircuitMemoryOpts, never a silent
+// zeroing of the channel.
+func CircuitMemoryWith(l, rounds int, p NoiseParams, dec ToricDecoder, samples int, seed uint64) (SpacetimeResult, error) {
+	if err := p.Validate(); err != nil {
+		return SpacetimeResult{}, err
+	}
+	if p.Leak > 0 || p.Bias > 0 {
+		return SpacetimeResult{}, fmt.Errorf("ftqc: the plain circuit pipeline does not model Leak=%v/Bias=%v — use CircuitMemoryOpts, which harvests leakage as erasures (union-find decode)", p.Leak, p.Bias)
+	}
+	return spacetime.CircuitMemory(l, rounds, p, dec, samples, seed), nil
 }
+
+// Correlated & erasure-aware circuit-level decoding.
+type (
+	// CircuitDecodeOptions selects the side-information passes of a
+	// circuit-level decode: ErasureAware feeds harvested leakage
+	// locations into the peeling pass, Correlated reprices the dual
+	// sector from the committed primal correction. The zero value is
+	// the independent-sector, erasure-blind baseline.
+	CircuitDecodeOptions = spacetime.DecodeOptions
+)
+
+// CircuitMemoryOpts is the full circuit-level memory Monte Carlo: the
+// extraction circuit under P including its leakage (P.Leak, harvested
+// as located erasures each round) and noise-bias (P.Bias) channels,
+// decoded with the selected side-information passes. Malformed models
+// are constructor errors; a leakage-configured run is never silently
+// decoded as if leak-free.
+func CircuitMemoryOpts(l, rounds int, P NoiseParams, samples int, seed uint64, opts CircuitDecodeOptions) (SpacetimeResult, error) {
+	return spacetime.CircuitMemoryOpts(l, rounds, P, samples, seed, opts)
+}
+
+// SurfaceCircuitMemoryOpts is CircuitMemoryOpts for any surface code —
+// including schedule overrides such as HookParallelToricCode, which is
+// how the CNOT-schedule ablation runs both schedules through one
+// pipeline.
+func SurfaceCircuitMemoryOpts(c SurfaceCode, rounds int, P NoiseParams, samples int, seed uint64, opts CircuitDecodeOptions) (SpacetimeResult, error) {
+	return spacetime.CodeCircuitMemoryOpts(c, rounds, P, samples, seed, opts)
+}
+
+// StreamingCircuitMemoryOpts runs the same model and decode options
+// through the sliding-window streaming decoder (window = commit = 0
+// picks the W = 2L default): erasure planes ride the difference layers
+// round by round, and correlated runs reprice the dual window each
+// slide. With W ≥ rounds it reproduces CircuitMemoryOpts bit for bit.
+func StreamingCircuitMemoryOpts(l, rounds int, P NoiseParams, window, commit, samples int, seed uint64, opts CircuitDecodeOptions) (StreamingResult, error) {
+	return stream.CircuitMemoryOpts(l, rounds, P, window, commit, samples, seed, opts)
+}
+
+// StreamingSurfaceCircuitMemoryOpts is StreamingCircuitMemoryOpts for
+// any surface code.
+func StreamingSurfaceCircuitMemoryOpts(c SurfaceCode, rounds int, P NoiseParams, window, commit, samples int, seed uint64, opts CircuitDecodeOptions) (StreamingResult, error) {
+	return stream.CodeCircuitMemoryOpts(c, rounds, P, window, commit, samples, seed, opts)
+}
+
+// CircuitSustainedThresholdOpts sweeps a circuit-level noise family
+// model(ε) with rounds = L for two code distances under the selected
+// decode options and returns the crossing of their failure curves —
+// how the threshold moves when leakage is harvested or the sectors
+// decode jointly.
+func CircuitSustainedThresholdOpts(l1, l2 int, grid []float64, model func(eps float64) NoiseParams, samples int, seed uint64, opts CircuitDecodeOptions) (float64, []ThresholdPoint, error) {
+	return spacetime.CircuitSustainedThresholdOpts(l1, l2, grid, model, samples, seed, opts)
+}
+
+// HookParallelToricCode is the L×L toric code under the
+// hook-suppressing "parallel-last" CNOT schedule — the other arm of
+// the schedule ablation (the default schedule's bent hook pairs leave
+// diagonal defect steps and measurably more failures).
+func HookParallelToricCode(l int) SurfaceCode { return toric.HookParallel(l) }
 
 // CircuitSustainedThreshold sweeps the uniform per-location rate ε with
 // rounds = L for two code distances and returns the crossing of their

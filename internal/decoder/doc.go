@@ -175,6 +175,17 @@
 //     latency — which is the property the multi-session decode server
 //     (internal/server) pins with its server-vs-standalone equivalence
 //     suite.
+//   - Correlated two-sector decoding stays pure by serialization: the
+//     caller decodes the primal sector first, derives the dual sector's
+//     erasure list from the *committed* primal correction alone (a pure
+//     edge-id map — see spacetime.MarkCounterpartEdges), and only then
+//     submits the dual. The dual's inputs are thus a pure function of
+//     the primal's inputs, so the pair inherits every guarantee above:
+//     worker-count invariance, scratch-reuse invisibility, and
+//     pool-interleaving invisibility. The one obligation is ordering —
+//     a correlated pair must not race its own sectors — which the
+//     streaming layer meets by running the dual slide after the primal
+//     commit inside each window step.
 //   - Coalesced submission preserves all of the above: SubmitGroupOn
 //     fans several batches against one graph out as a single span
 //     schedule, but every shot still decodes against its own (graph,

@@ -109,11 +109,23 @@ type Source struct {
 
 // NewSource returns a circuit-level source over the L×L lattice for
 // `lanes` parallel shots under the per-location noise model P, drawing
-// from smp (leakage is not modeled in the extraction circuit: P.Leak is
-// ignored and cleared).
+// from smp. Plain sources do not harvest leakage: P.Leak > 0 panics
+// (never a silent zeroing) — construct with NewSourceErased and drain
+// with NextLayersErased instead.
 func NewSource(l int, P noise.Params, lanes int, smp frame.Sampler) *Source {
+	if P.Leak != 0 {
+		panic("extract: P.Leak > 0 needs the erasure-harvesting source (NewSourceErased + NextLayersErased)")
+	}
+	return NewSourceErased(l, P, lanes, smp)
+}
+
+// NewSourceErased returns a circuit-level source that models leakage:
+// every gate carries its P.Leak channel, a leaked data qubit is swapped
+// for a fresh (randomized) one at the start of the next round, and
+// NextLayersErased reports every leak as a located fault — the erasure
+// planes the decoder seeds its peeling with.
+func NewSourceErased(l int, P noise.Params, lanes int, smp frame.Sampler) *Source {
 	lat := toric.Cached(l)
-	P.Leak = 0
 	nc := lat.NumChecks()
 	return &Source{
 		lat:   lat,
@@ -205,11 +217,20 @@ func (s *Source) ancS(c int) int { return s.lat.Qubits() + s.lat.NumChecks() + c
 // any experiment built on a source is a pure function of the sampler
 // stream.
 func (s *Source) NextLayers(layerX, layerZ []bits.Vec) {
-	if s.plan != nil && !s.noFuse && s.fusedRound() {
-		s.diff.Emit(layerX, layerZ)
-		s.rounds++
-		return
+	if s.sim.P.Leak > 0 {
+		panic("extract: NextLayers with P.Leak > 0 — drain an erasure source with NextLayersErased")
 	}
+	if s.plan == nil || s.noFuse || !s.fusedRound() {
+		s.genericRound()
+	}
+	s.diff.Emit(layerX, layerZ)
+	s.rounds++
+}
+
+// genericRound executes one extraction round through the per-gate batch
+// API (the non-fused path; bit-identical to the fused plan on the same
+// sampler state — see frame.RunRound).
+func (s *Source) genericRound() {
 	nq, nc := s.lat.Qubits(), s.lat.NumChecks()
 	// The idle window (ancilla prep/measure time): one storage step per
 	// data qubit per round, before any read — a same-round ("horizontal")
@@ -248,6 +269,41 @@ func (s *Source) NextLayers(layerX, layerZ []bits.Vec) {
 	}
 	for c := 0; c < nc; c++ {
 		s.sim.MeasXInto(s.ancS(c), curZ[c])
+	}
+}
+
+// NextLayersErased is NextLayers for a leakage-modeling source: it runs
+// the same extraction round (generic path — the fused plan declines
+// leakage) and additionally harvests every leak as a located fault.
+//
+// Draw order per round, fixed so whole-volume and streaming drains of
+// two equally-seeded sources stay bit-identical: (1) per data edge in
+// index order, the still-leaked lanes are recorded into eraH[e] and the
+// qubit is replaced by a fresh randomized one (ReplaceLeaked — two Coin
+// draws on non-empty masks only); (2) the generic round body; (3) no
+// further draws — round-end bookkeeping only reads planes.
+//
+// On return, eraH[e] marks the lanes whose data edge e is erased this
+// layer (leaked at the start of the round — the replacement Pauli's
+// syndrome lands here — or leaked mid-round, where the two readers may
+// disagree), lostX[c]/lostZ[c] mark the lanes whose plaquette/star
+// ancilla was leaked at its measurement (the outcome was a coin — a
+// located vertical fault). The caller mirrors eraH onto the diagonal
+// edge class when the decoding graph carries one.
+func (s *Source) NextLayersErased(layerX, layerZ, eraH, lostX, lostZ []bits.Vec) {
+	nq, nc := s.lat.Qubits(), s.lat.NumChecks()
+	lk := s.sim.PlanesLeak(nq + 2*nc)
+	for e := 0; e < nq; e++ {
+		eraH[e].CopyFrom(lk[e])
+		s.sim.ReplaceLeaked(e, eraH[e])
+	}
+	s.genericRound()
+	for e := 0; e < nq; e++ {
+		eraH[e].Or(lk[e])
+	}
+	for c := 0; c < nc; c++ {
+		lostX[c].CopyFrom(lk[s.ancP(c)])
+		lostZ[c].CopyFrom(lk[s.ancS(c)])
 	}
 	s.diff.Emit(layerX, layerZ)
 	s.rounds++

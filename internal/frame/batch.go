@@ -119,6 +119,11 @@ func (b *BatchSim) PlanesX(n int) []bits.Vec { return b.fx[:n] }
 // PlanesZ returns the live Z-frame planes of qubits [0, n) (read-only).
 func (b *BatchSim) PlanesZ(n int) []bits.Vec { return b.fz[:n] }
 
+// PlanesLeak returns the live leakage planes of qubits [0, n) — the
+// read-only view an erasure-harvesting extraction source uses to turn
+// leaked qubits into located faults.
+func (b *BatchSim) PlanesLeak(n int) []bits.Vec { return b.lk[:n] }
+
 // InjectX deterministically toggles an X error on one lane.
 func (b *BatchSim) InjectX(q, lane int) { b.fx[q].Flip(lane) }
 
@@ -185,7 +190,11 @@ func (b *BatchSim) point2(x, y int) {
 func (b *BatchSim) noise1(q int, p float64) {
 	b.smp.Bernoulli(p, b.active, b.t2)
 	if b.t2.Any() {
-		b.smp.Pauli1(b.t2, b.t0, b.t1)
+		if b.P.Bias > 0 {
+			b.smp.Pauli1Biased(b.P.Bias, b.t2, b.t0, b.t1)
+		} else {
+			b.smp.Pauli1(b.t2, b.t0, b.t1)
+		}
 		b.fx[q].Xor(b.t0)
 		b.fz[q].Xor(b.t1)
 		b.FaultCount += b.t2.Weight()
@@ -280,7 +289,11 @@ func (b *BatchSim) noise2(a, c int) {
 		xa, za := b.t0, b.t1
 		xb := bits.NewVec(b.w) // rare path; two extra planes are fine
 		zb := bits.NewVec(b.w)
-		b.smp.Pauli2(b.t2, xa, za, xb, zb)
+		if b.P.Bias > 0 {
+			b.smp.Pauli2Biased(b.P.Bias, b.t2, xa, za, xb, zb)
+		} else {
+			b.smp.Pauli2(b.t2, xa, za, xb, zb)
+		}
 		b.fx[a].Xor(xa)
 		b.fz[a].Xor(za)
 		b.fx[c].Xor(xb)
@@ -362,7 +375,11 @@ func (b *BatchSim) Storage(q int) {
 	b.point1(q)
 	b.smp.Bernoulli(b.P.Storage, b.active, b.t2)
 	if b.t2.Any() {
-		b.smp.Pauli1(b.t2, b.t0, b.t1)
+		if b.P.Bias > 0 {
+			b.smp.Pauli1Biased(b.P.Bias, b.t2, b.t0, b.t1)
+		} else {
+			b.smp.Pauli1(b.t2, b.t0, b.t1)
+		}
 		b.fx[q].Xor(b.t0)
 		b.fz[q].Xor(b.t1)
 		b.FaultCount += b.t2.Weight()

@@ -105,10 +105,10 @@ func (pl *RoundPlan) Locations() int { return pl.locs }
 // planes into meas (indexed by the plan's slots; each plane must be
 // Lanes() bits wide). It returns false — having executed nothing — when
 // the fused path cannot reproduce the generic one draw for draw: the
-// sampler is not an AggregateSampler, leakage is modeled, a trigger
-// harness has been armed (scripted injection needs per-location
-// callbacks), or the active mask is narrowed. Callers fall back to the
-// generic gate loop in that case.
+// sampler is not an AggregateSampler, leakage or biased noise is
+// modeled, a trigger harness has been armed (scripted injection needs
+// per-location callbacks), or the active mask is narrowed. Callers fall
+// back to the generic gate loop in that case.
 //
 // Why the fused path is bit-identical to the generic loop on the same
 // sampler state:
@@ -133,7 +133,7 @@ func (pl *RoundPlan) Locations() int { return pl.locs }
 //     measurement coin draws never fire.
 func (b *BatchSim) RunRound(pl *RoundPlan, meas []bits.Vec) bool {
 	s, ok := b.smp.(*AggregateSampler)
-	if !ok || b.P.Leak > 0 || b.trigger != nil || b.active.Weight() != b.w {
+	if !ok || b.P.Leak > 0 || b.P.Bias > 0 || b.trigger != nil || b.active.Weight() != b.w {
 		return false
 	}
 	for i := range pl.ops {

@@ -40,6 +40,12 @@ type Sampler interface {
 	// lane in faults, writing the components for the first qubit into
 	// outXa/outZa and for the second into outXb/outZb.
 	Pauli2(faults, outXa, outZa, outXb, outZb bits.Vec)
+	// Pauli1Biased is Pauli1 with a biased component distribution
+	// (noise.Random1Biased with ratio η).
+	Pauli1Biased(eta float64, faults, outX, outZ bits.Vec)
+	// Pauli2Biased is Pauli2 with a biased component distribution
+	// (noise.Random2Biased with ratio η).
+	Pauli2Biased(eta float64, faults, outXa, outZa, outXb, outZb bits.Vec)
 }
 
 // --- lockstep: per-lane streams, bit-exact against the scalar Sim ---
@@ -108,6 +114,16 @@ func (s *LockstepSampler) Pauli1(faults, outX, outZ bits.Vec) {
 // Pauli2 mirrors noise.Random2 per faulted lane.
 func (s *LockstepSampler) Pauli2(faults, outXa, outZa, outXb, outZb bits.Vec) {
 	scatterPauli2(faults, outXa, outZa, outXb, outZb, s.laneRand)
+}
+
+// Pauli1Biased mirrors noise.Random1Biased per faulted lane.
+func (s *LockstepSampler) Pauli1Biased(eta float64, faults, outX, outZ bits.Vec) {
+	scatterPauli1Biased(eta, faults, outX, outZ, s.laneRand)
+}
+
+// Pauli2Biased mirrors noise.Random2Biased per faulted lane.
+func (s *LockstepSampler) Pauli2Biased(eta float64, faults, outXa, outZa, outXb, outZb bits.Vec) {
+	scatterPauli2Biased(eta, faults, outXa, outZa, outXb, outZb, s.laneRand)
 }
 
 func (s *LockstepSampler) laneRand(lane int) *rand.Rand { return s.rngs[lane] }
@@ -242,6 +258,16 @@ func (s *AggregateSampler) Pauli2(faults, outXa, outZa, outXb, outZb bits.Vec) {
 	scatterPauli2(faults, outXa, outZa, outXb, outZb, s.anyRand)
 }
 
+// Pauli1Biased draws per faulted lane with bias ratio eta.
+func (s *AggregateSampler) Pauli1Biased(eta float64, faults, outX, outZ bits.Vec) {
+	scatterPauli1Biased(eta, faults, outX, outZ, s.anyRand)
+}
+
+// Pauli2Biased draws per faulted lane with bias ratio eta.
+func (s *AggregateSampler) Pauli2Biased(eta float64, faults, outXa, outZa, outXb, outZb bits.Vec) {
+	scatterPauli2Biased(eta, faults, outXa, outZa, outXb, outZb, s.anyRand)
+}
+
 func (s *AggregateSampler) anyRand(int) *rand.Rand { return s.rng }
 
 // scatterPauli1 draws a uniform nontrivial one-qubit Pauli for every lane
@@ -276,6 +302,52 @@ func scatterPauli2(faults, outXa, outZa, outXb, outZb bits.Vec, src func(lane in
 		for b := faults.Word(i); b != 0; b &= b - 1 {
 			lane := i*64 + trailingZeros(b)
 			ea, eb := noise.Random2(src(lane))
+			low := b & -b
+			if ea&noise.ErrX != 0 {
+				outXa.XorWord(i, low)
+			}
+			if ea&noise.ErrZ != 0 {
+				outZa.XorWord(i, low)
+			}
+			if eb&noise.ErrX != 0 {
+				outXb.XorWord(i, low)
+			}
+			if eb&noise.ErrZ != 0 {
+				outZb.XorWord(i, low)
+			}
+		}
+	}
+}
+
+// scatterPauli1Biased is scatterPauli1 with noise.Random1Biased draws.
+func scatterPauli1Biased(eta float64, faults, outX, outZ bits.Vec, src func(lane int) *rand.Rand) {
+	outX.Clear()
+	outZ.Clear()
+	for i := 0; i < faults.Words(); i++ {
+		for b := faults.Word(i); b != 0; b &= b - 1 {
+			lane := i*64 + trailingZeros(b)
+			e := noise.Random1Biased(src(lane), eta)
+			low := b & -b
+			if e&noise.ErrX != 0 {
+				outX.XorWord(i, low)
+			}
+			if e&noise.ErrZ != 0 {
+				outZ.XorWord(i, low)
+			}
+		}
+	}
+}
+
+// scatterPauli2Biased is scatterPauli2 with noise.Random2Biased draws.
+func scatterPauli2Biased(eta float64, faults, outXa, outZa, outXb, outZb bits.Vec, src func(lane int) *rand.Rand) {
+	outXa.Clear()
+	outZa.Clear()
+	outXb.Clear()
+	outZb.Clear()
+	for i := 0; i < faults.Words(); i++ {
+		for b := faults.Word(i); b != 0; b &= b - 1 {
+			lane := i*64 + trailingZeros(b)
+			ea, eb := noise.Random2Biased(src(lane), eta)
 			low := b & -b
 			if ea&noise.ErrX != 0 {
 				outXa.XorWord(i, low)

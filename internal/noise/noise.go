@@ -6,7 +6,10 @@
 // accumulation with linear amplitude drift.
 package noise
 
-import "math/rand/v2"
+import (
+	"fmt"
+	"math/rand/v2"
+)
 
 // Params holds per-location error probabilities. Each probability is the
 // chance that the location is faulty; a faulty location applies a
@@ -19,6 +22,12 @@ type Params struct {
 	Meas    float64 // classical readout flips
 	Storage float64 // per qubit per idle moment
 	Leak    float64 // per gate probability of leakage out of the qubit space
+
+	// Bias is the noise-bias ratio η = p_Z / (p_X + p_Y) of each faulty
+	// location's Pauli draw. The zero value means "unbiased" (the uniform
+	// §5 model, equivalent to η = 1/2); η → ∞ is pure dephasing. Bias is
+	// a shape parameter, not a rate: Scale leaves it untouched.
+	Bias float64
 }
 
 // Uniform gives every location (gates, prep, meas, storage) the same
@@ -47,7 +56,34 @@ func (p Params) Scale(f float64) Params {
 		Meas:    p.Meas * f,
 		Storage: p.Storage * f,
 		Leak:    p.Leak * f,
+		Bias:    p.Bias,
 	}
+}
+
+// Validate reports the first malformed field: probabilities outside
+// [0,1] or a negative bias ratio.
+func (p Params) Validate() error {
+	check := func(name string, v float64) error {
+		if v < 0 || v > 1 || v != v {
+			return fmt.Errorf("noise: %s = %v outside [0,1]", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Gate1", p.Gate1}, {"Gate2", p.Gate2}, {"Prep", p.Prep},
+		{"Meas", p.Meas}, {"Storage", p.Storage}, {"Leak", p.Leak},
+	} {
+		if err := check(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if p.Bias < 0 || p.Bias != p.Bias {
+		return fmt.Errorf("noise: Bias = %v negative", p.Bias)
+	}
+	return nil
 }
 
 // PauliError identifies which Pauli hit a qubit: bit 0 = X component,
@@ -74,4 +110,49 @@ func Random1(rng *rand.Rand) PauliError {
 func Random2(rng *rand.Rand) (a, b PauliError) {
 	k := 1 + rng.IntN(15)
 	return PauliError(k & 3), PauliError(k >> 2)
+}
+
+// biasWeights returns the per-component weights (wI, wXY, wZ) of a
+// biased Pauli draw with ratio η = p_Z/(p_X+p_Y): r_x = r_y =
+// 1/(2(1+η)), r_z = η/(1+η), scaled by 3 so η = 1/2 gives the uniform
+// weights (1, 1, 1).
+func biasWeights(eta float64) (wXY, wZ float64) {
+	return 3 / (2 * (1 + eta)), 3 * eta / (1 + eta)
+}
+
+// Random1Biased draws a nontrivial one-qubit Pauli with bias ratio η:
+// P(Z)/[P(X)+P(Y)] = η, P(X) = P(Y). η = 1/2 reproduces Random1's
+// uniform distribution (over a different stream discipline); a caller
+// holding η = 0 should use Random1 instead.
+func Random1Biased(rng *rand.Rand, eta float64) PauliError {
+	wXY, wZ := biasWeights(eta)
+	u := rng.Float64() * (2*wXY + wZ)
+	switch {
+	case u < wXY:
+		return ErrX
+	case u < 2*wXY:
+		return ErrY
+	default:
+		return ErrZ
+	}
+}
+
+// Random2Biased draws a nontrivial two-qubit Pauli whose 15 outcomes are
+// weighted w(a)·w(b) with w(I) = 1, w(X) = w(Y) = wXY, w(Z) = wZ from
+// biasWeights(η) — the two-qubit extension of Random1Biased under the
+// same pessimistic "either or both qubits damaged" convention. η = 1/2
+// gives all 15 outcomes equal weight, matching Random2's distribution.
+func Random2Biased(rng *rand.Rand, eta float64) (a, b PauliError) {
+	wXY, wZ := biasWeights(eta)
+	w := [4]float64{1, wXY, wZ, wXY}
+	total := (1 + 2*wXY + wZ) * (1 + 2*wXY + wZ)
+	u := rng.Float64() * (total - 1)
+	acc := 0.0
+	for k := 1; k < 15; k++ {
+		acc += w[k&3] * w[k>>2]
+		if u < acc {
+			return PauliError(k & 3), PauliError(k >> 2)
+		}
+	}
+	return PauliError(15 & 3), PauliError(15 >> 2)
 }

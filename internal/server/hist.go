@@ -80,6 +80,14 @@ func (h *Hist) Snapshot() HistSnapshot {
 		for i, c := range counts {
 			cum += c
 			if cum > target {
+				// The final bucket is the overflow bucket: it holds every
+				// observation from 2^42 ns up, so its power-of-two "upper
+				// bound" can understate the quantile by hours. The observed
+				// maximum is the only honest bound there — and the clamp
+				// below keeps regular buckets from overstating past it.
+				if i == histBuckets-1 {
+					return s.Max
+				}
 				up := bucketUpper(i)
 				if up > s.Max {
 					up = s.Max
@@ -92,7 +100,11 @@ func (h *Hist) Snapshot() HistSnapshot {
 	s.P50, s.P90, s.P99 = quantile(0.50), quantile(0.90), quantile(0.99)
 	for i, c := range counts {
 		if c > 0 {
-			s.Buckets = append(s.Buckets, HistBucket{UpTo: bucketUpper(i), Count: c})
+			up := bucketUpper(i)
+			if i == histBuckets-1 || up > s.Max {
+				up = s.Max
+			}
+			s.Buckets = append(s.Buckets, HistBucket{UpTo: up, Count: c})
 		}
 	}
 	return s

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistEmpty: a never-observed histogram snapshots to all zeros
+// without dividing by its zero count.
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.P90 != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	if len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot has %d buckets", len(s.Buckets))
+	}
+}
+
+// TestHistSingleSample: every quantile of a one-sample histogram is
+// that sample.
+func TestHistSingleSample(t *testing.T) {
+	var h Hist
+	h.Observe(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.Mean != 3*time.Millisecond || s.Max != 3*time.Millisecond {
+		t.Fatalf("mean %v max %v, want 3ms", s.Mean, s.Max)
+	}
+	if s.P50 != s.Max || s.P90 != s.Max || s.P99 != s.Max {
+		t.Fatalf("quantiles %v %v %v, want all %v", s.P50, s.P90, s.P99, s.Max)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].Count != 1 {
+		t.Fatalf("buckets %+v", s.Buckets)
+	}
+}
+
+// TestHistAllZero: non-positive durations land in the exact-zero
+// bucket and quantile to zero.
+func TestHistAllZero(t *testing.T) {
+	var h Hist
+	for i := 0; i < 10; i++ {
+		h.Observe(0)
+	}
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count != 11 || s.Max != 0 || s.P99 != 0 {
+		t.Fatalf("all-zero snapshot: %+v", s)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].UpTo != 0 || s.Buckets[0].Count != 11 {
+		t.Fatalf("buckets %+v", s.Buckets)
+	}
+}
+
+// TestHistOverflowBucket pins the overflow-bucket quantile: an
+// observation beyond the largest power-of-two bound (2^43 ns ≈ 2.4h)
+// is clamped into the final bucket, and quantiles landing there must
+// report the observed max — the bucket's nominal upper bound would
+// understate a 3h stall by over half an hour. The reported bucket's
+// UpTo must tell the same truth.
+func TestHistOverflowBucket(t *testing.T) {
+	var h Hist
+	const stall = 3 * time.Hour
+	h.Observe(stall)
+	s := h.Snapshot()
+	if s.Max != stall {
+		t.Fatalf("max %v, want %v", s.Max, stall)
+	}
+	if s.P50 != stall || s.P99 != stall {
+		t.Fatalf("overflow-bucket quantiles %v / %v, want %v (not the 2^43ns bucket bound)", s.P50, s.P99, stall)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].UpTo != stall {
+		t.Fatalf("overflow bucket reports UpTo %v, want %v", s.Buckets[0].UpTo, stall)
+	}
+}

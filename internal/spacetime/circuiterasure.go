@@ -1,0 +1,341 @@
+package spacetime
+
+// Circuit-level erasure and correlated two-sector decoding.
+//
+// The extraction circuit produces two kinds of side information the
+// independent-sector pipeline used to drop:
+//
+//   - Leakage. frame.BatchSim tracks a leakage flag per qubit; an
+//     erasure-harvesting source (extract.NewSourceErased /
+//     surface.NewCircuitSourceErased) replaces leaked data qubits with
+//     fresh randomized ones at round boundaries and reports every leak
+//     as a located fault: the horizontal (and mirrored diagonal) edges
+//     of a leaked data qubit, the vertical edge of a leaked ancilla.
+//     Located faults seed the union-find peeling pass (DecodeErased) at
+//     full support — the erasure decoding the phenomenological path
+//     already had, now fed by the circuit model itself.
+//
+//   - Correlations. Depolarizing faults have Y components (an X error
+//     here implies a Z error on the same qubit with probability
+//     p_Y/(p_X+p_Y) = 1/2, an LLR of exactly zero) and mid-chain
+//     ancilla faults hook onto the late-scheduled data qubits of the
+//     other sector. DecodeOptions.Correlated decodes the primal sector
+//     first and reprices the dual graph from the committed primal
+//     correction: every counterpart edge's weight drops to zero, which
+//     in the integer-weight union-find is exactly "erased".
+//
+// Both paths keep the determinism contract: lanes decode independently
+// over word-aligned spans, the primal→dual order is fixed, and the
+// erased edge lists are built in canonical ascending edge-id order — so
+// results are bit-identical for any GOMAXPROCS or worker count, and the
+// streaming window (internal/stream) can reproduce them exactly.
+
+import (
+	"fmt"
+	mbits "math/bits"
+
+	"ftqc/internal/bits"
+	"ftqc/internal/extract"
+	"ftqc/internal/frame"
+	"ftqc/internal/noise"
+	"ftqc/internal/surface"
+)
+
+// DecodeOptions selects the side-information passes of a circuit-level
+// decode. The zero value is the independent-sector, erasure-blind
+// baseline.
+type DecodeOptions struct {
+	// ErasureAware feeds the harvested leakage planes into the
+	// union-find peeling pass as known fault locations. Without it the
+	// same noisy histories decode blind — the controlled comparison
+	// that measures what the locations are worth.
+	ErasureAware bool
+	// Correlated decodes the primal sector first and marks the dual
+	// counterparts of its committed correction (the same-qubit,
+	// same-layer Y components of horizontal and diagonal edges — see
+	// MarkCounterpartEdges) as erased in the dual decode — the zero-LLR
+	// repricing of the depolarizing channel's conditionals.
+	Correlated bool
+}
+
+// ErasedLayerFeed is the layer-feed contract of an erasure-harvesting
+// circuit source: LayerFeed plus the per-round erasure planes. eraH is
+// qubit-major (Qubits() planes: lanes whose data qubit is a located
+// fault this layer), lostX/lostZ are check-major (Checks() planes per
+// sector: lanes whose ancilla measurement read as a coin).
+type ErasedLayerFeed interface {
+	LayerFeed
+	NextLayersErased(layerX, layerZ, eraH, lostX, lostZ []bits.Vec)
+}
+
+// MarkCounterpartEdges marks, in a dual-sector edge mask, the edge
+// whose fault probability is conditioned on a committed primal
+// correction edge e — the repricing pass of correlated decoding. The
+// geometry parameters are the caller's edge-id layout (a Volume's or a
+// streaming Window's): horizontal ids [0, horiz), vertical ids
+// [horiz, diagOff), diagonal ids diagOff+. Both sectors share that
+// layout, so a horizontal (q, t) maps to the dual horizontal of the
+// same id and a diagonal maps to the dual horizontal at its own
+// (q, t).
+//
+// The marking is deliberately minimal: a primal data-qubit correction
+// (horizontal or diagonal) reprices only the dual horizontal on the
+// same qubit at the same layer — the Y component of the depolarizing
+// channel. Vertical (measurement-chain) corrections mark nothing, and
+// no diagonal dual edges are marked. The broader sets suggested by the
+// circuit model — schedule hooks of ancilla faults, mirrored diagonals
+// for either dual reader — were measured to over-erase: they hand the
+// peeling pass so many zero-LLR edges that the dual decode gets worse
+// than independent, while the same-qubit horizontal alone yields a
+// consistent dual-sector improvement across operating points.
+//
+// Marking is idempotent (a bit mask), so overlapping counterparts
+// collapse; the caller extracts the canonical ascending erased list
+// with AppendSupport.
+func MarkCounterpartEdges(e, horiz, diagOff int, mask bits.Vec) {
+	switch {
+	case e < horiz:
+		mask.Set(e, true)
+	case e < diagOff:
+		// measurement-chain correction: no dual counterpart marked
+	default:
+		mask.Set(e-diagOff, true)
+	}
+}
+
+// BatchCircuitErasedFrom drains an erasure-harvesting circuit feed and
+// decodes both sectors per lane with the selected side-information
+// passes (union-find only). It is BatchMemoryFrom with erasure planes
+// and an optional correlated second pass; with a leak-free model and
+// zero options it consumes the sampler stream identically (the erased
+// round of a leak-free source is draw-for-draw the plain round).
+func (v *Volume) BatchCircuitErasedFrom(src ErasedLayerFeed, opts DecodeOptions) (failX, failZ bits.Vec) {
+	nc, nq := v.nc, v.nq
+	lanes := src.Lanes()
+	if src.Rounds() != 0 {
+		panic("spacetime: layer feed already drained")
+	}
+	if src.L() != v.L {
+		panic("spacetime: layer feed lattice size does not match the volume")
+	}
+	if cf, ok := src.(codeFeed); ok {
+		if cf.Code().CodeName() != v.code.CodeName() {
+			panic("spacetime: layer feed code family does not match the volume")
+		}
+	} else if v.code.CodeName() != "toric" {
+		panic("spacetime: this volume needs a code-aware layer feed (surface.NewCircuitSourceErased)")
+	}
+	layersX := bits.NewVecs(v.det, lanes)
+	layersZ := bits.NewVecs(v.det, lanes)
+	eraH := bits.NewVecs(v.horiz, lanes)
+	lostX := bits.NewVecs(v.T*nc, lanes)
+	lostZ := bits.NewVecs(v.T*nc, lanes)
+	for t := 0; t < v.T; t++ {
+		src.NextLayersErased(
+			layersX[t*nc:(t+1)*nc], layersZ[t*nc:(t+1)*nc],
+			eraH[t*nq:(t+1)*nq], lostX[t*nc:(t+1)*nc], lostZ[t*nc:(t+1)*nc])
+	}
+	src.CloseLayers(layersX[v.T*nc:], layersZ[v.T*nc:])
+	pX1 := bits.NewVec(lanes)
+	pX2 := bits.NewVec(lanes)
+	pZ1 := bits.NewVec(lanes)
+	pZ2 := bits.NewVec(lanes)
+	src.Windings(pX1, pX2, pZ1, pZ2)
+	synX := bits.NewVecs(lanes, v.det)
+	bits.TransposePlanes(synX, layersX)
+	synZ := bits.NewVecs(lanes, v.det)
+	bits.TransposePlanes(synZ, layersZ)
+	var eraLane, lostXLane, lostZLane []bits.Vec
+	if opts.ErasureAware {
+		eraLane = bits.NewVecs(lanes, v.horiz)
+		bits.TransposePlanes(eraLane, eraH)
+		lostXLane = bits.NewVecs(lanes, v.T*nc)
+		bits.TransposePlanes(lostXLane, lostX)
+		lostZLane = bits.NewVecs(lanes, v.T*nc)
+		bits.TransposePlanes(lostZLane, lostZ)
+	}
+	failX = bits.NewVec(lanes)
+	failZ = bits.NewVec(lanes)
+	v.decodeCircuitLanes(opts, synX, synZ, eraLane, lostXLane, lostZLane,
+		pX1, pX2, pZ1, pZ2, failX, failZ)
+	return failX, failZ
+}
+
+// decodeCircuitLanes decodes both sectors of lanes over word-aligned
+// spans. The two sectors of one lane decode back to back (primal, then
+// dual) because the correlated pass conditions the dual decode on that
+// lane's committed primal correction — still embarrassingly parallel
+// across lanes, so the worker-count invariance argument of decodeLanes
+// carries over unchanged.
+func (v *Volume) decodeCircuitLanes(opts DecodeOptions, synX, synZ, era, lostX, lostZ []bits.Vec, pX1, pX2, pZ1, pZ2, failX, failZ bits.Vec) {
+	frame.ForEachLaneSpan(len(synX), func(lo, hi int) {
+		scr := v.scratch.Get().(*volScratch)
+		for lane := lo; lane < hi; lane++ {
+			// Primal (plaquette) sector: collect the raw correction edges
+			// when the dual pass needs them.
+			scr.edges = scr.edges[:0]
+			scr.defects = synX[lane].AppendSupport(scr.defects[:0])
+			l1 := pX1.Get(lane)
+			l2 := pX2.Get(lane)
+			if len(scr.defects) > 0 {
+				scr.erased = scr.erased[:0]
+				if era != nil {
+					scr.erased = v.appendErased(scr.erased, era[lane], lostX[lane], scr.emask)
+				}
+				scr.corr.Clear()
+				scr.ufX.DecodeErased(scr.defects, scr.erased, func(e int) {
+					if opts.Correlated {
+						scr.edges = append(scr.edges, int32(e))
+					}
+					if q, ok := v.ProjectEdge(e); ok {
+						scr.corr.Flip(q)
+					}
+				})
+				c1, c2 := v.code.LogicalParity(false, scr.corr)
+				l1 = l1 != c1
+				l2 = l2 != c2
+			}
+			if l1 || l2 {
+				failX.Set(lane, true)
+			}
+			// Dual (star) sector, repriced from the primal commit.
+			scr.defects = synZ[lane].AppendSupport(scr.defects[:0])
+			l1 = pZ1.Get(lane)
+			l2 = pZ2.Get(lane)
+			if len(scr.defects) > 0 {
+				scr.emask.Clear()
+				if era != nil {
+					SetErasedMask(scr.emask, era[lane], lostZ[lane], v.horiz, v.diagOff, v.WD)
+				}
+				for _, e := range scr.edges {
+					MarkCounterpartEdges(int(e), v.horiz, v.diagOff, scr.emask)
+				}
+				scr.erased = scr.emask.AppendSupport(scr.erased[:0])
+				scr.corr.Clear()
+				scr.ufZ.DecodeErased(scr.defects, scr.erased, func(e int) {
+					if q, ok := v.ProjectEdge(e); ok {
+						scr.corr.Flip(q)
+					}
+				})
+				c1, c2 := v.code.LogicalParity(true, scr.corr)
+				l1 = l1 != c1
+				l2 = l2 != c2
+			}
+			if l1 || l2 {
+				failZ.Set(lane, true)
+			}
+		}
+		v.scratch.Put(scr)
+	})
+}
+
+// SetErasedMask sets a sector's erasure bits in an edge-id mask: the
+// lane's erased horizontals, their mirrored diagonals (a leaked data
+// qubit's fault may straddle the two reads), and the sector's lost
+// verticals. Like MarkCounterpartEdges it is geometry-parameterized so
+// a Volume and a streaming window share one implementation; the caller
+// clears the mask first.
+func SetErasedMask(mask, era, lost bits.Vec, horiz, diagOff, wd int) {
+	for i := 0; i < era.Words(); i++ {
+		mask.XorWord(i, era.Word(i)) // mask is clear here: XOR = OR
+	}
+	for i := 0; i < era.Words(); i++ {
+		for b := era.Word(i); b != 0; b &= b - 1 {
+			h := i*64 + trailingZeros64(b)
+			if wd > 0 {
+				mask.Set(diagOff+h, true)
+			}
+		}
+	}
+	for i := 0; i < lost.Words(); i++ {
+		for b := lost.Word(i); b != 0; b &= b - 1 {
+			mask.Set(horiz+i*64+trailingZeros64(b), true)
+		}
+	}
+}
+
+// appendErased appends one sector's canonical erased edge list —
+// ascending edge ids: horizontals, then verticals, then mirrored
+// diagonals — using the scratch mask for the id arithmetic.
+func (v *Volume) appendErased(dst []int, era, lost bits.Vec, mask bits.Vec) []int {
+	mask.Clear()
+	SetErasedMask(mask, era, lost, v.horiz, v.diagOff, v.WD)
+	return mask.AppendSupport(dst)
+}
+
+func trailingZeros64(x uint64) int { return mbits.TrailingZeros64(x) }
+
+// validateCircuitModel is the constructor-error gate of the
+// option-bearing circuit entry points: a malformed model or round count
+// is an error, never a silent adjustment.
+func validateCircuitModel(P noise.Params, rounds int) error {
+	if err := P.Validate(); err != nil {
+		return err
+	}
+	if rounds < 1 {
+		return fmt.Errorf("spacetime: need at least one measurement round (got %d)", rounds)
+	}
+	return nil
+}
+
+// CircuitMemoryOpts runs the circuit-level noisy-extraction memory
+// Monte Carlo with leakage and the selected decode options: `rounds`
+// full extraction circuits per shot under P (including its Leak and
+// Bias channels), decoded by weighted union-find over the diagonal-edge
+// volume. Result.Pe reports the leak rate. Unsupported parameters are
+// constructor errors — leakage is never silently ignored.
+func CircuitMemoryOpts(l, rounds int, P noise.Params, samples int, seed uint64, opts DecodeOptions) (Result, error) {
+	if err := validateCircuitModel(P, rounds); err != nil {
+		return Result{}, err
+	}
+	v := CachedCircuitVolumeFor(l, rounds, P)
+	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
+		return v.BatchCircuitErasedFrom(extract.NewSourceErased(l, P, lanes, smp), opts)
+	})
+	return Result{L: l, T: rounds, P: P.Gate2, Q: P.Meas, Pe: P.Leak, Samples: samples,
+		FailX: fx, FailZ: fz, Failures: fa}, nil
+}
+
+// CodeCircuitMemoryOpts is CircuitMemoryOpts for any surface.Code —
+// including schedule overrides (surface.WithSchedule), which is how the
+// CNOT-schedule ablation sweeps run both schedules through one code-
+// generic pipeline.
+func CodeCircuitMemoryOpts(code surface.Code, rounds int, P noise.Params, samples int, seed uint64, opts DecodeOptions) (Result, error) {
+	if err := validateCircuitModel(P, rounds); err != nil {
+		return Result{}, err
+	}
+	v := CachedCodeCircuitVolumeFor(code, rounds, P)
+	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
+		return v.BatchCircuitErasedFrom(surface.NewCircuitSourceErased(code, P, lanes, smp), opts)
+	})
+	return Result{L: code.Distance(), T: rounds, P: P.Gate2, Q: P.Meas, Pe: P.Leak, Samples: samples,
+		FailX: fx, FailZ: fz, Failures: fa}, nil
+}
+
+// CircuitSustainedThresholdOpts sweeps a circuit-level noise family
+// over the grid with T = L rounds for two code distances under the
+// given decode options and estimates the failure-curve crossing. The
+// model function maps a grid value ε to its noise.Params (e.g.
+// noise.Uniform, or a biased or leaky variant); decoding weights are
+// derived from the model's Pauli rates only — leakage enters as
+// erasure, bias as a prior-mismatch ablation.
+func CircuitSustainedThresholdOpts(l1, l2 int, grid []float64, model func(eps float64) noise.Params, samples int, seed uint64, opts DecodeOptions) (float64, []ThresholdPoint, error) {
+	pts := make([]ThresholdPoint, len(grid))
+	small := make([]float64, len(grid))
+	large := make([]float64, len(grid))
+	for i, eps := range grid {
+		P := model(eps)
+		rs, err := CircuitMemoryOpts(l1, l1, P, samples, seed+uint64(2*i), opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		rl, err := CircuitMemoryOpts(l2, l2, P, samples, seed+uint64(2*i+1), opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		pts[i] = ThresholdPoint{P: eps, Small: rs, Large: rl}
+		small[i] = rs.FailRate()
+		large[i] = rl.FailRate()
+	}
+	return CrossingEstimate(grid, small, large), pts, nil
+}

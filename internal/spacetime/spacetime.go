@@ -56,6 +56,8 @@ type volScratch struct {
 	defects  []int
 	erased   []int
 	corr     bits.Vec
+	emask    bits.Vec // edge-id mask: erased-list construction, correlated repricing
+	edges    []int32  // raw primal correction edges of the lane in flight
 }
 
 // NewVolume builds the space-time volume for an L×L toric lattice,
@@ -123,12 +125,17 @@ func newVolume(code surface.Code, rounds, wh, wv, wd int) *Volume {
 	}
 	v.graphX = v.buildGraph(code.SectorGraph(false), v.diagX)
 	v.graphZ = v.buildGraph(code.SectorGraph(true), v.diagZ)
-	gx, gz, nq := v.graphX, v.graphZ, v.nq
+	nedges := v.horiz + rounds*nc
+	if wd > 0 {
+		nedges += rounds * nq
+	}
+	gx, gz, nqq := v.graphX, v.graphZ, v.nq
 	v.scratch = &sync.Pool{New: func() any {
 		return &volScratch{
-			ufX:  decoder.NewUnionFind(gx),
-			ufZ:  decoder.NewUnionFind(gz),
-			corr: bits.NewVec(nq),
+			ufX:   decoder.NewUnionFind(gx),
+			ufZ:   decoder.NewUnionFind(gz),
+			corr:  bits.NewVec(nqq),
+			emask: bits.NewVec(nedges),
 		}
 	}}
 	return v

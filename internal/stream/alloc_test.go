@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"ftqc/internal/bits"
+	"ftqc/internal/extract"
 	"ftqc/internal/frame"
+	"ftqc/internal/noise"
 	"ftqc/internal/spacetime"
 	"ftqc/internal/toric"
 )
@@ -64,5 +66,66 @@ func TestWarmPushZeroAllocs(t *testing.T) {
 	}
 	if avg != 0 {
 		t.Fatalf("warm Push/slide allocates: %v allocs per %d-layer commit", avg, c)
+	}
+}
+
+// TestWarmPushErasedZeroAllocs extends the pin to the erasure-aware
+// circuit path: once warm, PushErased — plane copies, quiet-flag
+// bookkeeping, the erased-lane from-scratch decodes and the canonical
+// erased-list builds behind the slides it triggers — also performs zero
+// heap allocations.
+func TestWarmPushErasedZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the alloc pin runs in the uninstrumented suite")
+	}
+	const (
+		l     = 6
+		lanes = 16
+	)
+	P := noise.Uniform(0.008)
+	P.Leak = 0.01
+	w, c := DefaultWindow(l)
+	wh, wv, wd := spacetime.WeightsCircuit(P, l, w)
+	s := mustCircuitSession(t, l, w, c, wh, wv, wd)
+	defer s.Close()
+	d := s.NewDecoderOpts(lanes, spacetime.DecodeOptions{ErasureAware: true})
+	lat := toric.Cached(l)
+	nc, nq := lat.NumChecks(), lat.Qubits()
+
+	src := extract.NewSourceErased(l, P, lanes, frame.NewAggregateSampler(943, 1))
+	type round struct {
+		layerX, layerZ, eraH, lostX, lostZ []bits.Vec
+	}
+	layers := make([]round, w)
+	for i := range layers {
+		layers[i] = round{
+			layerX: bits.NewVecs(nc, lanes), layerZ: bits.NewVecs(nc, lanes),
+			eraH: bits.NewVecs(nq, lanes), lostX: bits.NewVecs(nc, lanes), lostZ: bits.NewVecs(nc, lanes),
+		}
+		src.NextLayersErased(layers[i].layerX, layers[i].layerZ, layers[i].eraH, layers[i].lostX, layers[i].lostZ)
+	}
+	next := 0
+	pushCommit := func() {
+		for i := 0; i < c; i++ {
+			lay := layers[next%len(layers)]
+			next++
+			d.PushErased(lay.layerX, lay.layerZ, lay.eraH, lay.lostX, lay.lostZ)
+		}
+	}
+	slides := d.Slides()
+	for next < 6*w {
+		pushCommit()
+	}
+	if d.Slides() == slides {
+		t.Fatal("warm-up performed no slides")
+	}
+	slides = d.Slides()
+	const runs = 8
+	avg := testing.AllocsPerRun(runs, pushCommit)
+	if d.Slides() == slides {
+		t.Fatal("measured loop performed no slides")
+	}
+	if avg != 0 {
+		t.Fatalf("warm PushErased/slide allocates: %v allocs per %d-layer commit", avg, c)
 	}
 }

@@ -1,0 +1,148 @@
+package stream
+
+// Streaming circuit-level erasure and correlated decoding: the sliding
+// window's half of internal/spacetime/circuiterasure.go. An erasure-
+// harvesting source (extract.NewSourceErased /
+// surface.NewCircuitSourceErased) reports every leak as a located
+// fault; PushErased carries those planes alongside the difference
+// layers, and every slide decodes the lanes they touch from scratch
+// with the erased edges seeded into the union-find peeling pass.
+// Correlated decoders serialize each slide — primal window first, dual
+// repriced from the primal correction — so the committed frames stay a
+// pure function of the stream for any worker count, and a window taller
+// than the stream reproduces the whole-volume decode bit for bit.
+
+import (
+	"fmt"
+
+	"ftqc/internal/bits"
+	"ftqc/internal/extract"
+	"ftqc/internal/frame"
+	"ftqc/internal/noise"
+	"ftqc/internal/spacetime"
+	"ftqc/internal/surface"
+)
+
+// PushErased is Push for an erasure-harvesting feed: one round's
+// difference layers plus its erasure side information — eraH qubit-major
+// (nq planes: lanes whose data qubit is a located fault this round),
+// lostX/lostZ check-major (nc planes per sector: lanes whose ancilla
+// measurement read as a coin). A decoder built without ErasureAware
+// accepts the planes and ignores them — that is the erasure-blind
+// control arm at matched marginals. Mixing Push and PushErased on one
+// decoder panics.
+func (d *Decoder) PushErased(layerX, layerZ, eraH, lostX, lostZ []bits.Vec) {
+	w := d.s.win
+	if d.err != nil {
+		return
+	}
+	if d.finished {
+		panic("stream: PushErased after Finish")
+	}
+	if d.pushMode == pushPlain {
+		panic("stream: PushErased on a decoder fed by Push — use one push discipline per stream")
+	}
+	d.pushMode = pushErased
+	if len(eraH) != w.nq || len(lostX) != w.nc || len(lostZ) != w.nc {
+		panic("stream: erasure plane count mismatch")
+	}
+	slot := d.pushRound(layerX, layerZ)
+	if slot < 0 || d.eraRing == nil {
+		return
+	}
+	eq := true
+	for e := 0; e < w.nq; e++ {
+		d.eraRing[slot*w.nq+e].CopyFrom(eraH[e])
+		eq = eq && eraH[e].Zero()
+	}
+	d.eraQuiet[slot] = eq
+	lqX, lqZ := true, true
+	for c := 0; c < w.nc; c++ {
+		d.sx.lostRing[slot*w.nc+c].CopyFrom(lostX[c])
+		lqX = lqX && lostX[c].Zero()
+		d.sz.lostRing[slot*w.nc+c].CopyFrom(lostZ[c])
+		lqZ = lqZ && lostZ[c].Zero()
+	}
+	d.sx.lostQuiet[slot] = lqX
+	d.sz.lostQuiet[slot] = lqZ
+}
+
+// BatchCircuitMemoryFrom drains an erasure-harvesting circuit feed
+// through the sliding window with the selected decode options — the
+// streaming counterpart of Volume.BatchCircuitErasedFrom. The feed must
+// be fresh and match the window's lattice and code family.
+func (s *Session) BatchCircuitMemoryFrom(src spacetime.ErasedLayerFeed, rounds int, opts spacetime.DecodeOptions) (failX, failZ bits.Vec) {
+	w := s.win
+	s.checkFeed(src)
+	lanes := src.Lanes()
+	d := s.NewDecoderOpts(lanes, opts)
+	layerX := bits.NewVecs(w.nc, lanes)
+	layerZ := bits.NewVecs(w.nc, lanes)
+	eraH := bits.NewVecs(w.nq, lanes)
+	lostX := bits.NewVecs(w.nc, lanes)
+	lostZ := bits.NewVecs(w.nc, lanes)
+	for t := 0; t < rounds; t++ {
+		src.NextLayersErased(layerX, layerZ, eraH, lostX, lostZ)
+		d.PushErased(layerX, layerZ, eraH, lostX, lostZ)
+	}
+	src.CloseLayers(layerX, layerZ)
+	d.Finish(layerX, layerZ)
+	if err := d.Err(); err != nil {
+		// The Monte Carlo paths own their pool, so a mid-run closure is a
+		// caller bug, not an operating condition.
+		panic(err)
+	}
+	return s.failureMasks(src, d)
+}
+
+// CircuitMemoryOpts is the streaming circuit-level memory Monte Carlo
+// with leakage and the selected decode options: `rounds` full
+// extraction circuits per shot under P (including its Leak and Bias
+// channels) slide through the window, erased lanes decode with their
+// located faults, and correlated runs reprice the dual window each
+// slide. Result.Pe reports the leak rate. A malformed model or horizon
+// is a constructor error — leakage is never silently ignored.
+func CircuitMemoryOpts(l, rounds int, P noise.Params, window, commit, samples int, seed uint64, opts spacetime.DecodeOptions) (Result, error) {
+	if err := P.Validate(); err != nil {
+		return Result{}, err
+	}
+	window, commit = defaultedWindow(l, window, commit)
+	if rounds < 1 {
+		return Result{}, fmt.Errorf("stream: memory experiment needs at least one noisy round (got rounds=%d)", rounds)
+	}
+	wh, wv, wd := spacetime.WeightsCircuit(P, l, window)
+	s, err := NewCircuitSession(l, window, commit, wh, wv, wd)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.Close()
+	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
+		return s.BatchCircuitMemoryFrom(extract.NewSourceErased(l, P, lanes, smp), rounds, opts)
+	})
+	return Result{Code: "toric", L: l, T: rounds, Window: window, Commit: commit, P: P.Gate2, Q: P.Meas,
+		Pe: P.Leak, Samples: samples, FailX: fx, FailZ: fz, Failures: fa}, nil
+}
+
+// CodeCircuitMemoryOpts is CircuitMemoryOpts for any surface.Code —
+// including schedule overrides (surface.WithSchedule), which is how the
+// CNOT-schedule ablation streams both schedules through one pipeline.
+func CodeCircuitMemoryOpts(code surface.Code, rounds int, P noise.Params, window, commit, samples int, seed uint64, opts spacetime.DecodeOptions) (Result, error) {
+	if err := P.Validate(); err != nil {
+		return Result{}, err
+	}
+	window, commit = defaultedWindow(code.Distance(), window, commit)
+	if rounds < 1 {
+		return Result{}, fmt.Errorf("stream: memory experiment needs at least one noisy round (got rounds=%d)", rounds)
+	}
+	wh, wv, wd := spacetime.WeightsCircuit(P, code.Distance(), window)
+	s, err := NewCodeCircuitSession(code, window, commit, wh, wv, wd)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.Close()
+	fx, fz, fa := frame.CountSectorFailures(samples, seed, func(lanes int, smp frame.Sampler) (bits.Vec, bits.Vec) {
+		return s.BatchCircuitMemoryFrom(surface.NewCircuitSourceErased(code, P, lanes, smp), rounds, opts)
+	})
+	return Result{Code: code.CodeName(), L: code.Distance(), T: rounds, Window: window, Commit: commit,
+		P: P.Gate2, Q: P.Meas, Pe: P.Leak, Samples: samples, FailX: fx, FailZ: fz, Failures: fa}, nil
+}

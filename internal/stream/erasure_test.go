@@ -1,0 +1,199 @@
+package stream
+
+import (
+	"runtime"
+	"testing"
+
+	"ftqc/internal/bits"
+	"ftqc/internal/extract"
+	"ftqc/internal/frame"
+	"ftqc/internal/noise"
+	"ftqc/internal/spacetime"
+)
+
+// TestErasedWindowGEVolumeBitIdentical: when the window holds the whole
+// stream, draining an erasure-harvesting source through the streaming
+// decoder must reproduce Volume.BatchCircuitErasedFrom bit for bit —
+// for every option set, including the serialized correlated pass. Same
+// draws, same canonical erased lists, same primal→dual order.
+func TestErasedWindowGEVolumeBitIdentical(t *testing.T) {
+	const lanes = 192
+	for _, cfg := range []struct {
+		l, rounds int
+		eps, leak float64
+		opts      spacetime.DecodeOptions
+	}{
+		{4, 4, 0.006, 0.01, spacetime.DecodeOptions{ErasureAware: true}},
+		{4, 4, 0.006, 0.01, spacetime.DecodeOptions{}},
+		{4, 4, 0.006, 0.008, spacetime.DecodeOptions{ErasureAware: true, Correlated: true}},
+		{4, 4, 0.008, 0, spacetime.DecodeOptions{Correlated: true}},
+		{3, 2, 0.01, 0.02, spacetime.DecodeOptions{ErasureAware: true}},
+		{5, 3, 0.004, 0.006, spacetime.DecodeOptions{ErasureAware: true, Correlated: true}},
+	} {
+		P := noise.Uniform(cfg.eps)
+		P.Leak = cfg.leak
+		wh, wv, wd := spacetime.WeightsCircuit(P, cfg.l, cfg.rounds)
+		v := spacetime.CachedCircuitVolume(cfg.l, cfg.rounds, wh, wv, wd)
+		fx1, fz1 := v.BatchCircuitErasedFrom(
+			extract.NewSourceErased(cfg.l, P, lanes, frame.NewAggregateSampler(971, 7)), cfg.opts)
+		s := mustCircuitSession(t, cfg.l, cfg.rounds, 1, wh, wv, wd)
+		fx2, fz2 := s.BatchCircuitMemoryFrom(
+			extract.NewSourceErased(cfg.l, P, lanes, frame.NewAggregateSampler(971, 7)), cfg.rounds, cfg.opts)
+		s.Close()
+		if !fx1.Equal(fx2) || !fz1.Equal(fz2) {
+			t.Fatalf("L=%d T=%d leak=%v opts=%+v: streaming erased decode differs from whole-volume (X %d vs %d fails, Z %d vs %d)",
+				cfg.l, cfg.rounds, cfg.leak, cfg.opts, fx1.Weight(), fx2.Weight(), fz1.Weight(), fz2.Weight())
+		}
+	}
+}
+
+// TestErasedSlidingIncrementalMatchesFromScratch: on a genuinely
+// sliding erasure-fed stream the incremental slide (which must drop its
+// cluster cache for every lane the erasures touch) commits the same
+// frames as the plain from-scratch slide.
+func TestErasedSlidingIncrementalMatchesFromScratch(t *testing.T) {
+	const l, rounds, window, commit, lanes = 4, 12, 5, 2, 192
+	P := noise.Uniform(0.005)
+	P.Leak = 0.008
+	wh, wv, wd := spacetime.WeightsCircuit(P, l, window)
+	run := func(incremental bool) (bits.Vec, bits.Vec) {
+		s := mustCircuitSession(t, l, window, commit, wh, wv, wd)
+		defer s.Close()
+		s.SetIncremental(incremental)
+		return s.BatchCircuitMemoryFrom(
+			extract.NewSourceErased(l, P, lanes, frame.NewAggregateSampler(973, 5)), rounds,
+			spacetime.DecodeOptions{ErasureAware: true})
+	}
+	fx1, fz1 := run(true)
+	fx2, fz2 := run(false)
+	if !fx1.Equal(fx2) || !fz1.Equal(fz2) {
+		t.Fatalf("incremental erased slide differs from from-scratch (X %d vs %d fails, Z %d vs %d)",
+			fx1.Weight(), fx2.Weight(), fz1.Weight(), fz2.Weight())
+	}
+}
+
+// TestErasedLeakFreeMatchesPlainStream: with Leak = 0 the erasure-
+// harvesting source consumes the sampler stream identically to the
+// plain one, and the erased push path must not perturb the decode —
+// blind or aware.
+func TestErasedLeakFreeMatchesPlainStream(t *testing.T) {
+	const l, rounds, window, commit, lanes = 4, 10, 5, 2, 192
+	P := noise.Uniform(0.007)
+	wh, wv, wd := spacetime.WeightsCircuit(P, l, window)
+	s := mustCircuitSession(t, l, window, commit, wh, wv, wd)
+	defer s.Close()
+	fx1, fz1 := s.BatchMemoryFrom(extract.NewSource(l, P, lanes, frame.NewAggregateSampler(977, 3)), rounds)
+	for _, opts := range []spacetime.DecodeOptions{{}, {ErasureAware: true}} {
+		fx2, fz2 := s.BatchCircuitMemoryFrom(
+			extract.NewSourceErased(l, P, lanes, frame.NewAggregateSampler(977, 3)), rounds, opts)
+		if !fx1.Equal(fx2) || !fz1.Equal(fz2) {
+			t.Fatalf("opts=%+v: leak-free erased stream differs from plain stream", opts)
+		}
+	}
+}
+
+// TestPushDisciplineMixingPanics: a decoder is fed by Push or
+// PushErased, never both.
+func TestPushDisciplineMixingPanics(t *testing.T) {
+	const l, window, commit, lanes = 4, 4, 2, 64
+	P := noise.Uniform(0.005)
+	wh, wv, wd := spacetime.WeightsCircuit(P, l, window)
+	s := mustCircuitSession(t, l, window, commit, wh, wv, wd)
+	defer s.Close()
+	w := s.win
+	layerX := bits.NewVecs(w.nc, lanes)
+	layerZ := bits.NewVecs(w.nc, lanes)
+	eraH := bits.NewVecs(w.nq, lanes)
+	lostX := bits.NewVecs(w.nc, lanes)
+	lostZ := bits.NewVecs(w.nc, lanes)
+
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	d := s.NewDecoder(lanes)
+	d.Push(layerX, layerZ)
+	mustPanic("PushErased after Push", func() { d.PushErased(layerX, layerZ, eraH, lostX, lostZ) })
+
+	d2 := s.NewDecoderOpts(lanes, spacetime.DecodeOptions{ErasureAware: true})
+	d2.PushErased(layerX, layerZ, eraH, lostX, lostZ)
+	mustPanic("Push after PushErased", func() { d2.Push(layerX, layerZ) })
+	mustPanic("erasure plane count mismatch", func() { d2.PushErased(layerX, layerZ, eraH[:1], lostX, lostZ) })
+}
+
+// TestErasedRewindowRefused: the adaptive-window transplant does not
+// carry erasure rings or correlated state; asking for it is an error,
+// not a silent drop of the side information.
+func TestErasedRewindowRefused(t *testing.T) {
+	const l, lanes = 4, 64
+	P := noise.Uniform(0.005)
+	P.Leak = 0.01
+	wh, wv, wd := spacetime.WeightsCircuit(P, l, 4)
+	s := mustCircuitSession(t, l, 4, 2, wh, wv, wd)
+	defer s.Close()
+	s2 := mustCircuitSession(t, l, 6, 2, wh, wv, wd)
+	defer s2.Close()
+	w := s.win
+	layerX := bits.NewVecs(w.nc, lanes)
+	layerZ := bits.NewVecs(w.nc, lanes)
+	eraH := bits.NewVecs(w.nq, lanes)
+	lostX := bits.NewVecs(w.nc, lanes)
+	lostZ := bits.NewVecs(w.nc, lanes)
+
+	d := s.NewDecoder(lanes)
+	d.PushErased(layerX, layerZ, eraH, lostX, lostZ)
+	if _, err := d.Rewindow(s2); err == nil {
+		t.Fatal("Rewindow accepted an erasure-fed decoder")
+	}
+	dc := s.NewDecoderOpts(lanes, spacetime.DecodeOptions{Correlated: true})
+	if _, err := dc.Rewindow(s2); err == nil {
+		t.Fatal("Rewindow accepted a correlated decoder")
+	}
+}
+
+// TestCircuitMemoryOptsDeterministicAndServiceInvariant: the correlated
+// + erasure-aware streaming Monte Carlo over a genuinely sliding stream
+// is a pure function of (samples, seed) regardless of the service
+// worker count — the serialized primal→dual slide keeps the committed
+// frames worker-invariant.
+func TestCircuitMemoryOptsDeterministicAndServiceInvariant(t *testing.T) {
+	P := noise.Uniform(0.006)
+	P.Leak = 0.006
+	opts := spacetime.DecodeOptions{ErasureAware: true, Correlated: true}
+	run := func() Result {
+		r, err := CircuitMemoryOpts(4, 10, P, 5, 2, 400, 979, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a := run()
+	if b := run(); a != b {
+		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
+	}
+	old := runtime.GOMAXPROCS(1)
+	serial := run()
+	runtime.GOMAXPROCS(8)
+	parallel := run()
+	runtime.GOMAXPROCS(old)
+	if serial != parallel {
+		t.Fatalf("result depends on service worker count: 1 → %+v, 8 → %+v", serial, parallel)
+	}
+}
+
+// TestCircuitMemoryOptsValidation: malformed models and horizons are
+// constructor errors through the streaming entry points too.
+func TestCircuitMemoryOptsValidation(t *testing.T) {
+	bad := noise.Uniform(0.005)
+	bad.Leak = -0.1
+	if _, err := CircuitMemoryOpts(4, 4, bad, 0, 0, 64, 1, spacetime.DecodeOptions{}); err == nil {
+		t.Fatal("CircuitMemoryOpts accepted Leak=-0.1")
+	}
+	if _, err := CircuitMemoryOpts(4, 0, noise.Uniform(0.005), 0, 0, 64, 1, spacetime.DecodeOptions{}); err == nil {
+		t.Fatal("CircuitMemoryOpts accepted rounds=0")
+	}
+}

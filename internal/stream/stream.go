@@ -167,8 +167,16 @@ type sectorState struct {
 	syn   []bits.Vec // per-lane window syndromes (W·nc bits)
 	quiet []bool     // per ring slot: every check plane empty across all lanes
 
+	// Erasure side information of the sector (erasure-aware decoders
+	// only): the ring of lost-ancilla planes pushed by PushErased, its
+	// per-lane pivot, and the per-slot all-quiet flags.
+	lostRing  []bits.Vec // W·nc check-major lost-measurement planes
+	lostLane  []bits.Vec // per-lane lost planes in window layer order
+	lostQuiet []bool     // per ring slot: no ancilla lost in any lane
+
 	shots   []decoder.Shot
 	defbuf  [][]int
+	erabuf  [][]int   // per-lane erased-edge lists (erasure/correlated decodes)
 	corrbuf [][]int32 // per-lane reusable decode output buffers
 	bat     *decoder.Batch
 
@@ -282,15 +290,50 @@ type Decoder struct {
 	fromScratch bool // disable the incremental slide and the sparse skip
 	retain      bool // window shape admits a non-empty retention band
 
+	// Side-information decoding state (NewDecoderOpts): the selected
+	// passes, the push-discipline latch, and — for erasure-aware
+	// decoders — the shared ring of erased-data planes, its per-lane
+	// pivot, the per-slot quiet flags, and the erased-edge mask scratch
+	// (window edge ids; also covers every closing volume, h ≤ W).
+	opts     spacetime.DecodeOptions
+	pushMode int        // pushUnset, then pushPlain or pushErased — never mixed
+	eraRing  []bits.Vec // W·nq qubit-major erased-data planes, both sectors
+	eraLane  []bits.Vec // per-lane erasure planes in window layer order
+	eraQuiet []bool     // per ring slot: no data qubit erased in any lane
+	emask    bits.Vec   // erased-edge mask scratch
+
 	sx, sz sectorState
 
 	ordered []bits.Vec // ring view in logical layer order
 }
 
+// Push-discipline states: a decoder is fed either by Push or by
+// PushErased for its whole life — mixing the two would silently drop
+// the erasure planes of the plain rounds.
+const (
+	pushUnset = iota
+	pushPlain
+	pushErased
+)
+
 // NewDecoder returns a streaming decoder for `lanes` parallel shots,
 // drawing on the session's decode pool.
 func (s *Session) NewDecoder(lanes int) *Decoder {
+	return s.NewDecoderOpts(lanes, spacetime.DecodeOptions{})
+}
+
+// NewDecoderOpts is NewDecoder with the side-information passes of
+// spacetime.DecodeOptions enabled. Erasure-aware decoders are fed with
+// PushErased; correlated decoders reprice the dual window from the
+// primal correction every slide (which serializes the two sectors'
+// decodes and disables the cross-slide cluster cache — the retained
+// forest cannot stay valid when the dual graph's erased set changes
+// under it). Both options need a circuit-level window (diagonal edges).
+func (s *Session) NewDecoderOpts(lanes int, opts spacetime.DecodeOptions) *Decoder {
 	w := s.win
+	if (opts.ErasureAware || opts.Correlated) && w.WD == 0 {
+		panic("stream: erasure-aware/correlated decoding needs a circuit-level window (NewCircuitSession)")
+	}
 	// Retention band of the persistent forest, in window node ids: a
 	// cluster is carried across a slide only if its grown region lies
 	// strictly above the commit boundary (so none of it commits this
@@ -321,12 +364,25 @@ func (s *Session) NewDecoder(lanes int) *Decoder {
 	// defects), fixed so the resident footprint stays flat however many
 	// rounds stream past (oversized clusters are simply not retained).
 	bClusters, bNodes, bDefs, bCorrs := w.nc/2+2, 2*w.nc, w.nc, w.nc
+	ordSize := w.W * w.nc
+	if opts.ErasureAware && w.nq > w.nc {
+		ordSize = w.W * w.nq
+	}
 	d := &Decoder{
 		s:           s,
 		lanes:       lanes,
-		fromScratch: s.fromScratch,
+		fromScratch: s.fromScratch || opts.Correlated,
 		retain:      retain,
-		ordered:     make([]bits.Vec, w.W*w.nc),
+		opts:        opts,
+		ordered:     make([]bits.Vec, ordSize),
+	}
+	if opts.ErasureAware || opts.Correlated {
+		d.emask = bits.NewVec(w.diagOff + w.W*w.nq)
+	}
+	if opts.ErasureAware {
+		d.eraRing = bits.NewVecs(w.W*w.nq, lanes)
+		d.eraLane = bits.NewVecs(lanes, w.W*w.nq)
+		d.eraQuiet = make([]bool, w.W)
 	}
 	initSector := func(sec *sectorState, g *decoder.Graph, diag [][2]int32) {
 		sec.ring = bits.NewVecs(w.W*w.nc, lanes)
@@ -334,8 +390,14 @@ func (s *Session) NewDecoder(lanes int) *Decoder {
 		sec.corr = bits.NewVecs(lanes, w.nq)
 		sec.syn = bits.NewVecs(lanes, w.W*w.nc)
 		sec.quiet = make([]bool, w.W)
+		if opts.ErasureAware {
+			sec.lostRing = bits.NewVecs(w.W*w.nc, lanes)
+			sec.lostLane = bits.NewVecs(lanes, w.W*w.nc)
+			sec.lostQuiet = make([]bool, w.W)
+		}
 		sec.shots = make([]decoder.Shot, lanes)
 		sec.defbuf = make([][]int, lanes)
+		sec.erabuf = make([][]int, lanes)
 		sec.corrbuf = make([][]int32, lanes)
 		sec.bat = decoder.NewBatch(lanes)
 		sec.comps = make([]decoder.Components, lanes)
@@ -416,19 +478,30 @@ func (d *Decoder) Err() error { return d.err }
 // the window is full the oldest Commit rounds are decoded and
 // committed first.
 func (d *Decoder) Push(layerX, layerZ []bits.Vec) {
-	w := d.s.win
 	if d.err != nil {
 		return
 	}
 	if d.finished {
 		panic("stream: Push after Finish")
 	}
+	if d.pushMode == pushErased {
+		panic("stream: Push on a decoder fed by PushErased — use one push discipline per stream")
+	}
+	d.pushMode = pushPlain
+	d.pushRound(layerX, layerZ)
+}
+
+// pushRound slides if the window is full and ingests one round's
+// difference layers, returning the ring slot they landed in (-1 when a
+// slide hit a terminal pipeline error).
+func (d *Decoder) pushRound(layerX, layerZ []bits.Vec) int {
+	w := d.s.win
 	if len(layerX) != w.nc || len(layerZ) != w.nc {
 		panic("stream: layer plane count mismatch")
 	}
 	if d.filled == w.W {
 		if d.slide(); d.err != nil {
-			return
+			return -1
 		}
 	}
 	slot := d.head + d.filled
@@ -445,6 +518,7 @@ func (d *Decoder) Push(layerX, layerZ []bits.Vec) {
 	d.sx.quiet[slot] = quietX
 	d.sz.quiet[slot] = quietZ
 	d.filled++
+	return slot
 }
 
 // slide decodes the full window in both sectors over the open-window
@@ -463,26 +537,51 @@ func (d *Decoder) Push(layerX, layerZ []bits.Vec) {
 // silent (no defects, no carry, no cache) skips its decode entirely.
 func (d *Decoder) slide() {
 	w := d.s.win
-	skipX := !d.fromScratch && d.sectorQuiet(&d.sx)
-	skipZ := !d.fromScratch && d.sectorQuiet(&d.sz)
-	if !skipX {
-		if d.prepSector(&d.sx); d.err != nil {
+	eraX := d.windowErased(&d.sx, w.W)
+	eraZ := d.windowErased(&d.sz, w.W)
+	if eraX || eraZ {
+		bits.TransposePlanes(d.eraLane, d.orderedLayers(d.eraRing, w.W, w.nq))
+	}
+	if d.opts.Correlated {
+		// Correlated slides serialize: the dual window's erased set is a
+		// function of the primal window correction, so the primal decode
+		// must complete before the dual submission. The primal→dual order
+		// is fixed, every list is built in canonical ascending order, and
+		// lanes stay independent — the committed frames remain a pure
+		// function of the stream for any worker count.
+		if d.prepSector(&d.sx, nil, eraX); d.err != nil {
 			return
 		}
-	}
-	if !skipZ {
-		if d.prepSector(&d.sz); d.err != nil {
-			if !skipX {
-				d.sx.bat.Wait()
-			}
-			return
-		}
-	}
-	if !skipX {
 		d.decodeSector(&d.sx)
-	}
-	if !skipZ && d.err == nil {
+		if d.err != nil {
+			return
+		}
+		if d.prepSector(&d.sz, &d.sx, eraZ); d.err != nil {
+			return
+		}
 		d.decodeSector(&d.sz)
+	} else {
+		skipX := !d.fromScratch && d.sectorQuiet(&d.sx)
+		skipZ := !d.fromScratch && d.sectorQuiet(&d.sz)
+		if !skipX {
+			if d.prepSector(&d.sx, nil, eraX); d.err != nil {
+				return
+			}
+		}
+		if !skipZ {
+			if d.prepSector(&d.sz, nil, eraZ); d.err != nil {
+				if !skipX {
+					d.sx.bat.Wait()
+				}
+				return
+			}
+		}
+		if !skipX {
+			d.decodeSector(&d.sx)
+		}
+		if !skipZ && d.err == nil {
+			d.decodeSector(&d.sz)
+		}
 	}
 	if d.err != nil {
 		return
@@ -494,6 +593,26 @@ func (d *Decoder) slide() {
 	d.filled -= w.Commit
 	d.base += w.Commit
 	d.slides++
+}
+
+// windowErased reports whether any of the first `layers` buffered
+// rounds carries erasure side information for the sector — the cheap
+// per-slot gate that keeps erasure-free slides on the plain path.
+func (d *Decoder) windowErased(sec *sectorState, layers int) bool {
+	if d.eraRing == nil {
+		return false
+	}
+	w := d.s.win
+	for t := 0; t < layers; t++ {
+		slot := d.head + t
+		if slot >= w.W {
+			slot -= w.W
+		}
+		if !d.eraQuiet[slot] || !sec.lostQuiet[slot] {
+			return true
+		}
+	}
+	return false
 }
 
 // sectorQuiet reports whether a sector's slide can be skipped outright:
@@ -532,12 +651,54 @@ func (d *Decoder) sectorQuiet(sec *sectorState) bool {
 // its cache and decodes plain, bounding the worst case. Retention
 // policy never affects the committed frames — a shot without extraction
 // is simply a plain decode.
-func (d *Decoder) prepSector(sec *sectorState) {
+//
+// Side-information passes: with `era` set the sector's erasure planes
+// are pivoted lane-major and every lane with erased edges in the window
+// decodes plain from scratch with its canonical erased list (restoring
+// any cached defects first — the located faults reprice the whole
+// window, so no cross-slide cluster can be trusted). With primal
+// non-nil (a correlated dual slide) the primal window correction's
+// counterpart edges join the erased set.
+func (d *Decoder) prepSector(sec *sectorState, primal *sectorState, era bool) {
 	d.pivot(sec)
 	w := d.s.win
+	if era {
+		bits.TransposePlanes(sec.lostLane, d.orderedLayers(sec.lostRing, w.W, w.nc))
+	}
 	ceiling := w.W * w.nc / 4
 	for lane := 0; lane < d.lanes; lane++ {
 		sv := sec.syn[lane]
+		if era || primal != nil {
+			laneEra := era && (d.eraLane[lane].Any() || sec.lostLane[lane].Any())
+			erased := sec.erabuf[lane][:0]
+			if laneEra || primal != nil {
+				d.emask.Clear()
+				if laneEra {
+					spacetime.SetErasedMask(d.emask, d.eraLane[lane], sec.lostLane[lane], w.horiz, w.diagOff, w.WD)
+				}
+				if primal != nil {
+					for _, e := range primal.corrbuf[lane] {
+						spacetime.MarkCounterpartEdges(int(e), w.horiz, w.diagOff, d.emask)
+					}
+				}
+				erased = d.emask.AppendSupport(erased)
+			}
+			sec.erabuf[lane] = erased
+			if len(erased) > 0 {
+				// The cached defects (if any) still sit in the pivoted
+				// syndrome — nothing was stripped yet — so dropping the
+				// cache restores the plain full decode exactly.
+				sec.clearCache(lane)
+				sec.defbuf[lane] = sv.AppendSupport(sec.defbuf[lane][:0])
+				d.defects += uint64(len(sec.defbuf[lane]))
+				sec.shots[lane] = decoder.Shot{
+					Defects: sec.defbuf[lane],
+					Erased:  erased,
+					CorrBuf: sec.corrbuf[lane],
+				}
+				continue
+			}
+		}
 		cached := sec.cdef[lane]
 		for _, v := range cached {
 			sv.Set(int(v), false)
@@ -727,8 +888,10 @@ func (d *Decoder) harvest(sec *sectorState, lane int) {
 }
 
 // orderedLayers appends views of the first `layers` buffered ring
-// layers (oldest first) to the reusable ordered slice.
-func (d *Decoder) orderedLayers(ring []bits.Vec, layers int) []bits.Vec {
+// layers (oldest first) to the reusable ordered slice. stride is the
+// ring's planes per layer (nc for syndrome and lost rings, nq for the
+// erased-data ring).
+func (d *Decoder) orderedLayers(ring []bits.Vec, layers, stride int) []bits.Vec {
 	w := d.s.win
 	ordered := d.ordered[:0]
 	for t := 0; t < layers; t++ {
@@ -736,7 +899,7 @@ func (d *Decoder) orderedLayers(ring []bits.Vec, layers int) []bits.Vec {
 		if slot >= w.W {
 			slot -= w.W
 		}
-		ordered = append(ordered, ring[slot*w.nc:(slot+1)*w.nc]...)
+		ordered = append(ordered, ring[slot*stride:(slot+1)*stride]...)
 	}
 	return ordered
 }
@@ -745,7 +908,7 @@ func (d *Decoder) orderedLayers(ring []bits.Vec, layers int) []bits.Vec {
 // the base layer) into per-lane syndrome vectors.
 func (d *Decoder) pivot(sec *sectorState) {
 	w := d.s.win
-	bits.TransposePlanes(sec.syn, d.orderedLayers(sec.ring, w.W))
+	bits.TransposePlanes(sec.syn, d.orderedLayers(sec.ring, w.W, w.nc))
 	// The carry defects live at the base (first) layer, whose bits are
 	// word-aligned at the front of every lane vector.
 	for lane := 0; lane < d.lanes; lane++ {
@@ -820,14 +983,46 @@ func (d *Decoder) Finish(layerX, layerZ []bits.Vec) {
 	d.finished = true
 	h := d.filled
 	vol := spacetime.CachedCodeCircuitVolume(w.code, h, w.WH, w.WV, w.WD)
+	// Side information of the closing volume: per-lane erasure planes in
+	// volume layer order, plus — for correlated decoders — the primal
+	// correction feeding the dual repricing. With W ≥ total rounds this
+	// path IS the whole-volume decode of BatchCircuitErasedFrom, bit for
+	// bit: same canonical erased lists, same primal→dual order.
+	eraX := d.windowErased(&d.sx, h)
+	eraZ := d.windowErased(&d.sz, h)
+	var eraLane, lostXLane, lostZLane []bits.Vec
+	if eraX || eraZ {
+		eraLane = bits.NewVecs(d.lanes, h*w.nq)
+		bits.TransposePlanes(eraLane, d.orderedLayers(d.eraRing, h, w.nq))
+	}
+	if eraX {
+		lostXLane = bits.NewVecs(d.lanes, h*w.nc)
+		bits.TransposePlanes(lostXLane, d.orderedLayers(d.sx.lostRing, h, w.nc))
+	}
+	if eraZ {
+		lostZLane = bits.NewVecs(d.lanes, h*w.nc)
+		bits.TransposePlanes(lostZLane, d.orderedLayers(d.sz.lostRing, h, w.nc))
+	}
 	syn := bits.NewVecs(d.lanes, (h+1)*w.nc)
-	bits.TransposePlanes(syn, append(d.orderedLayers(d.sx.ring, h), layerX...))
-	d.finishSector(syn, vol, vol.Graph(), &d.sx)
+	bits.TransposePlanes(syn, append(d.orderedLayers(d.sx.ring, h, w.nc), layerX...))
+	var xEra, xLost []bits.Vec
+	if eraX {
+		xEra, xLost = eraLane, lostXLane
+	}
+	d.finishSector(syn, vol, vol.Graph(), &d.sx, h, xEra, xLost, nil)
 	if d.err != nil {
 		return
 	}
-	bits.TransposePlanes(syn, append(d.orderedLayers(d.sz.ring, h), layerZ...))
-	d.finishSector(syn, vol, vol.DualGraph(), &d.sz)
+	bits.TransposePlanes(syn, append(d.orderedLayers(d.sz.ring, h, w.nc), layerZ...))
+	var zEra, zLost []bits.Vec
+	if eraZ {
+		zEra, zLost = eraLane, lostZLane
+	}
+	var primal *sectorState
+	if d.opts.Correlated {
+		primal = &d.sx
+	}
+	d.finishSector(syn, vol, vol.DualGraph(), &d.sz, h, zEra, zLost, primal)
 	if d.err != nil {
 		return
 	}
@@ -838,8 +1033,12 @@ func (d *Decoder) Finish(layerX, layerZ []bits.Vec) {
 // finishSector decodes every lane's closing volume through the decode
 // pool — the same worker fan-out the slides use, with per-graph scratch
 // reuse instead of a fresh decoder per Finish — and commits the whole
-// correction.
-func (d *Decoder) finishSector(syn []bits.Vec, vol *spacetime.Volume, g *decoder.Graph, sec *sectorState) {
+// correction. eraLane/lostLane (nil when the closing window carries no
+// erasures) and primal (non-nil for the correlated dual pass) feed the
+// per-lane erased lists in closing-volume edge ids.
+func (d *Decoder) finishSector(syn []bits.Vec, vol *spacetime.Volume, g *decoder.Graph, sec *sectorState, h int, eraLane, lostLane []bits.Vec, primal *sectorState) {
+	w := d.s.win
+	vhoriz, vdiagOff := h*w.nq, h*(w.nq+w.nc)
 	for lane := 0; lane < d.lanes; lane++ {
 		cv := sec.carry[lane]
 		sv := syn[lane]
@@ -848,7 +1047,21 @@ func (d *Decoder) finishSector(syn []bits.Vec, vol *spacetime.Volume, g *decoder
 		}
 		sec.defbuf[lane] = sv.AppendSupport(sec.defbuf[lane][:0])
 		d.defects += uint64(len(sec.defbuf[lane]))
-		sec.shots[lane] = decoder.Shot{Defects: sec.defbuf[lane], CorrBuf: sec.corrbuf[lane]}
+		var erased []int
+		if eraLane != nil || primal != nil {
+			d.emask.Clear()
+			if eraLane != nil {
+				spacetime.SetErasedMask(d.emask, eraLane[lane], lostLane[lane], vhoriz, vdiagOff, w.WD)
+			}
+			if primal != nil {
+				for _, e := range primal.corrbuf[lane] {
+					spacetime.MarkCounterpartEdges(int(e), vhoriz, vdiagOff, d.emask)
+				}
+			}
+			sec.erabuf[lane] = d.emask.AppendSupport(sec.erabuf[lane][:0])
+			erased = sec.erabuf[lane]
+		}
+		sec.shots[lane] = decoder.Shot{Defects: sec.defbuf[lane], Erased: erased, CorrBuf: sec.corrbuf[lane]}
 	}
 	if err := d.s.sub.ResubmitOn(g, sec.bat, sec.shots); err != nil {
 		d.err = err
@@ -882,6 +1095,9 @@ func (d *Decoder) Rewindow(ns *Session) (*Decoder, error) {
 	}
 	if d.finished {
 		return nil, fmt.Errorf("stream: cannot rewindow a finished decoder")
+	}
+	if d.pushMode == pushErased || d.opts != (spacetime.DecodeOptions{}) {
+		return nil, fmt.Errorf("stream: cannot rewindow an erasure-fed or correlated decoder")
 	}
 	w, nw := d.s.win, ns.win
 	if nw.code.CodeName() != w.code.CodeName() {
@@ -943,11 +1159,13 @@ func (d *Decoder) FootprintBytes() int {
 		return n
 	}
 	n := cap(d.ordered) * 24
+	n += vecs(d.eraRing) + vecs(d.eraLane) + d.emask.Words()*8 + len(d.eraQuiet)
 	for _, sec := range [2]*sectorState{&d.sx, &d.sz} {
 		n += vecs(sec.ring) + vecs(sec.carry) + vecs(sec.corr) + vecs(sec.syn)
-		n += len(sec.quiet)
+		n += vecs(sec.lostRing) + vecs(sec.lostLane)
+		n += len(sec.quiet) + len(sec.lostQuiet)
 		for lane := 0; lane < d.lanes; lane++ {
-			n += cap(sec.defbuf[lane]) * 8
+			n += (cap(sec.defbuf[lane]) + cap(sec.erabuf[lane])) * 8
 			n += (cap(sec.corrbuf[lane]) + cap(sec.cdef[lane]) +
 				cap(sec.ccorr[lane]) + cap(sec.cnode[lane]) +
 				cap(sec.cdefOff[lane]) + cap(sec.ccorrOff[lane]) +
@@ -976,19 +1194,7 @@ func (s *Session) BatchMemory(rounds int, p, q float64, lanes int, smp frame.Sam
 // stream through the same window machinery. The feed must be fresh.
 func (s *Session) BatchMemoryFrom(src spacetime.LayerFeed, rounds int) (failX, failZ bits.Vec) {
 	w := s.win
-	if src.Rounds() != 0 {
-		panic("stream: layer feed already drained")
-	}
-	if src.L() != w.L {
-		panic("stream: layer feed lattice size does not match the window")
-	}
-	if cf, ok := src.(interface{ Code() surface.Code }); ok {
-		if cf.Code().CodeName() != w.code.CodeName() {
-			panic("stream: layer feed code family does not match the window")
-		}
-	} else if w.code.CodeName() != "toric" {
-		panic("stream: this window needs a code-aware layer feed (surface.NewLayerSource / NewCircuitSource)")
-	}
+	s.checkFeed(src)
 	lanes := src.Lanes()
 	d := s.NewDecoder(lanes)
 	layerX := bits.NewVecs(w.nc, lanes)
@@ -1005,6 +1211,25 @@ func (s *Session) BatchMemoryFrom(src spacetime.LayerFeed, rounds int) (failX, f
 		panic(err)
 	}
 	return s.failureMasks(src, d)
+}
+
+// checkFeed panics on a feed that cannot drive this session's window:
+// already drained, wrong lattice size, or wrong code family.
+func (s *Session) checkFeed(src spacetime.LayerFeed) {
+	w := s.win
+	if src.Rounds() != 0 {
+		panic("stream: layer feed already drained")
+	}
+	if src.L() != w.L {
+		panic("stream: layer feed lattice size does not match the window")
+	}
+	if cf, ok := src.(interface{ Code() surface.Code }); ok {
+		if cf.Code().CodeName() != w.code.CodeName() {
+			panic("stream: layer feed code family does not match the window")
+		}
+	} else if w.code.CodeName() != "toric" {
+		panic("stream: this window needs a code-aware layer feed (surface.NewLayerSource / NewCircuitSource)")
+	}
 }
 
 // failureMasks compares the logical parities of the accumulated error
@@ -1041,6 +1266,7 @@ type Result struct {
 	L, T           int
 	Window, Commit int
 	P, Q           float64
+	Pe             float64 // leak rate per gate (erasure runs; 0 otherwise)
 	Samples        int
 	FailX          int // bit-flip (plaquette-sector) logical failures
 	FailZ          int // phase-flip (star-sector) logical failures

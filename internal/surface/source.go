@@ -122,10 +122,21 @@ type CircuitSource struct {
 
 // NewCircuitSource returns a circuit-level source over the code for
 // `lanes` parallel shots under the per-location noise model P, drawing
-// from smp (leakage is not modeled in the extraction circuit: P.Leak
-// is ignored and cleared).
+// from smp. Plain sources do not harvest leakage: P.Leak > 0 panics
+// (never a silent zeroing) — construct with NewCircuitSourceErased and
+// drain with NextLayersErased instead.
 func NewCircuitSource(code Code, P noise.Params, lanes int, smp frame.Sampler) *CircuitSource {
-	P.Leak = 0
+	if P.Leak != 0 {
+		panic("surface: P.Leak > 0 needs the erasure-harvesting source (NewCircuitSourceErased + NextLayersErased)")
+	}
+	return NewCircuitSourceErased(code, P, lanes, smp)
+}
+
+// NewCircuitSourceErased returns a circuit-level source that models
+// leakage: every gate carries its P.Leak channel, a leaked data qubit
+// is swapped for a fresh (randomized) one at the start of the next
+// round, and NextLayersErased reports every leak as a located fault.
+func NewCircuitSourceErased(code Code, P noise.Params, lanes int, smp frame.Sampler) *CircuitSource {
 	nc := code.Checks()
 	return &CircuitSource{
 		code:  code,
@@ -161,6 +172,17 @@ func (s *CircuitSource) ancS(c int) int { return s.code.Qubits() + s.code.Checks
 // the ancilla as control, MeasX) — and writes the round's difference-
 // syndrome layers into layerX and layerZ.
 func (s *CircuitSource) NextLayers(layerX, layerZ []bits.Vec) {
+	if s.sim.P.Leak > 0 {
+		panic("surface: NextLayers with P.Leak > 0 — drain an erasure source with NextLayersErased")
+	}
+	s.genericRound()
+	s.diff.Emit(layerX, layerZ)
+	s.rounds++
+}
+
+// genericRound executes one extraction round through the per-gate batch
+// API.
+func (s *CircuitSource) genericRound() {
 	nq, nc := s.code.Qubits(), s.code.Checks()
 	for e := 0; e < nq; e++ {
 		s.sim.Storage(e)
@@ -192,6 +214,28 @@ func (s *CircuitSource) NextLayers(layerX, layerZ []bits.Vec) {
 	}
 	for c := 0; c < nc; c++ {
 		s.sim.MeasXInto(s.ancS(c), curZ[c])
+	}
+}
+
+// NextLayersErased is NextLayers for a leakage-modeling source: the
+// same round with every leak harvested as a located fault, in the same
+// fixed draw order as the toric extract.Source.NextLayersErased (see
+// there for the full semantics). eraH is qubit-major (Qubits() planes),
+// lostX/lostZ are check-major (Checks() planes each).
+func (s *CircuitSource) NextLayersErased(layerX, layerZ, eraH, lostX, lostZ []bits.Vec) {
+	nq, nc := s.code.Qubits(), s.code.Checks()
+	lk := s.sim.PlanesLeak(nq + 2*nc)
+	for e := 0; e < nq; e++ {
+		eraH[e].CopyFrom(lk[e])
+		s.sim.ReplaceLeaked(e, eraH[e])
+	}
+	s.genericRound()
+	for e := 0; e < nq; e++ {
+		eraH[e].Or(lk[e])
+	}
+	for c := 0; c < nc; c++ {
+		lostX[c].CopyFrom(lk[s.ancP(c)])
+		lostZ[c].CopyFrom(lk[s.ancS(c)])
 	}
 	s.diff.Emit(layerX, layerZ)
 	s.rounds++

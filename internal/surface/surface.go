@@ -127,3 +127,40 @@ func ReaderPairs(orders [][4]int, nq int) [][2]int32 {
 	}
 	return pairs
 }
+
+// schedOverride is a Code with its extraction schedule (and name)
+// replaced — the vehicle of the CNOT-schedule ablation sweeps. All
+// detector-graph behavior delegates to the wrapped code; only the
+// circuit-level CNOT orders (and the hook/diagonal classes derived from
+// them) differ.
+type schedOverride struct {
+	Code
+	name string
+	sch  *Schedule
+}
+
+// WithSchedule returns code with its per-check CNOT orders replaced by
+// plaq/star and the diagonal reader pairs rederived. The override must
+// carry a distinct name: cached decoding volumes are keyed by CodeName,
+// and two schedules of the same lattice have different hook geometry —
+// a shared cache entry would silently decode one with the other's
+// diagonal edges. Panics (via ReaderPairs) if the orders are not a
+// valid schedule of the code's qubits.
+func WithSchedule(code Code, name string, plaq, star [][4]int) Code {
+	if name == code.CodeName() {
+		panic("surface: WithSchedule needs a distinct code name (cached volumes are keyed by it)")
+	}
+	sch := &Schedule{
+		Plaq:  plaq,
+		Star:  star,
+		DiagX: ReaderPairs(plaq, code.Qubits()),
+		DiagZ: ReaderPairs(star, code.Qubits()),
+	}
+	return &schedOverride{Code: code, name: name, sch: sch}
+}
+
+// CodeName names the override (distinct from the wrapped code).
+func (s *schedOverride) CodeName() string { return s.name }
+
+// ExtractionSchedule returns the overriding schedule.
+func (s *schedOverride) ExtractionSchedule() *Schedule { return s.sch }
